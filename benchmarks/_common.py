@@ -1,0 +1,235 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every paper figure has one ``bench_figXX_*.py`` module.  Each bench
+
+1. builds (and caches) the figure's dataset and trained agents,
+2. runs the sweep the figure plots, printing the same rows/series the
+   paper reports (also written to ``benchmarks/results/<figure>.txt``),
+3. asserts the figure's *shape* (who wins, monotonicity, crossovers),
+4. times a representative unit of work through the ``benchmark`` fixture
+   so ``pytest benchmarks/ --benchmark-only`` produces a timing table.
+
+Scales: the default (reduced) scale runs the full suite in tens of
+minutes on a laptop; ``REPRO_PAPER_SCALE=1`` switches to the paper's
+sizes (see ``repro.eval.experiments``).
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import (
+    SinglePassSession,
+    UHRandomSession,
+    UHSimplexSession,
+    UtilityApproxSession,
+)
+from repro.core import AAConfig, EAConfig, train_aa, train_ea
+from repro.data import load_car, load_player, synthetic_dataset
+from repro.data.utility import sample_training_utilities
+from repro.eval.reporting import format_table
+from repro.eval.runner import evaluate_algorithm
+from repro.utils.rng import ensure_rng
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Master seed for everything in the bench suite.
+BENCH_SEED = 20_250_704
+
+PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE", "") == "1"
+
+#: Synthetic dataset size before skyline preprocessing.
+SYNTH_N = 100_000 if PAPER_SCALE else 5_000
+#: High-dimensional benches subsample further: per-round LP cost grows
+#: with d, and SinglePass asks hundreds of questions there.
+HIGHD_N = 20_000 if PAPER_SCALE else 800
+#: Training episodes for the RL agents.
+TRAIN_EPISODES = 10_000 if PAPER_SCALE else 40
+HIGHD_TRAIN_EPISODES = 10_000 if PAPER_SCALE else 10
+#: Held-out users per experimental cell (paper: 10 runs).
+TEST_USERS = 10 if PAPER_SCALE else 4
+HIGHD_TEST_USERS = 10 if PAPER_SCALE else 2
+#: Epsilon sweeps (paper: 0.05..0.25 in 5 steps).
+EPSILONS = (0.05, 0.1, 0.15, 0.2, 0.25)
+HIGHD_EPSILONS = EPSILONS if PAPER_SCALE else (0.05, 0.15, 0.25)
+
+LOW_D_METHODS = ("EA", "AA", "UH-Random", "UH-Simplex", "SinglePass")
+HIGH_D_METHODS = ("AA", "SinglePass")
+
+
+# ---------------------------------------------------------------------------
+# Datasets and trained agents (cached across benches in one pytest run)
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=None)
+def anti_dataset(n: int, d: int):
+    """Skyline-preprocessed anti-correlated dataset (cached)."""
+    return synthetic_dataset("anti", n, d, rng=BENCH_SEED + d)
+
+
+@lru_cache(maxsize=None)
+def car_dataset():
+    return load_car()
+
+
+@lru_cache(maxsize=None)
+def player_dataset():
+    dataset = load_player()
+    if not PAPER_SCALE:
+        dataset = dataset.sample(HIGHD_N, np.random.default_rng(BENCH_SEED))
+    return dataset
+
+
+@lru_cache(maxsize=None)
+def trained_ea(dataset_key: str, epsilon: float = 0.1, episodes: int | None = None):
+    """Train EA once per dataset (cached); epsilon varied at session time."""
+    dataset = _dataset_by_key(dataset_key)
+    episodes = episodes or TRAIN_EPISODES
+    utilities = sample_training_utilities(
+        dataset.dimension, episodes, rng=BENCH_SEED + 1
+    )
+    return train_ea(
+        dataset,
+        utilities,
+        config=EAConfig(epsilon=epsilon),
+        rng=BENCH_SEED + 2,
+        updates_per_episode=1 if PAPER_SCALE else 6,
+    )
+
+
+@lru_cache(maxsize=None)
+def trained_aa(dataset_key: str, epsilon: float = 0.1, episodes: int | None = None):
+    """Train AA once per dataset (cached); epsilon varied at session time."""
+    dataset = _dataset_by_key(dataset_key)
+    if episodes is None:
+        episodes = (
+            HIGHD_TRAIN_EPISODES if dataset.dimension > 5 else TRAIN_EPISODES
+        )
+    utilities = sample_training_utilities(
+        dataset.dimension, episodes, rng=BENCH_SEED + 3
+    )
+    return train_aa(
+        dataset,
+        utilities,
+        config=AAConfig(epsilon=epsilon),
+        rng=BENCH_SEED + 4,
+        updates_per_episode=1 if PAPER_SCALE else 4,
+    )
+
+
+_DATASETS: dict[str, object] = {}
+
+
+def register_dataset(key: str, dataset) -> str:
+    """Register a dataset under a hashable key for the agent caches."""
+    _DATASETS[key] = dataset
+    return key
+
+
+def _dataset_by_key(key: str):
+    if key == "car":
+        return car_dataset()
+    if key == "player":
+        return player_dataset()
+    if key in _DATASETS:
+        return _DATASETS[key]
+    raise KeyError(f"unknown dataset key {key!r}; register_dataset() first")
+
+
+# ---------------------------------------------------------------------------
+# Method/session construction
+# ---------------------------------------------------------------------------
+
+def session_factory(method: str, dataset, dataset_key: str, epsilon: float, seed_rng):
+    """A zero-arg factory building fresh sessions of ``method``.
+
+    RL methods reuse a Q-network trained once per dataset (at the default
+    threshold) and override ``epsilon`` per session — the stopping
+    condition lives in the environment, not in the network (see
+    EXPERIMENTS.md, "Protocol notes").
+    """
+    if method == "EA":
+        agent = trained_ea(dataset_key)
+        return lambda: agent.new_session(
+            rng=int(seed_rng.integers(2**62)), epsilon=epsilon
+        )
+    if method == "AA":
+        agent = trained_aa(dataset_key)
+        return lambda: agent.new_session(
+            rng=int(seed_rng.integers(2**62)), epsilon=epsilon
+        )
+    if method == "UH-Random":
+        return lambda: UHRandomSession(
+            dataset, epsilon=epsilon, rng=int(seed_rng.integers(2**62))
+        )
+    if method == "UH-Simplex":
+        return lambda: UHSimplexSession(
+            dataset, epsilon=epsilon, rng=int(seed_rng.integers(2**62))
+        )
+    if method == "SinglePass":
+        return lambda: SinglePassSession(
+            dataset, epsilon=epsilon, rng=int(seed_rng.integers(2**62))
+        )
+    if method == "UtilityApprox":
+        return lambda: UtilityApproxSession(dataset, epsilon=epsilon)
+    raise ValueError(f"unknown method {method!r}")
+
+
+def evaluate_cell(
+    method: str,
+    dataset,
+    dataset_key: str,
+    epsilon: float,
+    n_users: int,
+    seed_offset: int = 0,
+    max_rounds: int = 5_000,
+):
+    """Evaluate one (method, dataset, epsilon) cell over held-out users."""
+    test_utilities = sample_training_utilities(
+        dataset.dimension, n_users, rng=BENCH_SEED + 9 + seed_offset
+    )
+    factory = session_factory(
+        method, dataset, dataset_key, epsilon,
+        ensure_rng(BENCH_SEED + 17 + seed_offset),
+    )
+    return evaluate_algorithm(
+        factory, dataset, test_utilities, name=method, max_rounds=max_rounds
+    )
+
+
+# ---------------------------------------------------------------------------
+# Reporting
+# ---------------------------------------------------------------------------
+
+def report(figure: str, headers, rows, notes: str = "") -> None:
+    """Print a figure's table and persist it under benchmarks/results/."""
+    scale = "paper" if PAPER_SCALE else "reduced"
+    table = format_table(headers, rows, title=f"{figure}  [{scale} scale]")
+    if notes:
+        table = f"{table}\n{notes}"
+    print(f"\n{table}")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{figure.split()[0].lower()}.txt"
+    path.write_text(table + "\n")
+
+
+def one_session_runner(method: str, dataset, dataset_key: str, epsilon: float):
+    """A closure running one full session — the unit timed by pytest-benchmark."""
+    from repro.core.session import run_session
+    from repro.users import OracleUser
+
+    utility = sample_training_utilities(
+        dataset.dimension, 1, rng=BENCH_SEED + 33
+    )[0]
+    factory = session_factory(
+        method, dataset, dataset_key, epsilon, ensure_rng(BENCH_SEED + 41)
+    )
+
+    def run():
+        return run_session(factory(), OracleUser(utility), max_rounds=5_000)
+
+    return run

@@ -1,0 +1,85 @@
+"""Extension — the Section II discussion baselines, measured.
+
+Not a paper figure.  Section II argues qualitatively that (a)
+UtilityApprox asks data-independent questions whose count depends only
+on ``(d, eps)`` and shows unrealistic fake tuples, and (b) Adaptive
+spends extra questions localising the utility *vector* instead of the
+best *tuple*.  This bench puts numbers on both claims against EA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import _common as C
+from repro.baselines import AdaptiveSession, UtilityApproxSession
+from repro.core.session import run_session
+from repro.data.utility import sample_training_utilities
+from repro.eval.runner import evaluate_algorithm
+from repro.utils.rng import ensure_rng
+
+D = 3
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    ds = C.anti_dataset(C.SYNTH_N, D)
+    C.register_dataset("ext-base", ds)
+    return ds
+
+
+@pytest.fixture(scope="module")
+def results(dataset):
+    test = sample_training_utilities(D, C.TEST_USERS, rng=C.BENCH_SEED + 71)
+    seed_rng = ensure_rng(C.BENCH_SEED + 72)
+    out = {}
+    ea_factory = C.session_factory(
+        "EA", dataset, "ext-base", 0.1, ensure_rng(C.BENCH_SEED + 73)
+    )
+    out["EA"] = evaluate_algorithm(ea_factory, dataset, test, name="EA")
+    out["UtilityApprox"] = evaluate_algorithm(
+        lambda: UtilityApproxSession(dataset, epsilon=0.1),
+        dataset, test, name="UtilityApprox",
+    )
+    out["Adaptive"] = evaluate_algorithm(
+        lambda: AdaptiveSession(
+            dataset, epsilon=0.1, rng=int(seed_rng.integers(2**62))
+        ),
+        dataset, test, name="Adaptive", max_rounds=1_000,
+    )
+    return out
+
+
+def test_ext_baseline_table(dataset, results, benchmark):
+    rows = [
+        [name, summary.rounds_mean, summary.seconds_mean,
+         summary.regret_mean, summary.regret_max]
+        for name, summary in results.items()
+    ]
+    C.report(
+        "Ext-baselines EA vs UtilityApprox vs Adaptive (d=3, eps=0.1)",
+        ["method", "rounds", "seconds", "regret", "regret max"],
+        rows,
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_ext_utility_approx_is_data_independent(dataset, results, benchmark):
+    """UtilityApprox's rounds depend only on (d, eps): zero variance."""
+    rounds = [s.rounds for s in results["UtilityApprox"].sessions]
+    assert len(set(rounds)) == 1
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_ext_ea_beats_discussion_baselines(results, benchmark):
+    ea = results["EA"].rounds_mean
+    assert ea <= results["UtilityApprox"].rounds_mean
+    assert ea <= results["Adaptive"].rounds_mean + 1.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_ext_all_meet_threshold(results, benchmark):
+    for name, summary in results.items():
+        assert summary.regret_max <= 0.1 + 1e-6, name
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,83 @@
+"""Extension — noisy users and majority voting (the paper's future work).
+
+Not a paper figure.  The paper's conclusion names erring users as future
+work; this bench quantifies (a) how gracefully each algorithm degrades
+as the user's error rate grows and (b) how much of the loss the
+majority-vote wrapper (``repro.core.robust``) recovers, at what cost in
+questions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import _common as C
+from repro.core.robust import MajorityVoteSession
+from repro.core.session import run_session
+from repro.eval.metrics import session_regret
+from repro.users import NoisyUser
+from repro.utils.rng import ensure_rng
+
+D = 3
+ERROR_RATES = (0.0, 0.15, 0.35)
+USERS = 6 if not C.PAPER_SCALE else 10
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    ds = C.anti_dataset(C.SYNTH_N, D)
+    C.register_dataset("ext-noise", ds)
+    return ds
+
+
+def _evaluate(factory, dataset, error_rate, wrap_repeats=None):
+    rounds, regrets = [], []
+    for seed in range(USERS):
+        utility = np.random.default_rng(900 + seed).dirichlet(np.ones(D))
+        user = NoisyUser(
+            utility, error_rate=error_rate, temperature=0.1, rng=seed
+        )
+        session = factory()
+        if wrap_repeats:
+            session = MajorityVoteSession(session, repeats=wrap_repeats)
+        result = run_session(session, user, max_rounds=2_000)
+        rounds.append(result.rounds)
+        regrets.append(session_regret(dataset, result, user))
+    return float(np.mean(rounds)), float(np.mean(regrets)), float(np.max(regrets))
+
+
+def test_ext_noise_degradation_and_voting(dataset, benchmark):
+    rows = []
+    measured = {}
+    for error_rate in ERROR_RATES:
+        for label, repeats in (("plain", None), ("majority-3", 3)):
+            factory = C.session_factory(
+                "EA", dataset, "ext-noise", 0.1,
+                ensure_rng(C.BENCH_SEED + 61),
+            )
+            rounds, regret_mean, regret_max = _evaluate(
+                factory, dataset, error_rate, wrap_repeats=repeats
+            )
+            rows.append([label, error_rate, rounds, regret_mean, regret_max])
+            measured[(label, error_rate)] = (rounds, regret_mean)
+    C.report(
+        "Ext-noise EA under answer noise (plain vs majority voting)",
+        ["variant", "error rate", "rounds", "mean regret", "max regret"],
+        rows,
+    )
+    # Noiseless: voting must not change the returned quality.
+    assert abs(
+        measured[("plain", 0.0)][1] - measured[("majority-3", 0.0)][1]
+    ) <= 0.05
+    # Under heavy noise, voting should not be (much) worse than plain.
+    assert (
+        measured[("majority-3", ERROR_RATES[-1])][1]
+        <= measured[("plain", ERROR_RATES[-1])][1] + 0.05
+    )
+    # Voting costs questions (<= repeats x, >= 1x).
+    assert (
+        measured[("majority-3", 0.0)][0]
+        >= measured[("plain", 0.0)][0]
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

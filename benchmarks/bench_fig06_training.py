@@ -1,0 +1,119 @@
+"""Figure 6 — impact of training-set size and action-space size.
+
+Paper: on a 4-dimensional anti-correlated dataset, (a) more training
+utility vectors let both EA and AA reach the threshold in fewer rounds;
+(b) a larger restricted action space ``m_h`` hurts AA (harder RL
+exploration) while EA is comparatively insensitive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import _common as C
+from repro.core import AAConfig, EAConfig, train_aa, train_ea
+from repro.data.utility import sample_training_utilities
+from repro.eval.runner import evaluate_algorithm
+from repro.utils.rng import ensure_rng
+
+D = 4
+TRAIN_SIZES = (2_500, 5_000, 10_000) if C.PAPER_SCALE else (5, 15, 40)
+ACTION_SIZES = (2, 5, 10, 20) if C.PAPER_SCALE else (2, 5, 15)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    ds = C.anti_dataset(C.SYNTH_N, D)
+    C.register_dataset("fig6", ds)
+    return ds
+
+
+def _evaluate(agent, dataset, epsilon=0.1):
+    test = sample_training_utilities(D, C.TEST_USERS, rng=C.BENCH_SEED + 77)
+    seed_rng = ensure_rng(C.BENCH_SEED + 78)
+    return evaluate_algorithm(
+        lambda: agent.new_session(rng=int(seed_rng.integers(2**62))),
+        dataset,
+        test,
+        name="agent",
+    )
+
+
+def test_fig6a_training_size(dataset, benchmark):
+    """Rounds vs. training-set size for EA and AA."""
+    rows = []
+    rounds: dict[tuple[str, int], float] = {}
+    for size in TRAIN_SIZES:
+        train = sample_training_utilities(D, size, rng=C.BENCH_SEED + 5)
+        ea = train_ea(
+            dataset, train, config=EAConfig(epsilon=0.1),
+            rng=C.BENCH_SEED + 6, updates_per_episode=6,
+        )
+        aa = train_aa(
+            dataset, train, config=AAConfig(epsilon=0.1),
+            rng=C.BENCH_SEED + 7, updates_per_episode=4,
+        )
+        for name, agent in (("EA", ea), ("AA", aa)):
+            summary = _evaluate(agent, dataset)
+            rows.append([name, size, summary.rounds_mean, summary.regret_mean])
+            rounds[(name, size)] = summary.rounds_mean
+    C.report(
+        "Fig6a rounds-vs-training-size",
+        ["method", "train size", "rounds", "regret"],
+        rows,
+    )
+    # Shape: more training does not make either agent substantially worse.
+    for name in ("EA", "AA"):
+        assert rounds[(name, TRAIN_SIZES[-1])] <= rounds[(name, TRAIN_SIZES[0])] + 2.0
+    benchmark.pedantic(
+        lambda: train_ea(
+            dataset,
+            sample_training_utilities(D, 3, rng=0),
+            config=EAConfig(epsilon=0.1),
+            rng=1,
+            updates_per_episode=1,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig6b_action_space(dataset, benchmark):
+    """Rounds vs. action-space size m_h for EA and AA."""
+    train = sample_training_utilities(
+        D, TRAIN_SIZES[-1], rng=C.BENCH_SEED + 8
+    )
+    rows = []
+    rounds: dict[tuple[str, int], float] = {}
+    for m_h in ACTION_SIZES:
+        ea = train_ea(
+            dataset, train, config=EAConfig(epsilon=0.1, m_h=m_h),
+            rng=C.BENCH_SEED + 9, updates_per_episode=6,
+        )
+        aa = train_aa(
+            dataset, train, config=AAConfig(epsilon=0.1, m_h=m_h),
+            rng=C.BENCH_SEED + 10, updates_per_episode=4,
+        )
+        for name, agent in (("EA", ea), ("AA", aa)):
+            summary = _evaluate(agent, dataset)
+            rows.append([name, m_h, summary.rounds_mean, summary.regret_mean])
+            rounds[(name, m_h)] = summary.rounds_mean
+    C.report(
+        "Fig6b rounds-vs-action-space",
+        ["method", "m_h", "rounds", "regret"],
+        rows,
+    )
+    # Shape (paper): EA is less sensitive to m_h than AA.
+    ea_spread = max(
+        rounds[("EA", m)] for m in ACTION_SIZES
+    ) - min(rounds[("EA", m)] for m in ACTION_SIZES)
+    aa_spread = max(
+        rounds[("AA", m)] for m in ACTION_SIZES
+    ) - min(rounds[("AA", m)] for m in ACTION_SIZES)
+    assert ea_spread <= aa_spread + 3.0
+    benchmark.pedantic(
+        C.one_session_runner("EA", dataset, "fig6", 0.1),
+        rounds=2,
+        iterations=1,
+    )

@@ -1,0 +1,87 @@
+"""Figure 9 — varying the regret threshold on the 4-dimensional dataset.
+
+Paper panels: (a) number of interactive rounds, (b) execution time,
+(c) actual regret ratio — all versus eps in [0.05, 0.25], for EA, AA,
+UH-Random, UH-Simplex and SinglePass.  Headline shapes: the RL methods
+need the fewest rounds, exploit larger eps (fewer rounds as eps grows),
+and every method's returned point satisfies the threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import _common as C
+
+D = 4
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    ds = C.anti_dataset(C.SYNTH_N, D)
+    C.register_dataset("fig9", ds)
+    return ds
+
+
+@pytest.fixture(scope="module")
+def sweep(dataset):
+    results = {}
+    for epsilon in C.EPSILONS:
+        for method in C.LOW_D_METHODS:
+            results[(method, epsilon)] = C.evaluate_cell(
+                method, dataset, "fig9", epsilon, C.TEST_USERS
+            )
+    return results
+
+
+def test_fig9_table(dataset, sweep, benchmark):
+    rows = [
+        [
+            method,
+            epsilon,
+            summary.rounds_mean,
+            summary.seconds_mean,
+            summary.regret_mean,
+            summary.regret_max,
+        ]
+        for (method, epsilon), summary in sweep.items()
+    ]
+    C.report(
+        "Fig9 vary-eps-d4 (rounds / seconds / regret)",
+        ["method", "epsilon", "rounds", "seconds", "regret", "regret max"],
+        rows,
+    )
+    benchmark.pedantic(
+        C.one_session_runner("EA", dataset, "fig9", 0.1), rounds=2, iterations=1
+    )
+
+
+def test_fig9a_rl_needs_fewest_rounds(sweep, benchmark):
+    """EA beats the random SOTA baseline at every threshold."""
+    for epsilon in C.EPSILONS:
+        ea = sweep[("EA", epsilon)].rounds_mean
+        uh_random = sweep[("UH-Random", epsilon)].rounds_mean
+        single_pass = sweep[("SinglePass", epsilon)].rounds_mean
+        assert ea <= uh_random + 1.0, f"EA lost to UH-Random at eps={epsilon}"
+        assert ea <= single_pass, f"EA lost to SinglePass at eps={epsilon}"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig9b_rl_exploits_loose_thresholds(sweep, benchmark):
+    """EA and AA need fewer rounds at eps = 0.25 than at eps = 0.05."""
+    for method in ("EA", "AA"):
+        tight = sweep[(method, 0.05)].rounds_mean
+        loose = sweep[(method, 0.25)].rounds_mean
+        assert loose <= tight, f"{method} did not exploit the loose threshold"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig9c_all_methods_meet_threshold(sweep, benchmark):
+    """Actual regret of the returned point stays below the threshold."""
+    for (method, epsilon), summary in sweep.items():
+        slack = 1e-6
+        assert summary.regret_max <= epsilon + slack, (
+            f"{method} exceeded eps={epsilon}: {summary.regret_max:.4f}"
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,76 @@
+"""Figure 12 — varying the dataset size on the 20-dimensional dataset.
+
+Paper: AA's execution time grows only mildly with n (1.6s -> 2.9s from
+10k to 1M) while SinglePass grows from 16.7s to 480.6s; AA needs far
+fewer rounds at every size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import _common as C
+
+D = 20
+SIZES = (10_000, 100_000, 1_000_000) if C.PAPER_SCALE else (400, 800, 1_600)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for n in SIZES:
+        dataset = C.anti_dataset(n, D)
+        key = C.register_dataset(f"fig12-n{n}", dataset)
+        for method in C.HIGH_D_METHODS:
+            results[(method, n)] = C.evaluate_cell(
+                method, dataset, key, 0.15, C.HIGHD_TEST_USERS
+            )
+    return results
+
+
+def test_fig12_table(sweep, benchmark):
+    rows = [
+        [
+            method,
+            n,
+            summary.rounds_mean,
+            summary.seconds_mean,
+            summary.regret_mean,
+        ]
+        for (method, n), summary in sweep.items()
+    ]
+    C.report(
+        "Fig12 vary-n-d20 (rounds / seconds / regret)",
+        ["method", "n", "rounds", "seconds", "regret"],
+        rows,
+    )
+    dataset = C.anti_dataset(SIZES[0], D)
+    benchmark.pedantic(
+        C.one_session_runner("AA", dataset, f"fig12-n{SIZES[0]}", 0.15),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig12a_aa_fewer_rounds_at_every_size(sweep, benchmark):
+    for n in SIZES:
+        aa = sweep[("AA", n)].rounds_mean
+        single_pass = sweep[("SinglePass", n)].rounds_mean
+        assert aa * 3 <= single_pass, f"AA not clearly ahead at n={n}"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig12b_single_pass_rounds_grow_with_n(sweep, benchmark):
+    """SinglePass scans the stream, so questions grow with dataset size."""
+    small = sweep[("SinglePass", SIZES[0])].rounds_mean
+    large = sweep[("SinglePass", SIZES[-1])].rounds_mean
+    assert large >= small
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig12c_aa_rounds_stay_flat_with_n(sweep, benchmark):
+    small = sweep[("AA", SIZES[0])].rounds_mean
+    large = sweep[("AA", SIZES[-1])].rounds_mean
+    assert large <= small + 15.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

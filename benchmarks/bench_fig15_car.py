@@ -1,0 +1,71 @@
+"""Figure 15 — varying the regret threshold on the *Car* dataset.
+
+Paper: EA consistently needs the fewest rounds (3.0 at eps = 0.2 vs 13
+for UH-Random — a 77% reduction).  The offline stand-in preserves the
+dataset's shape (10,668 cars, 3 anti-correlated attributes, small
+skyline); see DESIGN.md "Substitutions".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import _common as C
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    ds = C.car_dataset()
+    return ds
+
+
+@pytest.fixture(scope="module")
+def sweep(dataset):
+    results = {}
+    for epsilon in C.EPSILONS:
+        for method in C.LOW_D_METHODS:
+            results[(method, epsilon)] = C.evaluate_cell(
+                method, dataset, "car", epsilon, C.TEST_USERS
+            )
+    return results
+
+
+def test_fig15_table(dataset, sweep, benchmark):
+    rows = [
+        [
+            method,
+            epsilon,
+            summary.rounds_mean,
+            summary.seconds_mean,
+            summary.regret_mean,
+        ]
+        for (method, epsilon), summary in sweep.items()
+    ]
+    C.report(
+        "Fig15 car vary-eps (rounds / seconds / regret)",
+        ["method", "epsilon", "rounds", "seconds", "regret"],
+        rows,
+        notes=f"(Car stand-in: n={dataset.n} skyline points, d=3)",
+    )
+    benchmark.pedantic(
+        C.one_session_runner("EA", dataset, "car", 0.1), rounds=2, iterations=1
+    )
+
+
+def test_fig15a_ea_needs_fewest_rounds(sweep, benchmark):
+    """EA ahead of UH-Random aggregated over thresholds."""
+    ea = np.mean([sweep[("EA", e)].rounds_mean for e in C.EPSILONS])
+    uh_random = np.mean(
+        [sweep[("UH-Random", e)].rounds_mean for e in C.EPSILONS]
+    )
+    assert ea <= uh_random + 1.0, "EA lost to UH-Random on average"
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_fig15b_threshold_met(sweep, benchmark):
+    for (method, epsilon), summary in sweep.items():
+        assert summary.regret_max <= epsilon + 1e-6, (
+            f"{method} exceeded eps={epsilon}"
+        )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the geometric primitives.
+
+Not a paper figure.  These time the building blocks that dominate the
+algorithms' execution time, so performance regressions in the substrate
+are caught independently of end-to-end session times:
+
+* polytope vertex enumeration (EA, UH-*: once per round),
+* Chebyshev centre LP (every polytope operation),
+* hit-and-run sampling (EA's anchor discovery),
+* minimum enclosing sphere (EA's state encoding),
+* ambient inner sphere + bounds (AA: once per round),
+* skyline preprocessing (dataset construction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import _common as C
+from repro.data.skyline import skyline_indices
+from repro.data.synthetic import anti_correlated
+from repro.geometry import lp
+from repro.geometry.hyperplane import preference_halfspace
+from repro.geometry.polytope import UtilityPolytope
+from repro.geometry.sphere import minimum_enclosing_sphere
+
+
+def _narrowed_polytope(d: int, answers: int, seed: int = 0) -> UtilityPolytope:
+    """A realistic mid-session utility range."""
+    rng = np.random.default_rng(seed)
+    poly = UtilityPolytope.simplex(d)
+    for _ in range(answers):
+        a, b = rng.uniform(0.05, 1.0, size=(2, d))
+        if np.allclose(a, b):
+            continue
+        candidate = poly.with_halfspace(preference_halfspace(a, b))
+        if not candidate.is_empty():
+            poly = candidate
+    return poly
+
+
+@pytest.fixture(scope="module")
+def mid_session_polytope():
+    return _narrowed_polytope(4, answers=6)
+
+
+def test_micro_vertex_enumeration(mid_session_polytope, benchmark):
+    poly = mid_session_polytope
+
+    def enumerate_vertices():
+        # Rebuild to bypass the instance cache; this is the real per-round
+        # cost an algorithm pays.
+        fresh = UtilityPolytope(*poly.constraints, poly.dimension)
+        return fresh.vertices()
+
+    vertices = benchmark(enumerate_vertices)
+    assert vertices.shape[1] == 4
+
+
+def test_micro_chebyshev_center(mid_session_polytope, benchmark):
+    poly = mid_session_polytope
+
+    def chebyshev():
+        fresh = UtilityPolytope(*poly.constraints, poly.dimension)
+        return fresh.chebyshev_center()
+
+    center, radius = benchmark(chebyshev)
+    assert radius >= 0
+
+
+def test_micro_hit_and_run(mid_session_polytope, benchmark):
+    poly = mid_session_polytope
+    samples = benchmark(lambda: poly.sample(64, rng=0))
+    assert samples.shape == (64, 4)
+
+
+def test_micro_enclosing_sphere(mid_session_polytope, benchmark):
+    vertices = mid_session_polytope.vertices()
+    sphere = benchmark(lambda: minimum_enclosing_sphere(vertices, rng=0))
+    assert sphere.radius > 0
+
+
+def test_micro_ambient_inner_sphere(benchmark):
+    d = 20
+    rng = np.random.default_rng(1)
+    spaces = [
+        preference_halfspace(*rng.uniform(0.05, 1.0, size=(2, d)))
+        for _ in range(15)
+    ]
+    center, radius = benchmark(lambda: lp.ambient_inner_sphere(spaces, d))
+    assert radius >= 0
+
+
+def test_micro_ambient_bounds(benchmark):
+    d = 20
+    rng = np.random.default_rng(2)
+    spaces = [
+        preference_halfspace(*rng.uniform(0.05, 1.0, size=(2, d)))
+        for _ in range(15)
+    ]
+    e_min, e_max = benchmark(lambda: lp.ambient_bounds(spaces, d))
+    assert np.all(e_max >= e_min - 1e-9)
+
+
+def test_micro_skyline(benchmark):
+    points = anti_correlated(5_000, 4, rng=3)
+    indices = benchmark(lambda: skyline_indices(points))
+    assert indices.shape[0] > 0

@@ -1,0 +1,82 @@
+"""Answer the questions yourself: a human-in-the-loop CLI session.
+
+Run with::
+
+    python examples/interactive_cli.py            # you answer the questions
+    python examples/interactive_cli.py --auto     # a simulated user answers
+
+The agent shows two cars at a time; type ``1`` or ``2`` for the one you
+prefer.  After a handful of questions it returns the car that best fits
+the preferences implied by your answers — without you ever having to
+write down attribute weights.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import (
+    EAConfig,
+    OracleUser,
+    load_car,
+    run_session,
+    sample_training_utilities,
+    train_ea,
+)
+
+
+def render(dataset, index: int) -> str:
+    values = dataset.points[index]
+    parts = [
+        f"{name}: {'#' * int(round(10 * value))}{'.' * (10 - int(round(10 * value)))} {value:.2f}"
+        for name, value in zip(dataset.attribute_names, values)
+    ]
+    return "\n     ".join(parts)
+
+
+def ask_human(question, dataset) -> bool:
+    print(f"\nCar A (#{question.index_i})\n     {render(dataset, question.index_i)}")
+    print(f"Car B (#{question.index_j})\n     {render(dataset, question.index_j)}")
+    while True:
+        reply = input("Which do you prefer? [1 = A, 2 = B] ").strip()
+        if reply in ("1", "2"):
+            return reply == "1"
+        print("please type 1 or 2")
+
+
+def main() -> None:
+    auto = "--auto" in sys.argv
+    dataset = load_car()
+    print(f"Searching {dataset.n} skyline cars (of 10,668) ...")
+    print("training the interactive agent (one-time, ~10s) ...")
+    agent = train_ea(
+        dataset,
+        sample_training_utilities(3, 60, rng=1),
+        config=EAConfig(epsilon=0.1),
+        rng=2,
+        updates_per_episode=6,
+    )
+
+    session = agent.new_session(rng=3)
+    if auto:
+        user = OracleUser(np.array([0.5, 0.2, 0.3]))
+        result = run_session(session, user)
+        print(f"\n[auto] answered {result.rounds} questions")
+        index = result.recommendation_index
+    else:
+        while not session.finished:
+            question = session.next_question()
+            session.observe(ask_human(question, dataset))
+        index = session.recommend()
+
+    print(f"\nYour car: #{index}\n     {render(dataset, index)}")
+    print(
+        "\n(bars show normalised attributes; price and mileage are"
+        " inverted, so longer bars always mean better)"
+    )
+
+
+if __name__ == "__main__":
+    main()

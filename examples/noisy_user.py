@@ -1,0 +1,89 @@
+"""Noisy users: the paper's future-work scenario, exercised today.
+
+Run with::
+
+    python examples/noisy_user.py
+
+The paper assumes truthful answers and names user mistakes as future
+work.  This implementation already degrades gracefully: contradictory
+answers are dropped (AA) or end the session with the best point found so
+far (EA).  The script sweeps the error rate and reports how the returned
+regret degrades for both RL algorithms.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    AAConfig,
+    EAConfig,
+    NoisyUser,
+    regret_ratio,
+    run_session,
+    sample_training_utilities,
+    synthetic_dataset,
+    train_aa,
+    train_ea,
+)
+from repro.eval.reporting import format_table
+
+
+def main() -> None:
+    dataset = synthetic_dataset("anti", 2_000, 3, rng=0)
+    print(f"dataset: {dataset}")
+
+    train = sample_training_utilities(3, 50, rng=1)
+    ea = train_ea(dataset, train, config=EAConfig(epsilon=0.1), rng=2,
+                  updates_per_episode=5)
+    aa = train_aa(dataset, train, config=AAConfig(epsilon=0.1), rng=3,
+                  updates_per_episode=5)
+
+    users_per_cell = 8
+    rows = []
+    for error_rate in (0.0, 0.05, 0.15, 0.3):
+        for name, factory in (("EA", ea.new_session), ("AA", aa.new_session)):
+            rounds, regrets = [], []
+            for seed in range(users_per_cell):
+                utility = np.random.default_rng(100 + seed).dirichlet(
+                    np.ones(3)
+                )
+                user = NoisyUser(
+                    utility,
+                    error_rate=error_rate,
+                    temperature=0.05,
+                    rng=seed,
+                )
+                result = run_session(
+                    factory(rng=seed), user, max_rounds=200
+                )
+                rounds.append(result.rounds)
+                regrets.append(
+                    regret_ratio(dataset.points, result.recommendation, utility)
+                )
+            rows.append(
+                [
+                    name,
+                    error_rate,
+                    float(np.mean(rounds)),
+                    float(np.mean(regrets)),
+                    float(np.max(regrets)),
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["method", "error rate", "rounds", "mean regret", "max regret"],
+            rows,
+            title="Robustness to answer noise (eps = 0.1)",
+        )
+    )
+    print(
+        "\nWith noiseless answers both methods stay below the threshold;"
+        "\nas mistakes become common the regret degrades smoothly rather"
+        "\nthan the algorithms crashing on contradictory constraints."
+    )
+
+
+if __name__ == "__main__":
+    main()

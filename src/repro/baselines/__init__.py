@@ -1,0 +1,37 @@
+"""Baseline interactive algorithms the paper compares against.
+
+* :class:`~repro.baselines.uh_random.UHRandomSession` — UH-Random
+  (Xie, Wong, Lall; SIGMOD 2019): random candidate pairs, polytope
+  maintenance.  The paper's designated state of the art.
+* :class:`~repro.baselines.uh_simplex.UHSimplexSession` — UH-Simplex
+  (same paper): greedy pair selection over hull-extreme candidates.
+* :class:`~repro.baselines.single_pass.SinglePassSession` — SinglePass
+  (Zhang, Tatti, Gionis; KDD 2023): a streaming champion scan with
+  provably few comparisons, the only baseline viable in high dimensions.
+* :class:`~repro.baselines.utility_approx.UtilityApproxSession` —
+  UtilityApprox (Nanongkai et al.; SIGMOD 2012): binary search with
+  artificial (fake) tuples; included as the historical baseline discussed
+  in Section II.
+* :class:`~repro.baselines.adaptive.AdaptiveSession` — Adaptive (Qian et
+  al.; VLDB 2015): localises the utility *vector* rather than the best
+  tuple, asking more questions than the regret task requires (the
+  Section II critique).
+
+All baselines implement the same
+:class:`~repro.core.session.InteractiveAlgorithm` protocol as EA and AA,
+so one session runner and one evaluation harness cover every method.
+"""
+
+from repro.baselines.adaptive import AdaptiveSession
+from repro.baselines.single_pass import SinglePassSession
+from repro.baselines.uh_random import UHRandomSession
+from repro.baselines.uh_simplex import UHSimplexSession
+from repro.baselines.utility_approx import UtilityApproxSession
+
+__all__ = [
+    "AdaptiveSession",
+    "SinglePassSession",
+    "UHRandomSession",
+    "UHSimplexSession",
+    "UtilityApproxSession",
+]

@@ -1,0 +1,151 @@
+"""Adaptive (Qian, Gao, Jagadish; VLDB 2015) — preference-learning baseline.
+
+Section II of the paper discusses this algorithm's philosophy: it learns
+the user's *utility vector itself* through adaptive pairwise comparisons,
+rather than targeting the regret of a returned tuple.  The consequence
+the paper points out — and which this implementation reproduces — is
+*unnecessary questions*: localising the whole utility vector to high
+precision costs far more comparisons than certifying that some tuple is
+within ``eps`` of optimal.
+
+Implementation: half-spaces are accumulated as usual; each round asks the
+pair of (random candidate) points whose separating hyper-plane passes
+closest to the centre of the remaining utility range — the classic
+uncertainty-bisection rule of adaptive preference learning.  The session
+stops only once the utility vector is localised: the outer rectangle of
+the range must satisfy ``||e_max - e_min|| <= eps`` (a factor
+``2 sqrt(d)`` stricter than algorithm AA's stopping rule, because the
+goal is the vector, not the tuple).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.session import InteractiveAlgorithm, Question
+from repro.data.datasets import Dataset
+from repro.errors import ConfigurationError
+from repro.geometry import lp
+from repro.geometry.hyperplane import PreferenceHalfspace, preference_halfspace
+from repro.geometry.vectors import top_point_index
+from repro.utils.rng import RngLike, ensure_rng
+
+_SPLIT_TOL = 1e-7
+_CANDIDATE_POOL = 96
+
+
+class AdaptiveSession(InteractiveAlgorithm):
+    """One interactive session of the Adaptive preference learner."""
+
+    name = "Adaptive"
+
+    def __init__(
+        self, dataset: Dataset, epsilon: float = 0.1, rng: RngLike = None
+    ) -> None:
+        super().__init__(dataset)
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        self.epsilon = epsilon
+        self._rng = ensure_rng(rng)
+        self._halfspaces: list[PreferenceHalfspace] = []
+        self._asked: set[tuple[int, int]] = set()
+        d = dataset.dimension
+        self._e_min = np.zeros(d)
+        self._e_max = np.ones(d)
+        self._center = np.full(d, 1.0 / d)
+        self._no_progress = False
+        self._refresh()
+
+    # -- InteractiveAlgorithm hooks ---------------------------------------------
+
+    def _propose(self) -> Question:
+        pair = self._select_pair()
+        return self.question_for(*pair)
+
+    def _update(self, question: Question, prefers_first: bool) -> None:
+        winner, loser = (
+            (question.index_i, question.index_j)
+            if prefers_first
+            else (question.index_j, question.index_i)
+        )
+        halfspace = preference_halfspace(
+            self.dataset.points[winner],
+            self.dataset.points[loser],
+            winner_index=winner,
+            loser_index=loser,
+        )
+        candidate = self._halfspaces + [halfspace]
+        if lp.ambient_is_feasible(candidate, self.dataset.dimension):
+            self._halfspaces = candidate
+        self._asked.add(
+            (min(question.index_i, question.index_j),
+             max(question.index_i, question.index_j))
+        )
+        self._refresh()
+
+    def _finished(self) -> bool:
+        width = float(np.linalg.norm(self._e_max - self._e_min))
+        return width <= self.epsilon or self._no_progress
+
+    def recommend(self) -> int:
+        return top_point_index(self.dataset.points, self.estimated_utility())
+
+    # -- internals ---------------------------------------------------------------
+
+    def estimated_utility(self) -> np.ndarray:
+        """The learned utility vector (the algorithm's actual target)."""
+        midpoint = 0.5 * (self._e_min + self._e_max)
+        total = float(midpoint.sum())
+        if total <= 0:
+            return np.full(self.dataset.dimension, 1.0 / self.dataset.dimension)
+        return midpoint / total
+
+    @property
+    def halfspaces(self) -> tuple:
+        """Half-spaces learned so far (read-only view for tests/metrics)."""
+        return tuple(self._halfspaces)
+
+    def _refresh(self) -> None:
+        d = self.dataset.dimension
+        self._e_min, self._e_max = lp.ambient_bounds(self._halfspaces, d)
+        center, _ = lp.ambient_inner_sphere(self._halfspaces, d)
+        self._center = center
+
+    def _select_pair(self) -> tuple[int, int]:
+        """Random-pool pair whose plane bisects the remaining range."""
+        points = self.dataset.points
+        n = self.dataset.n
+        d = self.dataset.dimension
+        best_pair: tuple[int, int] | None = None
+        best_distance = np.inf
+        for _ in range(_CANDIDATE_POOL):
+            i, j = self._rng.integers(0, n, size=2)
+            i, j = int(min(i, j)), int(max(i, j))
+            if i == j or (i, j) in self._asked:
+                continue
+            normal = points[i] - points[j]
+            norm = float(np.linalg.norm(normal))
+            if norm < 1e-12:
+                continue
+            distance = abs(float(self._center @ normal)) / norm
+            if distance >= best_distance:
+                continue
+            if lp.ambient_split_margin(self._halfspaces, d, normal) <= _SPLIT_TOL:
+                continue
+            if lp.ambient_split_margin(self._halfspaces, d, -normal) <= _SPLIT_TOL:
+                continue
+            best_distance = distance
+            best_pair = (i, j)
+        if best_pair is None:
+            # No informative pair remains: the dataset cannot localise the
+            # vector further; answer one final (possibly redundant)
+            # question and stop.
+            self._no_progress = True
+            for _ in range(20):
+                i, j = self._rng.choice(n, size=2, replace=False)
+                if not np.allclose(points[int(i)], points[int(j)]):
+                    return int(i), int(j)
+            raise ConfigurationError(
+                "dataset appears to consist of duplicated points"
+            )
+        return best_pair

@@ -1,0 +1,173 @@
+"""Shared machinery of the UH-family baselines (Xie et al., SIGMOD 2019).
+
+Both UH-Random and UH-Simplex maintain:
+
+* the utility range ``R`` as an explicit polytope, intersected with one
+  half-space per answer; and
+* a *candidate set* ``C`` of points that can still be top-1 for some
+  utility vector in ``R``.
+
+Candidate pruning exploits linearity: point ``p_j`` can be discarded when
+some other candidate beats it at every extreme vector of ``R`` (then it is
+beaten on all of ``R`` and can never be the favourite).  The stopping
+condition is the same epsilon-domination test EA uses (a point whose
+regret is below ``epsilon`` at every vertex) — both algorithms are exact.
+
+The difference between the two is *question selection only*, expressed by
+overriding :meth:`UHBaseSession._select_pair`.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core import terminal
+from repro.core.session import InteractiveAlgorithm, Question
+from repro.data.datasets import Dataset
+from repro.errors import (
+    ConfigurationError,
+    EmptyRegionError,
+    VertexEnumerationError,
+)
+from repro.geometry.hyperplane import preference_halfspace
+from repro.geometry.polytope import UtilityPolytope
+from repro.geometry.vectors import top_point_index
+from repro.utils.rng import RngLike, ensure_rng
+
+#: The paper caps polytope-based methods at 10 attributes.
+MAX_UH_DIMENSION = 10
+#: Prune redundant constraints when the H-system grows beyond this.
+_PRUNE_ABOVE = 24
+
+
+class UHBaseSession(InteractiveAlgorithm):
+    """Polytope + candidate-set skeleton shared by UH-Random/UH-Simplex."""
+
+    def __init__(
+        self, dataset: Dataset, epsilon: float = 0.1, rng: RngLike = None
+    ) -> None:
+        super().__init__(dataset)
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        if dataset.dimension > MAX_UH_DIMENSION:
+            raise ConfigurationError(
+                f"UH algorithms maintain explicit polytopes and support at "
+                f"most {MAX_UH_DIMENSION} attributes; got {dataset.dimension}"
+            )
+        self.epsilon = epsilon
+        self._rng = ensure_rng(rng)
+        self._polytope = UtilityPolytope.simplex(dataset.dimension)
+        self._candidates = np.arange(dataset.n)
+        self._recommendation: int | None = None
+        self._refresh()
+
+    # -- InteractiveAlgorithm hooks ---------------------------------------------
+
+    def _propose(self) -> Question:
+        index_i, index_j = self._select_pair()
+        return self.question_for(index_i, index_j)
+
+    def _update(self, question: Question, prefers_first: bool) -> None:
+        winner, loser = (
+            (question.index_i, question.index_j)
+            if prefers_first
+            else (question.index_j, question.index_i)
+        )
+        halfspace = preference_halfspace(
+            self.dataset.points[winner],
+            self.dataset.points[loser],
+            winner_index=winner,
+            loser_index=loser,
+        )
+        narrowed = self._polytope.with_halfspace(halfspace)
+        if narrowed.is_empty():
+            # Contradictory (noisy) answer; keep the last consistent range.
+            self._recommendation = self._fallback_recommendation()
+            return
+        if narrowed.n_constraints > _PRUNE_ABOVE:
+            narrowed = narrowed.pruned()
+        self._polytope = narrowed
+        self._refresh()
+
+    def _finished(self) -> bool:
+        return self._recommendation is not None
+
+    def recommend(self) -> int:
+        if self._recommendation is not None:
+            return self._recommendation
+        return self._fallback_recommendation()
+
+    # -- question selection (subclass hook) --------------------------------------
+
+    @abc.abstractmethod
+    def _select_pair(self) -> tuple[int, int]:
+        """Choose the next pair of candidate indices to compare."""
+
+    # -- shared internals ----------------------------------------------------------
+
+    @property
+    def candidates(self) -> np.ndarray:
+        """Dataset indices that may still be the user's favourite."""
+        return self._candidates.copy()
+
+    @property
+    def polytope(self) -> UtilityPolytope:
+        """The current utility range."""
+        return self._polytope
+
+    @property
+    def halfspaces(self) -> tuple:
+        """Half-spaces learned so far (read-only view for tests/metrics)."""
+        return self._polytope.halfspaces
+
+    def _refresh(self) -> None:
+        """Recompute vertices, prune candidates, evaluate stopping rule."""
+        try:
+            vertices = self._polytope.vertices()
+        except (EmptyRegionError, VertexEnumerationError):
+            self._recommendation = self._fallback_recommendation()
+            return
+        self._vertices = vertices
+        self._prune_candidates(vertices)
+        if self._candidates.shape[0] == 1:
+            self._recommendation = int(self._candidates[0])
+            return
+        anchor = terminal.terminal_anchor(
+            self.dataset.points[self._candidates], vertices, self.epsilon
+        )
+        if anchor is not None:
+            self._recommendation = int(self._candidates[anchor])
+
+    def _prune_candidates(self, vertices: np.ndarray) -> None:
+        """Drop candidates beaten everywhere on ``R`` by a single witness.
+
+        ``u . p_w >= u . p_j`` is linear in ``u``, so if witness ``p_w``
+        beats ``p_j`` at every extreme vector of ``R`` it beats it on all
+        of ``R`` and ``p_j`` can never be the favourite.  Only the
+        per-vertex winners are tried as witnesses: the check stays sound
+        (every prune has an explicit dominator) and costs
+        ``O(m_vertices * |C| * #witnesses)`` instead of ``O(|C|^2)``.
+        """
+        points = self.dataset.points[self._candidates]
+        scores = vertices @ points.T  # (m_vertices, n_candidates)
+        witnesses = np.unique(np.argmax(scores, axis=1))
+        keep = np.ones(scores.shape[1], dtype=bool)
+        for witness in witnesses:
+            dominated = np.all(
+                scores <= scores[:, [witness]] + 1e-12, axis=0
+            )
+            dominated[witness] = False
+            keep &= ~dominated
+        self._candidates = self._candidates[keep]
+
+    def _fallback_recommendation(self) -> int:
+        """Best point w.r.t. the Chebyshev centre of the current range."""
+        try:
+            center, _ = self._polytope.chebyshev_center()
+        except EmptyRegionError:
+            center = np.full(
+                self.dataset.dimension, 1.0 / self.dataset.dimension
+            )
+        return top_point_index(self.dataset.points, center)

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``      Describe a dataset (built-in name or CSV file): size,
+              dimensionality, skyline fraction.
+``train``     Train an EA or AA agent on a dataset and save it to disk.
+``search``    Load a trained agent and answer one simulated query,
+              printing the transcript (or run interactively with
+              ``--interactive``).
+``compare``   Run the method comparison of the paper's evaluation on a
+              dataset and print the table.
+
+Examples
+--------
+::
+
+    python -m repro info car
+    python -m repro train --algorithm EA --dataset car --out car_ea.npz
+    python -m repro search car_ea.npz --seed 7
+    python -m repro compare --dataset anti:2000:3 --epsilon 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import AAConfig, EAConfig, run_session, train_aa, train_ea
+from repro.data import load_car, load_player, synthetic_dataset
+from repro.data.io import load_csv
+from repro.data.summary import summarize
+from repro.data.utility import sample_training_utilities
+from repro.errors import ReproError
+from repro.eval.experiments import (
+    RESULT_HEADERS,
+    applicable_methods,
+    compare_methods,
+    current_scale,
+)
+from repro.eval.reporting import format_table
+from repro.geometry.vectors import regret_ratio
+from repro.rl.serialization import load_agent, save_agent
+from repro.users import OracleUser
+
+
+def _resolve_dataset(spec: str):
+    """Dataset from a spec: ``car``, ``player``, ``anti:N:D`` or a CSV path."""
+    if spec == "car":
+        return load_car()
+    if spec == "player":
+        return load_player()
+    for kind in ("anti", "corr", "indep"):
+        if spec.startswith(f"{kind}:"):
+            parts = spec.split(":")
+            if len(parts) != 3:
+                raise ReproError(
+                    f"synthetic spec must be {kind}:N:D, got {spec!r}"
+                )
+            return synthetic_dataset(kind, int(parts[1]), int(parts[2]), rng=0)
+    path = Path(spec)
+    if path.exists():
+        return load_csv(path)
+    raise ReproError(
+        f"unknown dataset {spec!r}: expected car, player, "
+        f"anti:N:D / corr:N:D / indep:N:D, or a CSV path"
+    )
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args.dataset)
+    summary = summarize(dataset)
+    for line in summary.lines():
+        print(line)
+    print(f"attribute names: {', '.join(dataset.attribute_names)}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args.dataset)
+    utilities = sample_training_utilities(
+        dataset.dimension, args.episodes, rng=args.seed
+    )
+    print(
+        f"training {args.algorithm} on {dataset.name} "
+        f"({args.episodes} episodes, eps={args.epsilon}) ..."
+    )
+    if args.algorithm == "EA":
+        agent = train_ea(
+            dataset, utilities, config=EAConfig(epsilon=args.epsilon),
+            rng=args.seed + 1, updates_per_episode=args.updates,
+        )
+    else:
+        agent = train_aa(
+            dataset, utilities, config=AAConfig(epsilon=args.epsilon),
+            rng=args.seed + 1, updates_per_episode=args.updates,
+        )
+    written = save_agent(agent, args.out)
+    log = agent.training_log
+    print(
+        f"done: mean rounds over last 20 episodes = {log.mean_rounds(20):.1f}; "
+        f"saved to {written}"
+    )
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    agent = load_agent(args.agent)
+    dataset = agent.dataset
+    session = agent.new_session(rng=args.seed)
+    if args.interactive:
+        while not session.finished:
+            question = session.next_question()
+            print(f"\n[1] {_describe(dataset, question.index_i)}")
+            print(f"[2] {_describe(dataset, question.index_j)}")
+            reply = ""
+            while reply not in ("1", "2"):
+                reply = input("prefer which? [1/2] ").strip()
+            session.observe(reply == "1")
+    else:
+        rng = np.random.default_rng(args.seed)
+        hidden = rng.dirichlet(np.ones(dataset.dimension))
+        user = OracleUser(hidden)
+        result = run_session(session, user)
+        regret = regret_ratio(dataset.points, result.recommendation, hidden)
+        print(
+            f"simulated user answered {result.rounds} questions; "
+            f"regret ratio {regret:.4f}"
+        )
+    index = session.recommend()
+    print(f"recommended: {_describe(dataset, index)}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args.dataset)
+    methods = applicable_methods(dataset.dimension)
+    if args.methods:
+        methods = tuple(args.methods)
+    print(
+        f"comparing {', '.join(methods)} on {dataset.name} "
+        f"(eps={args.epsilon}, scale: {current_scale().label}) ..."
+    )
+    results = compare_methods(
+        dataset, args.epsilon, methods, seed=args.seed
+    )
+    print(format_table(RESULT_HEADERS, [r.row() for r in results]))
+    return 0
+
+
+def _describe(dataset, index: int) -> str:
+    values = dataset.points[index]
+    parts = [
+        f"{name}={value:.2f}"
+        for name, value in zip(dataset.attribute_names, values)
+    ]
+    return f"#{index} ({', '.join(parts)})"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Interactive regret queries with reinforcement learning",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="describe a dataset")
+    info.add_argument("dataset")
+    info.set_defaults(handler=_cmd_info)
+
+    train = commands.add_parser("train", help="train and save an agent")
+    train.add_argument("--algorithm", choices=("EA", "AA"), default="EA")
+    train.add_argument("--dataset", required=True)
+    train.add_argument("--epsilon", type=float, default=0.1)
+    train.add_argument("--episodes", type=int, default=60)
+    train.add_argument("--updates", type=int, default=6)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--out", required=True)
+    train.set_defaults(handler=_cmd_train)
+
+    search = commands.add_parser("search", help="run one query session")
+    search.add_argument("agent", help="path to a saved agent (.npz)")
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--interactive", action="store_true")
+    search.set_defaults(handler=_cmd_search)
+
+    compare = commands.add_parser("compare", help="compare methods")
+    compare.add_argument("--dataset", required=True)
+    compare.add_argument("--epsilon", type=float, default=0.1)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--methods", nargs="*", default=None)
+    compare.set_defaults(handler=_cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

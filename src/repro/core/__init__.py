@@ -1,0 +1,45 @@
+"""The paper's primary contribution: RL-driven interactive regret search.
+
+Layout:
+
+* :mod:`~repro.core.session` — the interaction protocol shared by every
+  algorithm (EA, AA and the baselines): propose a question, observe the
+  answer, repeat until the stopping condition holds.
+* :mod:`~repro.core.terminal` — terminal polyhedra (Lemmas 4 and 6) and
+  the anchor-point set ``P_R`` that restricts EA's action space.
+* :mod:`~repro.core.state_encoding` — EA's fixed-length state vector:
+  greedy max-coverage extreme-vector selection plus the outer sphere.
+* :mod:`~repro.core.environment` — the MDP interface (state, candidate
+  actions, transition, reward) substantiated by EA and AA.
+* :mod:`~repro.core.trainer` — generic DQN training over an interactive
+  environment (Algorithms 1 and 3).
+* :mod:`~repro.core.ea` / :mod:`~repro.core.aa` — the two algorithms.
+"""
+
+from repro.core.aa import AAAgent, AAConfig, AASession, AATrainer, train_aa
+from repro.core.ea import EAAgent, EAConfig, EASession, EATrainer, train_ea
+from repro.core.robust import MajorityVoteSession
+from repro.core.session import (
+    InteractiveAlgorithm,
+    Question,
+    SessionResult,
+    run_session,
+)
+
+__all__ = [
+    "AAAgent",
+    "AAConfig",
+    "AASession",
+    "AATrainer",
+    "train_aa",
+    "EAAgent",
+    "EAConfig",
+    "EASession",
+    "EATrainer",
+    "train_ea",
+    "InteractiveAlgorithm",
+    "MajorityVoteSession",
+    "Question",
+    "SessionResult",
+    "run_session",
+]

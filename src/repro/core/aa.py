@@ -1,0 +1,339 @@
+"""Algorithm AA — the approximate, scalable RL algorithm (Section IV-C).
+
+AA never materialises the utility range.  It keeps only the set ``H`` of
+learned half-spaces and summarises ``R = U ∩ H`` with two LP-computable
+surrogates:
+
+* the **inner sphere** ``(B_c, B_r)`` — the largest ball inscribed in the
+  range (one LP);
+* the **outer rectangle** ``(e_min, e_max)`` — the axis-aligned bounding
+  box (``2d`` LPs).
+
+State = ``[B_c, B_r, e_min, e_max]`` (length ``3d + 1``).  Candidate
+actions are the ``m_h`` pairs whose separating hyper-plane passes closest
+to ``B_c`` — a proxy for "splits R in half" — subject to the LP check
+that *both* sides of the plane intersect ``R`` (Lemma 8 guarantees strict
+narrowing).  The interaction stops once
+``||e_min - e_max|| <= 2 sqrt(d) eps``; the returned point is the best
+w.r.t. the rectangle's midpoint, with regret ratio at most ``d^2 eps``
+(Lemma 9) and empirically below ``eps``.
+
+Candidate generation: the paper ranks "pairs in D" by distance to ``B_c``
+without committing to an enumeration strategy; scanning all ``O(n^2)``
+pairs is infeasible for the paper's dataset sizes.  We rank a *pool*
+consisting of (a) all pairs among the current top-``k`` points w.r.t.
+``B_c`` — the points whose separating planes pass near the centre of the
+remaining range — and (b) uniformly random pairs for coverage.  DESIGN.md
+lists this as the one under-specified implementation detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.environment import EnvObservation, InteractiveEnvironment, RLPolicy
+from repro.core.trainer import TrainingLog, train_agent
+from repro.data.datasets import Dataset
+from repro.errors import ConfigurationError, EmptyRegionError, InteractionError
+from repro.geometry import lp
+from repro.geometry.hyperplane import PreferenceHalfspace, preference_halfspace
+from repro.geometry.vectors import top_point_index
+from repro.rl.dqn import DQNAgent, DQNConfig
+from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
+
+#: Margin an LP optimum must clear to certify a non-empty intersection.
+_SPLIT_TOL = 1e-7
+
+
+@dataclass(frozen=True)
+class AAConfig:
+    """Hyper-parameters of algorithm AA.
+
+    Attributes
+    ----------
+    epsilon:
+        Regret-ratio threshold; the stopping condition is
+        ``||e_min - e_max|| <= 2 sqrt(d) epsilon``.
+    m_h:
+        Size of the restricted action space (paper default 5).
+    top_k:
+        Pairs among the top-``k`` points w.r.t. the inner-sphere centre
+        seed the candidate pool.
+    random_pool:
+        Additional uniformly random pairs added to the pool per round.
+    reward_constant:
+        Terminal reward ``c`` (paper default 100).
+    """
+
+    epsilon: float = 0.1
+    m_h: int = 5
+    top_k: int = 12
+    random_pool: int = 64
+    reward_constant: float = 100.0
+    step_penalty: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon < 1.0:
+            raise ConfigurationError(
+                f"epsilon must be in (0, 1), got {self.epsilon}"
+            )
+        if self.m_h < 1:
+            raise ConfigurationError("m_h must be >= 1")
+        if self.top_k < 2:
+            raise ConfigurationError("top_k must be >= 2")
+        if self.random_pool < 0:
+            raise ConfigurationError("random_pool must be >= 0")
+        if self.reward_constant <= 0:
+            raise ConfigurationError("reward_constant must be > 0")
+        if self.step_penalty < 0:
+            raise ConfigurationError("step_penalty must be >= 0")
+
+
+class AAEnvironment(InteractiveEnvironment):
+    """The AA substantiation of the interaction MDP."""
+
+    def __init__(
+        self, dataset: Dataset, config: AAConfig, rng: RngLike = None
+    ) -> None:
+        super().__init__(dataset)
+        self.config = config
+        self._rng = ensure_rng(rng)
+        self._halfspaces: list[PreferenceHalfspace] = []
+        self._pairs: list[tuple[int, int]] = []
+        self._asked: set[tuple[int, int]] = set()
+        self._midpoint = np.full(dataset.dimension, 1.0 / dataset.dimension)
+        self._terminal = True
+
+    # -- InteractiveEnvironment ------------------------------------------------
+
+    @property
+    def state_dim(self) -> int:
+        return 3 * self.dataset.dimension + 1
+
+    @property
+    def action_dim(self) -> int:
+        return 2 * self.dataset.dimension
+
+    def reset(self) -> EnvObservation:
+        self._halfspaces = []
+        self._asked = set()
+        self._pairs = []
+        return self._observe()
+
+    def step(self, choice: int, prefers_first: bool) -> tuple[EnvObservation, float]:
+        if self._terminal:
+            raise InteractionError("episode already terminal; call reset()")
+        if not 0 <= choice < len(self._pairs):
+            raise ValueError(f"action choice {choice} out of range")
+        index_i, index_j = self._pairs[choice]
+        winner, loser = (index_i, index_j) if prefers_first else (index_j, index_i)
+        points = self.dataset.points
+        halfspace = preference_halfspace(
+            points[winner], points[loser],
+            winner_index=winner, loser_index=loser,
+        )
+        candidate = self._halfspaces + [halfspace]
+        if lp.ambient_is_feasible(candidate, self.dataset.dimension):
+            self._halfspaces = candidate
+        # An infeasible update means the (noisy) answer contradicts earlier
+        # ones; AA drops it and keeps the last consistent half-space set.
+        self._asked.add((min(index_i, index_j), max(index_i, index_j)))
+        observation = self._observe()
+        if observation.terminal:
+            reward = self.config.reward_constant
+        else:
+            reward = -self.config.step_penalty
+        return observation, reward
+
+    def recommend(self) -> int:
+        return top_point_index(self.dataset.points, self._midpoint)
+
+    @property
+    def halfspaces(self) -> tuple[PreferenceHalfspace, ...]:
+        """Learned half-spaces (read-only view for tests/metrics)."""
+        return tuple(self._halfspaces)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _observe(self) -> EnvObservation:
+        d = self.dataset.dimension
+        config = self.config
+        try:
+            center, radius = lp.ambient_inner_sphere(self._halfspaces, d)
+            e_min, e_max = lp.ambient_bounds(self._halfspaces, d)
+        except EmptyRegionError:
+            # Should not happen (step() only keeps feasible sets); degrade
+            # to a terminal observation on the last midpoint.
+            return self._terminal_observation(self._last_state())
+        self._midpoint = 0.5 * (e_min + e_max)
+        state = np.concatenate([center, [radius], e_min, e_max])
+        self._state = state
+        width = float(np.linalg.norm(e_max - e_min))
+        if width <= 2.0 * np.sqrt(d) * config.epsilon:
+            return self._terminal_observation(state)
+        pairs = self._candidate_pairs(center)
+        if not pairs:
+            # No question can narrow the range further; stop rather than
+            # loop (the rectangle criterion may be unreachable when the
+            # dataset offers no separating planes inside R).
+            return self._terminal_observation(state)
+        self._pairs = pairs
+        actions = np.array([self.action_features(i, j) for i, j in pairs])
+        self._terminal = False
+        return EnvObservation(state, actions, pairs, terminal=False)
+
+    def _candidate_pairs(self, center: np.ndarray) -> list[tuple[int, int]]:
+        """Top-``m_h`` centre-near pairs whose plane splits the range."""
+        points = self.dataset.points
+        n = points.shape[0]
+        config = self.config
+        pool = self._pair_pool(center, n)
+        if not pool:
+            return []
+        # Rank by distance from the inner-sphere centre to the plane.
+        scored: list[tuple[float, tuple[int, int]]] = []
+        for i, j in pool:
+            normal = points[i] - points[j]
+            norm = float(np.linalg.norm(normal))
+            if norm < 1e-12:
+                continue
+            distance = abs(float(center @ normal)) / norm
+            scored.append((distance, (i, j)))
+        scored.sort(key=lambda item: item[0])
+        accepted: list[tuple[int, int]] = []
+        d = self.dataset.dimension
+        for _, (i, j) in scored:
+            normal = points[i] - points[j]
+            positive = lp.ambient_split_margin(self._halfspaces, d, normal)
+            if positive <= _SPLIT_TOL:
+                continue
+            negative = lp.ambient_split_margin(self._halfspaces, d, -normal)
+            if negative <= _SPLIT_TOL:
+                continue
+            accepted.append((i, j))
+            if len(accepted) >= config.m_h:
+                break
+        return accepted
+
+    def _pair_pool(self, center: np.ndarray, n: int) -> list[tuple[int, int]]:
+        """Candidate pool: top-k pairs plus random pairs, deduplicated."""
+        config = self.config
+        scores = self.dataset.points @ center
+        k = min(config.top_k, n)
+        top = np.argpartition(-scores, k - 1)[:k]
+        pool: set[tuple[int, int]] = set()
+        for a in range(k):
+            for b in range(a + 1, k):
+                i, j = int(top[a]), int(top[b])
+                pool.add((min(i, j), max(i, j)))
+        for _ in range(config.random_pool):
+            i, j = self._rng.integers(0, n, size=2)
+            if i != j:
+                pool.add((min(int(i), int(j)), max(int(i), int(j))))
+        return [pair for pair in pool if pair not in self._asked]
+
+    def _terminal_observation(self, state: np.ndarray) -> EnvObservation:
+        self._terminal = True
+        self._pairs = []
+        return EnvObservation(state, None, None, terminal=True)
+
+    def _last_state(self) -> np.ndarray:
+        state = getattr(self, "_state", None)
+        if state is None:
+            state = np.zeros(self.state_dim)
+        return state
+
+
+@dataclass
+class AAAgent:
+    """A trained AA policy bound to a dataset."""
+
+    dataset: Dataset
+    config: AAConfig
+    dqn: DQNAgent
+    training_log: TrainingLog = field(default_factory=TrainingLog)
+
+    def new_session(
+        self, rng: RngLike = None, epsilon: float | None = None
+    ) -> "AASession":
+        """A fresh interactive session using the learned Q-function.
+
+        ``epsilon`` overrides the training-time threshold; the stopping
+        condition is evaluated by the environment, so one trained agent
+        serves queries at any threshold.
+        """
+        return AASession(self, rng=rng, epsilon=epsilon)
+
+
+class AASession(RLPolicy):
+    """Algorithm AA at inference time (Algorithm 4)."""
+
+    def __init__(
+        self,
+        agent: AAAgent,
+        rng: RngLike = None,
+        epsilon: float | None = None,
+    ) -> None:
+        config = agent.config
+        if epsilon is not None:
+            config = replace(config, epsilon=epsilon)
+        environment = AAEnvironment(agent.dataset, config, rng=rng)
+        super().__init__(environment, agent.dqn)
+
+
+class AATrainer:
+    """Algorithm AA's training procedure (Algorithm 3)."""
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        config: AAConfig | None = None,
+        dqn_config: DQNConfig | None = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config or AAConfig()
+        env_rng, dqn_rng = spawn_rngs(rng, 2)
+        self.environment = AAEnvironment(dataset, self.config, rng=env_rng)
+        self.dqn = DQNAgent(
+            state_dim=self.environment.state_dim,
+            action_dim=self.environment.action_dim,
+            config=dqn_config,
+            rng=dqn_rng,
+        )
+
+    def train(
+        self,
+        utilities: np.ndarray,
+        updates_per_episode: int = 4,
+        round_cap: int = 200,
+    ) -> AAAgent:
+        """Run Algorithm 3 over ``utilities`` and return the trained agent."""
+        log = train_agent(
+            self.environment,
+            self.dqn,
+            utilities,
+            updates_per_episode=updates_per_episode,
+            round_cap=round_cap,
+        )
+        return AAAgent(
+            dataset=self.dataset,
+            config=self.config,
+            dqn=self.dqn,
+            training_log=log,
+        )
+
+
+def train_aa(
+    dataset: Dataset,
+    utilities: np.ndarray,
+    config: AAConfig | None = None,
+    dqn_config: DQNConfig | None = None,
+    rng: RngLike = None,
+    updates_per_episode: int = 4,
+) -> AAAgent:
+    """Convenience wrapper: build an :class:`AATrainer` and train it."""
+    trainer = AATrainer(dataset, config=config, dqn_config=dqn_config, rng=rng)
+    return trainer.train(utilities, updates_per_episode=updates_per_episode)

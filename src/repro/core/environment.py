@@ -1,0 +1,137 @@
+"""The MDP interface substantiated by algorithms EA and AA.
+
+Section IV-A models the interaction as an MDP over utility ranges.  An
+:class:`InteractiveEnvironment` owns the maintained information (the
+polytope for EA, the half-space list for AA) and exposes:
+
+* :meth:`reset` — the initial observation: state features plus the
+  restricted candidate-action set (feature matrix + the point-index pairs
+  they encode);
+* :meth:`step` — apply one answered question, returning the next
+  observation and the reward (``c`` on reaching a terminal state, else 0);
+* :meth:`recommend` — the point the algorithm would currently return.
+
+:class:`RLPolicy` adapts a trained DQN plus an environment into the
+session protocol of :mod:`repro.core.session` — this is the inference
+procedure of Algorithms 2 and 4.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.session import InteractiveAlgorithm, Question
+from repro.data.datasets import Dataset
+from repro.errors import InteractionError
+from repro.rl.dqn import DQNAgent
+
+
+@dataclass
+class EnvObservation:
+    """What the agent sees at the start of a round.
+
+    ``actions`` is the ``(m, action_dim)`` candidate feature matrix and
+    ``pairs`` the corresponding dataset-index pairs; both are ``None`` for
+    terminal observations.
+    """
+
+    state: np.ndarray
+    actions: np.ndarray | None
+    pairs: list[tuple[int, int]] | None
+    terminal: bool
+
+    def __post_init__(self) -> None:
+        if self.terminal and (self.actions is not None or self.pairs is not None):
+            raise ValueError("terminal observations carry no actions")
+        if not self.terminal:
+            if self.actions is None or self.pairs is None:
+                raise ValueError("non-terminal observations need actions")
+            if len(self.pairs) != self.actions.shape[0]:
+                raise ValueError("pair list and action matrix length differ")
+
+
+class InteractiveEnvironment(abc.ABC):
+    """One MDP substantiation (EA's or AA's) bound to a dataset."""
+
+    def __init__(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+
+    @property
+    @abc.abstractmethod
+    def state_dim(self) -> int:
+        """Length of the state feature vector."""
+
+    @property
+    @abc.abstractmethod
+    def action_dim(self) -> int:
+        """Length of one action feature vector."""
+
+    @abc.abstractmethod
+    def reset(self) -> EnvObservation:
+        """Start a fresh episode with ``R = U`` (no information yet)."""
+
+    @abc.abstractmethod
+    def step(self, choice: int, prefers_first: bool) -> tuple[EnvObservation, float]:
+        """Apply the answer to candidate ``choice``; observation + reward."""
+
+    @abc.abstractmethod
+    def recommend(self) -> int:
+        """Dataset index of the current best returnable point."""
+
+    def action_features(self, index_i: int, index_j: int) -> np.ndarray:
+        """Default pair encoding: the two points concatenated.
+
+        Pairs are canonicalised (lower dataset index first) so the same
+        question always maps to the same feature vector.
+        """
+        if index_j < index_i:
+            index_i, index_j = index_j, index_i
+        points = self.dataset.points
+        return np.concatenate([points[index_i], points[index_j]])
+
+
+class RLPolicy(InteractiveAlgorithm):
+    """Inference-time wrapper: greedy Q-value question selection.
+
+    Implements Algorithms 2 and 4: in every round the candidate with the
+    highest Q-value is asked; the environment maintains the information
+    and detects the terminal state.
+    """
+
+    def __init__(self, environment: InteractiveEnvironment, dqn: DQNAgent) -> None:
+        super().__init__(environment.dataset)
+        self.environment = environment
+        self.dqn = dqn
+        self._observation = environment.reset()
+        self._choice: int | None = None
+        self._done = self._observation.terminal
+
+    def _propose(self) -> Question:
+        observation = self._observation
+        if observation.terminal or observation.pairs is None:
+            raise InteractionError("environment is already terminal")
+        self._choice = self.dqn.select_action(
+            observation.state, observation.actions, explore=False
+        )
+        index_i, index_j = observation.pairs[self._choice]
+        return self.question_for(index_i, index_j)
+
+    def _update(self, question: Question, prefers_first: bool) -> None:
+        if self._choice is None:
+            raise InteractionError("no proposed question to update with")
+        self._observation, _ = self.environment.step(self._choice, prefers_first)
+        self._choice = None
+
+    def _finished(self) -> bool:
+        return self._observation.terminal
+
+    def recommend(self) -> int:
+        return self.environment.recommend()
+
+    @property
+    def halfspaces(self) -> tuple:
+        """Half-spaces learned so far (delegates to the environment)."""
+        return self.environment.halfspaces

@@ -1,0 +1,91 @@
+"""Majority-vote robustness wrapper — the paper's future work, realised.
+
+The paper's closing line: "As for future work, we consider the case
+where users make mistakes when answering questions."  The simplest
+provably helpful device is *repetition*: ask each selected question
+``2t + 1`` times and act on the majority answer.  If a user errs
+independently with probability ``p < 0.5``, the majority is wrong with
+probability at most ``exp(-2 t (0.5 - p)^2)`` (Hoeffding), so a handful
+of repetitions makes the wrapped algorithm behave almost as if the user
+were truthful — at a proportional cost in questions.
+
+:class:`MajorityVoteSession` wraps *any* interactive algorithm in this
+package without modifying it: it re-issues the inner algorithm's pending
+question until enough answers accumulate, then forwards the majority.
+The wrapper's ``rounds`` counts every question actually asked (what the
+user experiences); the inner algorithm sees one consolidated answer per
+decision.
+"""
+
+from __future__ import annotations
+
+from repro.core.session import InteractiveAlgorithm, Question
+from repro.errors import ConfigurationError
+
+
+class MajorityVoteSession(InteractiveAlgorithm):
+    """Ask each of the inner algorithm's questions ``repeats`` times.
+
+    Parameters
+    ----------
+    inner:
+        A fresh interactive algorithm (EA, AA or any baseline).
+    repeats:
+        Number of times each question is asked; must be odd so the
+        majority is always defined.
+    """
+
+    name = "MajorityVote"
+
+    def __init__(self, inner: InteractiveAlgorithm, repeats: int = 3) -> None:
+        super().__init__(inner.dataset)
+        if repeats < 1 or repeats % 2 == 0:
+            raise ConfigurationError(
+                f"repeats must be a positive odd number, got {repeats}"
+            )
+        self.inner = inner
+        self.repeats = repeats
+        self._pending_inner: Question | None = None
+        self._votes_for_first = 0
+        self._votes_cast = 0
+        self._done = inner.finished
+
+    # -- InteractiveAlgorithm hooks ---------------------------------------------
+
+    def _propose(self) -> Question:
+        if self._pending_inner is None:
+            self._pending_inner = self.inner.next_question()
+            self._votes_for_first = 0
+            self._votes_cast = 0
+        return self._pending_inner
+
+    def _update(self, question: Question, prefers_first: bool) -> None:
+        self._votes_cast += 1
+        self._votes_for_first += int(prefers_first)
+        majority_reached = self._votes_for_first > self.repeats // 2
+        minority_reached = (
+            self._votes_cast - self._votes_for_first > self.repeats // 2
+        )
+        if majority_reached or minority_reached:
+            # Early termination: the remaining votes cannot flip the
+            # outcome, so skip them (saves questions at no accuracy cost).
+            self.inner.observe(majority_reached)
+            self._pending_inner = None
+
+    def _finished(self) -> bool:
+        return self.inner.finished
+
+    def recommend(self) -> int:
+        return self.inner.recommend()
+
+    # -- extras --------------------------------------------------------------
+
+    @property
+    def halfspaces(self) -> tuple:
+        """Half-spaces learned by the wrapped algorithm."""
+        return getattr(self.inner, "halfspaces", ())
+
+    @property
+    def inner_rounds(self) -> int:
+        """Decisions made by the wrapped algorithm (its own round count)."""
+        return self.inner.rounds

@@ -1,0 +1,215 @@
+"""The interaction protocol shared by all interactive algorithms.
+
+Every algorithm — EA, AA and the baselines — follows the three-step round
+structure of Section III (question selection, information maintenance,
+stopping condition).  :class:`InteractiveAlgorithm` captures that protocol
+as an abstract base class and :func:`run_session` drives a full session
+against a simulated user, measuring *agent* time only (the stopwatch is
+paused while the user answers, matching the paper's execution-time
+metric).
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.errors import InteractionError
+from repro.users.oracle import User
+from repro.utils.timing import Stopwatch
+
+#: Hard cap on rounds; a correct algorithm terminates far earlier, so
+#: hitting the cap indicates a logic error or inconsistent (noisy) answers.
+DEFAULT_MAX_ROUNDS = 2_000
+
+
+@dataclass(frozen=True)
+class Question:
+    """One pairwise question ``<p_i, p_j>`` shown to the user."""
+
+    index_i: int
+    index_j: int
+    p_i: np.ndarray
+    p_j: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.index_i == self.index_j:
+            raise InteractionError(
+                "a question must compare two distinct points"
+            )
+
+
+@dataclass
+class RoundRecord:
+    """Per-round trace entry used for the progress figures (Figs. 7-8)."""
+
+    round_number: int
+    elapsed_seconds: float
+    recommendation_index: int
+
+
+@dataclass
+class SessionResult:
+    """Outcome of one full interactive session."""
+
+    recommendation_index: int
+    recommendation: np.ndarray
+    rounds: int
+    elapsed_seconds: float
+    truncated: bool = False
+    trace: list[RoundRecord] = field(default_factory=list)
+
+
+class InteractiveAlgorithm(abc.ABC):
+    """Base class implementing the round loop of Section III.
+
+    Subclasses provide four hooks:
+
+    * :meth:`_propose` — pick the next question (question selection);
+    * :meth:`_update` — fold the answer into the maintained information;
+    * :meth:`_finished` — evaluate the stopping condition;
+    * :meth:`recommend` — the index of the point to return.
+
+    The base class enforces protocol order (no answer without a pending
+    question, no question after termination) so individual algorithms
+    cannot be driven out of spec.
+    """
+
+    def __init__(self, dataset: Dataset) -> None:
+        self.dataset = dataset
+        self.rounds = 0
+        self._pending: Question | None = None
+        self._done = False
+
+    # -- protocol ------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        """Whether the stopping condition has been reached."""
+        return self._done
+
+    def next_question(self) -> Question:
+        """Select the question for the current round."""
+        if self._done:
+            raise InteractionError("session already finished")
+        if self._pending is not None:
+            raise InteractionError("previous question was not answered yet")
+        self._pending = self._propose()
+        return self._pending
+
+    def observe(self, prefers_first: bool) -> None:
+        """Feed the user's answer to the pending question."""
+        if self._pending is None:
+            raise InteractionError("no question is pending")
+        question = self._pending
+        self._pending = None
+        self.rounds += 1
+        self._update(question, prefers_first)
+        self._done = self._finished()
+
+    # -- hooks ---------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _propose(self) -> Question:
+        """Return the next question to ask."""
+
+    @abc.abstractmethod
+    def _update(self, question: Question, prefers_first: bool) -> None:
+        """Incorporate one answer into the maintained information."""
+
+    @abc.abstractmethod
+    def _finished(self) -> bool:
+        """Whether the stopping condition now holds."""
+
+    @abc.abstractmethod
+    def recommend(self) -> int:
+        """Dataset index of the point to return to the user."""
+
+    # -- helpers -------------------------------------------------------------
+
+    def question_for(self, index_i: int, index_j: int) -> Question:
+        """Build a :class:`Question` from dataset indices."""
+        points = self.dataset.points
+        return Question(
+            index_i=int(index_i),
+            index_j=int(index_j),
+            p_i=points[int(index_i)],
+            p_j=points[int(index_j)],
+        )
+
+
+def run_session(
+    algorithm: InteractiveAlgorithm,
+    user: User,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+    trace: bool = False,
+    on_round: Callable[[RoundRecord], None] | None = None,
+) -> SessionResult:
+    """Drive ``algorithm`` against ``user`` until it stops.
+
+    Parameters
+    ----------
+    algorithm:
+        A fresh (unused) interactive algorithm instance.
+    user:
+        Anything with a ``prefers(p_i, p_j) -> bool`` method.
+    max_rounds:
+        Safety cap; the session is marked ``truncated`` when reached.
+    trace:
+        Record a :class:`RoundRecord` after every round (used by the
+        progress benchmarks, Figures 7-8).  Tracing calls
+        :meth:`InteractiveAlgorithm.recommend` each round, which may cost
+        extra time; the stopwatch excludes that bookkeeping.
+    on_round:
+        Optional callback invoked with each trace record.
+
+    Returns
+    -------
+    SessionResult
+        Rounds, agent-side wall time, and the recommended point.
+    """
+    if algorithm.rounds != 0:
+        raise InteractionError("run_session() requires a fresh algorithm")
+    watch = Stopwatch()
+    records: list[RoundRecord] = []
+    truncated = False
+    while True:
+        watch.start()
+        if algorithm.finished:
+            watch.stop()
+            break
+        if algorithm.rounds >= max_rounds:
+            watch.stop()
+            truncated = True
+            break
+        question = algorithm.next_question()
+        watch.stop()
+        answer = user.prefers(question.p_i, question.p_j)
+        watch.start()
+        algorithm.observe(answer)
+        watch.stop()
+        if trace or on_round is not None:
+            record = RoundRecord(
+                round_number=algorithm.rounds,
+                elapsed_seconds=watch.elapsed,
+                recommendation_index=algorithm.recommend(),
+            )
+            if trace:
+                records.append(record)
+            if on_round is not None:
+                on_round(record)
+    watch.start()
+    index = algorithm.recommend()
+    watch.stop()
+    return SessionResult(
+        recommendation_index=index,
+        recommendation=algorithm.dataset.points[index].copy(),
+        rounds=algorithm.rounds,
+        elapsed_seconds=watch.elapsed,
+        truncated=truncated,
+        trace=records,
+    )

@@ -1,0 +1,184 @@
+"""Terminal polyhedra and the restricted action set ``P_R`` (Section IV-B).
+
+A polyhedron ``T`` inside the utility range is *terminal* when some point
+``p_T`` has regret ratio below ``eps`` for every utility vector in ``T``
+(Lemma 4): ``T`` is the intersection of the relaxed half-spaces
+``u . (p_T - (1 - eps) p_j) >= 0`` over all other points ``p_j``.  The
+constraints are linear in ``u``, so a *convex* region is terminal for
+``p_T`` iff all its extreme vectors satisfy them — which reduces both the
+terminal test (Lemma 6) and membership checks to dense matrix
+comparisons, no polytope construction required:
+
+    ``R`` is terminal for ``p_i``  <=>
+    ``scores[:, i] >= (1 - eps) * scores.max(axis=1)``
+
+where ``scores[v, j] = vertex_v . p_j``.
+
+The anchor set ``P_R`` — every point that is top-1 for some utility
+vector in ``R`` — is discovered by scoring the extreme vectors plus a set
+of utility vectors sampled inside ``R`` (Lemma 5 shows sampling finds the
+large-volume terminal polyhedra with high probability).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.polytope import UtilityPolytope
+from repro.utils.rng import RngLike
+from repro.utils.validation import require_matrix
+
+#: Numerical slack when testing the epsilon-domination inequalities.
+#: Vertex enumeration rounds coordinates at ~1e-8, so boundary vertices
+#: of an exact terminal polyhedron can miss the inequality by that much;
+#: the slack is still 5-6 orders of magnitude below any practical epsilon.
+_TERMINAL_TOL = 1e-7
+
+
+def epsilon_dominates(
+    scores: np.ndarray, anchor: int, epsilon: float
+) -> bool:
+    """Whether the anchor point eps-dominates at the scored vectors.
+
+    ``scores`` is a ``(m, n)`` matrix of utilities (one row per utility
+    vector, one column per dataset point).  Returns ``True`` iff the
+    anchor's utility is at least ``(1 - eps)`` times the best utility in
+    every row — i.e. its regret ratio is ``< eps`` at every vector, hence
+    (by convexity) on the whole hull of those vectors.
+    """
+    scores = require_matrix(scores, "scores")
+    best = scores.max(axis=1)
+    return bool(
+        np.all(scores[:, anchor] >= (1.0 - epsilon) * best - _TERMINAL_TOL)
+    )
+
+
+def anchor_indices(points: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+    """Distinct top-1 point indices over a batch of utility vectors.
+
+    This is the anchor set ``P_R`` (each anchor is the ``p_T`` of one
+    constructible terminal polyhedron): a point appears iff it has the
+    highest utility for at least one of ``vectors``.
+    """
+    return anchor_indices_with_counts(points, vectors)[0]
+
+
+def anchor_indices_with_counts(
+    points: np.ndarray, vectors: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Anchor set ``P_R`` plus how many of ``vectors`` each anchor tops.
+
+    The counts estimate each terminal polyhedron's volume share of ``R``
+    (Lemma 5: uniform samples land in a polyhedron proportionally to its
+    volume), so they are the natural weights for picking *informative*
+    anchor pairs — large polyhedra are the likely homes of the user's
+    utility vector.
+    """
+    points = require_matrix(points, "points")
+    vectors = require_matrix(vectors, "vectors", columns=points.shape[1])
+    tops = np.argmax(vectors @ points.T, axis=1)
+    return np.unique(tops, return_counts=True)
+
+
+def terminal_anchor(
+    points: np.ndarray, vertices: np.ndarray, epsilon: float
+) -> int | None:
+    """Lemma 6 terminal test over the extreme vectors of ``R``.
+
+    Returns the index of a point whose regret ratio is below ``epsilon``
+    for every utility vector in the convex hull of ``vertices`` (i.e. all
+    of ``R``), or ``None`` when no such point exists and the interaction
+    must continue.
+
+    Every point is tested at once: the condition
+    ``scores[:, i] >= (1 - eps) * rowmax`` is a dense boolean matrix
+    reduction, so the complete check costs one ``(m, n)`` matrix product.
+    Among qualifying points the one with the largest worst-case margin is
+    returned (the most robust recommendation).
+    """
+    points = require_matrix(points, "points")
+    vertices = require_matrix(vertices, "vertices", columns=points.shape[1])
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    scores = vertices @ points.T
+    best = scores.max(axis=1, keepdims=True)
+    margins = scores - (1.0 - epsilon) * best
+    worst_margin = margins.min(axis=0)
+    winner = int(np.argmax(worst_margin))
+    if worst_margin[winner] >= -_TERMINAL_TOL:
+        return winner
+    return None
+
+
+def build_action_vectors(
+    polytope: UtilityPolytope, n_samples: int, rng: RngLike = None
+) -> np.ndarray:
+    """The utility-vector set ``V`` of Section IV-B: samples + vertices.
+
+    The sampled part makes large-volume terminal polyhedra likely to be
+    discovered (Lemma 5); the extreme vectors provide the side information
+    for the terminal test (Lemma 6).
+    """
+    vertices = polytope.vertices()
+    if n_samples <= 0:
+        return vertices
+    samples = polytope.sample(n_samples, rng=rng)
+    return np.vstack([samples, vertices])
+
+
+def anchor_pairs(
+    anchors: np.ndarray,
+    m_h: int,
+    rng: np.random.Generator,
+    counts: np.ndarray | None = None,
+) -> list[tuple[int, int]]:
+    """Select ``m_h`` distinct pairs of anchors (the EA action space).
+
+    Every returned pair ``(i, j)`` has ``i != j``; by construction both
+    points are top-1 somewhere in ``R``, so asking about them strictly
+    narrows the range whatever the answer (Lemma 7).
+
+    With ``counts`` given, anchors are drawn with probability proportional
+    to how often they topped the sampled utility vectors — i.e. to the
+    (estimated) volume of their terminal polyhedra.  Questions then
+    discriminate between the *likely* winners first, which is the
+    volume-sensitivity Lemma 5 motivates.  Without ``counts`` the choice
+    is uniform over pairs, as in the paper's plain description.
+    """
+    anchors = np.asarray(anchors, dtype=int)
+    if anchors.shape[0] < 2:
+        raise ValueError("need at least two anchors to form a question")
+    if m_h < 1:
+        raise ValueError(f"m_h must be >= 1, got {m_h}")
+    n = anchors.shape[0]
+    max_pairs = n * (n - 1) // 2
+    if max_pairs <= m_h:
+        return [
+            (int(anchors[i]), int(anchors[j]))
+            for i in range(n)
+            for j in range(i + 1, n)
+        ]
+    if counts is None:
+        probabilities = None
+    else:
+        counts = np.asarray(counts, dtype=float)
+        if counts.shape != anchors.shape:
+            raise ValueError("counts must align with anchors")
+        probabilities = counts / counts.sum()
+    pairs: set[tuple[int, int]] = set()
+    attempts = 0
+    while len(pairs) < m_h and attempts < 50 * m_h:
+        attempts += 1
+        pick = rng.choice(n, size=2, replace=False, p=probabilities)
+        i, j = int(anchors[pick[0]]), int(anchors[pick[1]])
+        pairs.add((min(i, j), max(i, j)))
+    if len(pairs) < m_h:
+        # Heavily skewed weights can starve the sampler; top up uniformly.
+        for i in range(n):
+            for j in range(i + 1, n):
+                pairs.add((int(anchors[i]), int(anchors[j])))
+                if len(pairs) >= m_h:
+                    break
+            if len(pairs) >= m_h:
+                break
+    return sorted(pairs)

@@ -1,0 +1,130 @@
+"""Generic DQN training over an interactive environment.
+
+This is the shared skeleton of Algorithm 1 (EA training) and Algorithm 3
+(AA training): iterate over a training set of utility vectors, run one
+episode per vector with epsilon-greedy question selection, store every
+transition in replay memory, and take gradient steps at the end of each
+episode (the paper's line "Draw samples from M to update Q").
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.environment import EnvObservation, InteractiveEnvironment
+from repro.rl.dqn import DQNAgent
+from repro.rl.replay import Transition
+
+#: Episodes are aborted beyond this many rounds during training; the
+#: theoretical worst case is O(n) (Theorem 1) but a partially trained
+#: policy exploring randomly should not be allowed to stall an epoch.
+DEFAULT_TRAINING_ROUND_CAP = 200
+
+
+@dataclass
+class TrainingLog:
+    """Per-episode statistics collected during training."""
+
+    rounds_per_episode: list[int] = field(default_factory=list)
+    losses: list[float] = field(default_factory=list)
+    truncated_episodes: int = 0
+
+    @property
+    def episodes(self) -> int:
+        """Number of completed training episodes."""
+        return len(self.rounds_per_episode)
+
+    def mean_rounds(self, last: int | None = None) -> float:
+        """Mean episode length, optionally over the trailing ``last``."""
+        rounds = self.rounds_per_episode
+        if last is not None:
+            rounds = rounds[-last:]
+        if not rounds:
+            return float("nan")
+        return float(np.mean(rounds))
+
+
+def train_agent(
+    environment: InteractiveEnvironment,
+    dqn: DQNAgent,
+    utilities: np.ndarray | Sequence[np.ndarray],
+    updates_per_episode: int = 4,
+    round_cap: int = DEFAULT_TRAINING_ROUND_CAP,
+    on_episode: Callable[[int, int], None] | None = None,
+) -> TrainingLog:
+    """Train ``dqn`` on ``environment`` over a set of utility vectors.
+
+    Parameters
+    ----------
+    environment:
+        The MDP to interact with; reset at every episode.
+    dqn:
+        The learner; its replay memory and exploration schedule are used.
+    utilities:
+        One hidden utility vector per training episode ("for each u in the
+        training set", Algorithms 1 and 3).  The simulated answer to a
+        question ``<p_i, p_j>`` is ``u . p_i >= u . p_j``.  The terminal
+        reward ``c`` is supplied by the environment itself.
+    updates_per_episode:
+        Gradient steps after each episode.
+    round_cap:
+        Abort pathologically long episodes (counted in the log).
+    on_episode:
+        Optional ``(episode_index, rounds)`` progress callback.
+
+    Returns
+    -------
+    TrainingLog
+    """
+    if updates_per_episode < 0:
+        raise ValueError("updates_per_episode must be >= 0")
+    log = TrainingLog()
+    points = environment.dataset.points
+    for episode, utility in enumerate(utilities):
+        utility = np.asarray(utility, dtype=float)
+        observation = environment.reset()
+        rounds = 0
+        while not observation.terminal:
+            if rounds >= round_cap:
+                log.truncated_episodes += 1
+                break
+            choice = dqn.select_action(
+                observation.state, observation.actions, explore=True
+            )
+            index_i, index_j = observation.pairs[choice]
+            prefers_first = float(utility @ points[index_i]) >= float(
+                utility @ points[index_j]
+            )
+            next_observation, reward = environment.step(choice, prefers_first)
+            dqn.remember(
+                _transition(observation, choice, reward, next_observation)
+            )
+            observation = next_observation
+            rounds += 1
+        log.rounds_per_episode.append(rounds)
+        for _ in range(updates_per_episode):
+            if len(dqn.memory):
+                log.losses.append(dqn.train_step())
+        if on_episode is not None:
+            on_episode(episode, rounds)
+    return log
+
+
+def _transition(
+    observation: EnvObservation,
+    choice: int,
+    reward: float,
+    next_observation: EnvObservation,
+) -> Transition:
+    """Package one step for replay, respecting the terminal convention."""
+    return Transition(
+        state=observation.state,
+        action=observation.actions[choice],
+        reward=reward,
+        next_state=next_observation.state,
+        next_actions=None if next_observation.terminal else next_observation.actions,
+        terminal=next_observation.terminal,
+    )

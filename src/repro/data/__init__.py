@@ -1,0 +1,43 @@
+"""Datasets: synthetic generators, skyline preprocessing, real stand-ins.
+
+The paper evaluates on anti-correlated synthetic data produced by the
+skyline-operator benchmark generator (Borzsonyi et al.) and on two Kaggle
+datasets, *Car* and *Player*.  Offline, the real datasets are replaced by
+statistically matched synthetic stand-ins (see DESIGN.md, "Substitutions").
+All datasets are normalised to ``(0, 1]`` with larger-is-better semantics
+and preprocessed to skyline points, exactly as the paper does.
+"""
+
+from repro.data.datasets import Dataset, normalize_columns, toy_database
+from repro.data.io import load_csv, save_csv, skyline_fraction
+from repro.data.real import load_car, load_player
+from repro.data.skyline import is_dominated, skyline_indices
+from repro.data.summary import DatasetSummary, summarize
+from repro.data.synthetic import (
+    anti_correlated,
+    correlated,
+    independent,
+    synthetic_dataset,
+)
+from repro.data.utility import sample_training_utilities, train_test_utilities
+
+__all__ = [
+    "Dataset",
+    "normalize_columns",
+    "toy_database",
+    "load_csv",
+    "save_csv",
+    "skyline_fraction",
+    "load_car",
+    "load_player",
+    "is_dominated",
+    "skyline_indices",
+    "DatasetSummary",
+    "summarize",
+    "anti_correlated",
+    "correlated",
+    "independent",
+    "synthetic_dataset",
+    "sample_training_utilities",
+    "train_test_utilities",
+]

@@ -1,0 +1,163 @@
+"""The :class:`Dataset` container and normalisation helpers.
+
+A :class:`Dataset` wraps an ``(n, d)`` point matrix normalised to
+``(0, 1]`` with larger-is-better semantics (Section III of the paper).  It
+validates its invariants on construction so downstream geometry can assume
+well-formed input, and carries attribute names for readable examples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.skyline import skyline_indices
+from repro.errors import DataError
+from repro.utils.validation import require_matrix
+
+#: Smallest normalised attribute value; keeps every coordinate strictly
+#: positive as required by the (0, 1] convention.
+NORMALIZATION_FLOOR = 0.01
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable, normalised point set.
+
+    Attributes
+    ----------
+    points:
+        ``(n, d)`` float array with every value in ``(0, 1]``.
+    name:
+        Human-readable dataset name used in reports.
+    attribute_names:
+        One label per column; synthesised as ``attr_0..`` when omitted.
+    """
+
+    points: np.ndarray
+    name: str = "dataset"
+    attribute_names: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        points = require_matrix(self.points, "points")
+        if points.shape[0] == 0:
+            raise DataError("dataset must contain at least one point")
+        if points.shape[1] < 2:
+            raise DataError("dataset must have at least two attributes")
+        if np.any(points <= 0.0) or np.any(points > 1.0):
+            raise DataError(
+                "dataset values must lie in (0, 1]; "
+                "use normalize_columns() on raw data first"
+            )
+        object.__setattr__(self, "points", points)
+        names = self.attribute_names
+        if not names:
+            names = tuple(f"attr_{i}" for i in range(points.shape[1]))
+        if len(names) != points.shape[1]:
+            raise DataError(
+                f"expected {points.shape[1]} attribute names, got {len(names)}"
+            )
+        object.__setattr__(self, "attribute_names", tuple(names))
+
+    @property
+    def n(self) -> int:
+        """Number of points."""
+        return int(self.points.shape[0])
+
+    @property
+    def dimension(self) -> int:
+        """Number of attributes ``d``."""
+        return int(self.points.shape[1])
+
+    def skyline(self) -> "Dataset":
+        """The skyline-preprocessed dataset (paper's Section V setup)."""
+        indices = skyline_indices(self.points)
+        return Dataset(
+            self.points[indices],
+            name=f"{self.name}-skyline",
+            attribute_names=self.attribute_names,
+        )
+
+    def subset(self, indices: np.ndarray | Sequence[int]) -> "Dataset":
+        """A new dataset restricted to ``indices`` (order preserved)."""
+        index_array = np.asarray(indices, dtype=int)
+        return Dataset(
+            self.points[index_array],
+            name=self.name,
+            attribute_names=self.attribute_names,
+        )
+
+    def sample(self, n: int, rng: np.random.Generator) -> "Dataset":
+        """A uniform sample without replacement of ``n`` points."""
+        if not 0 < n <= self.n:
+            raise DataError(f"cannot sample {n} of {self.n} points")
+        indices = rng.choice(self.n, size=n, replace=False)
+        return self.subset(np.sort(indices))
+
+    def __repr__(self) -> str:
+        return f"Dataset({self.name!r}, n={self.n}, d={self.dimension})"
+
+
+def normalize_columns(
+    raw: np.ndarray,
+    invert: Sequence[bool] | None = None,
+    floor: float = NORMALIZATION_FLOOR,
+) -> np.ndarray:
+    """Min-max normalise raw attribute columns into ``(0, 1]``.
+
+    Parameters
+    ----------
+    raw:
+        ``(n, d)`` raw attribute matrix.
+    invert:
+        Per-column flags; ``True`` flips the column so that smaller raw
+        values (e.g. price) become *larger* normalised values, matching the
+        paper's larger-is-better convention.
+    floor:
+        Lower end of the normalised range; values map to ``[floor, 1]`` so
+        every coordinate stays strictly positive.
+
+    Constant columns map to ``1.0`` everywhere (they carry no preference
+    information but must stay within range).
+    """
+    raw = require_matrix(raw, "raw")
+    if not 0.0 < floor < 1.0:
+        raise ValueError(f"floor must be in (0, 1), got {floor}")
+    flags = list(invert) if invert is not None else [False] * raw.shape[1]
+    if len(flags) != raw.shape[1]:
+        raise ValueError(
+            f"expected {raw.shape[1]} invert flags, got {len(flags)}"
+        )
+    out = np.empty_like(raw, dtype=float)
+    for j in range(raw.shape[1]):
+        column = -raw[:, j] if flags[j] else raw[:, j]
+        low = float(column.min())
+        high = float(column.max())
+        if high - low < 1e-15:
+            out[:, j] = 1.0
+        else:
+            out[:, j] = floor + (1.0 - floor) * (column - low) / (high - low)
+    return out
+
+
+def toy_database() -> Dataset:
+    """The 5-point, 2-attribute running example of the paper (Table III).
+
+    With ``u = (0.3, 0.7)`` the utilities are ``0.70, 0.58, 0.71, 0.49,
+    0.30`` and ``p_3`` is the favourite — used throughout the unit tests.
+    Values of 0 in the paper are lifted to the normalisation floor to meet
+    the strict ``(0, 1]`` requirement.
+    """
+    floor = NORMALIZATION_FLOOR
+    points = np.array(
+        [
+            [floor, 1.0],
+            [0.3, 0.7],
+            [0.5, 0.8],
+            [0.7, 0.4],
+            [1.0, floor],
+        ]
+    )
+    return Dataset(points, name="toy", attribute_names=("attr_a", "attr_b"))

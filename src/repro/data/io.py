@@ -1,0 +1,118 @@
+"""CSV import/export for datasets.
+
+Downstream users bring their own tables.  :func:`load_csv` reads a
+headered CSV of numeric attributes, applies the larger-is-better
+normalisation (optionally inverting named columns, e.g. ``price``), and
+returns a ready-to-search :class:`~repro.data.datasets.Dataset`.
+:func:`save_csv` writes the normalised points back out.
+
+Only the standard library's :mod:`csv` is used — no pandas dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Sequence
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.datasets import Dataset, normalize_columns
+from repro.data.skyline import skyline_indices
+from repro.errors import DataError
+
+
+def load_csv(
+    path: str | Path,
+    invert: Sequence[str] = (),
+    columns: Sequence[str] | None = None,
+    name: str | None = None,
+    skyline: bool = True,
+    delimiter: str = ",",
+) -> Dataset:
+    """Read a headered numeric CSV into a normalised :class:`Dataset`.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row of attribute names.
+    invert:
+        Attribute names whose raw values are *smaller-is-better* (price,
+        mileage, ...); they are flipped during normalisation.
+    columns:
+        Subset (and order) of columns to keep; default: all columns.
+    name:
+        Dataset name; defaults to the file stem.
+    skyline:
+        Apply skyline preprocessing (the paper's setting; default True).
+    delimiter:
+        CSV field delimiter.
+
+    Raises
+    ------
+    DataError
+        On missing columns, non-numeric cells or an empty file.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DataError(f"{path} is empty") from None
+        header = [column.strip() for column in header]
+        rows = [row for row in reader if row]
+    if columns is None:
+        columns = header
+    missing = [column for column in columns if column not in header]
+    if missing:
+        raise DataError(f"columns not found in {path.name}: {missing}")
+    indices = [header.index(column) for column in columns]
+    unknown_invert = [column for column in invert if column not in columns]
+    if unknown_invert:
+        raise DataError(
+            f"invert columns not in the selected columns: {unknown_invert}"
+        )
+    raw = np.empty((len(rows), len(indices)))
+    for r, row in enumerate(rows):
+        for c, index in enumerate(indices):
+            try:
+                raw[r, c] = float(row[index])
+            except (ValueError, IndexError) as exc:
+                raise DataError(
+                    f"{path.name} row {r + 2}, column {columns[c]!r}: "
+                    f"not numeric"
+                ) from exc
+    if raw.shape[0] == 0:
+        raise DataError(f"{path} contains a header but no data rows")
+    flags = [column in set(invert) for column in columns]
+    points = normalize_columns(raw, invert=flags)
+    dataset = Dataset(
+        points,
+        name=name or path.stem,
+        attribute_names=tuple(columns),
+    )
+    return dataset.skyline() if skyline else dataset
+
+
+def save_csv(dataset: Dataset, path: str | Path, delimiter: str = ",") -> Path:
+    """Write a dataset's normalised points to a headered CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(dataset.attribute_names)
+        for row in dataset.points:
+            writer.writerow([f"{value:.10g}" for value in row])
+    return path
+
+
+def skyline_fraction(points: np.ndarray) -> float:
+    """Fraction of points on the skyline — a difficulty indicator.
+
+    Near 0: one point dominates (easy, correlated data); near 1: nothing
+    dominates anything (hard, high-dimensional or anti-correlated data).
+    """
+    points = np.asarray(points, dtype=float)
+    if points.shape[0] == 0:
+        raise DataError("cannot compute skyline fraction of an empty set")
+    return skyline_indices(points).shape[0] / points.shape[0]

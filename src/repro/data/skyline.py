@@ -1,0 +1,81 @@
+"""The skyline (maxima) operator.
+
+Following the experimental setup of the paper (and of Xie et al., SIGMOD
+2019), every dataset is preprocessed to its *skyline*: the points not
+dominated by any other point.  Under larger-is-better semantics, ``p``
+dominates ``q`` when ``p >= q`` component-wise with strict inequality in at
+least one component.  Only skyline points can be the top-1 of a linear
+utility function with non-negative weights, so discarding dominated points
+never changes the answer of a regret query.
+
+Two implementations are provided: a sort-based scan used by the library
+(:func:`skyline_indices`) and a quadratic reference
+(:func:`skyline_indices_naive`) used to cross-check it in the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require_matrix, require_vector
+
+_DOMINANCE_TOL = 0.0
+
+
+def is_dominated(q: np.ndarray, points: np.ndarray) -> bool:
+    """Whether some row of ``points`` dominates ``q`` (larger-is-better).
+
+    >>> is_dominated(np.array([0.4, 0.4]), np.array([[0.5, 0.5]]))
+    True
+    >>> is_dominated(np.array([0.4, 0.9]), np.array([[0.5, 0.5]]))
+    False
+    """
+    q = require_vector(q, "q")
+    points = require_matrix(points, "points", columns=q.shape[0])
+    at_least = np.all(points >= q - _DOMINANCE_TOL, axis=1)
+    strictly = np.any(points > q + _DOMINANCE_TOL, axis=1)
+    return bool(np.any(at_least & strictly))
+
+
+def skyline_indices(points: np.ndarray) -> np.ndarray:
+    """Indices of the skyline of ``points``, in ascending order.
+
+    Sort-filter-scan algorithm: points are visited in decreasing order of
+    coordinate sum (a point can only be dominated by points with a larger
+    or equal sum), and each candidate is compared against the skyline
+    accumulated so far.  Complexity ``O(n * s * d)`` for skyline size ``s``,
+    which is the standard practical algorithm for the sizes used here.
+    """
+    points = require_matrix(points, "points")
+    n = points.shape[0]
+    if n == 0:
+        return np.empty(0, dtype=int)
+    order = np.argsort(-points.sum(axis=1), kind="stable")
+    skyline: list[int] = []
+    sky_matrix = np.empty_like(points)
+    count = 0
+    for index in order:
+        candidate = points[index]
+        if count:
+            current = sky_matrix[:count]
+            at_least = np.all(current >= candidate, axis=1)
+            strictly = np.any(current > candidate, axis=1)
+            if np.any(at_least & strictly):
+                continue
+        sky_matrix[count] = candidate
+        count += 1
+        skyline.append(int(index))
+    return np.sort(np.asarray(skyline, dtype=int))
+
+
+def skyline_indices_naive(points: np.ndarray) -> np.ndarray:
+    """Quadratic reference implementation (tests only)."""
+    points = require_matrix(points, "points")
+    keep = [
+        i
+        for i in range(points.shape[0])
+        if not is_dominated(points[i], np.delete(points, i, axis=0))
+    ]
+    # A point equal to another must be kept once: is_dominated() treats
+    # exact duplicates as non-dominating, matching the scan above.
+    return np.asarray(keep, dtype=int)

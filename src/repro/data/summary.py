@@ -1,0 +1,84 @@
+"""Dataset profiling: the statistics that predict query difficulty.
+
+Whether an interactive regret query is easy or hard is governed by a few
+dataset properties — dimensionality, skyline size, attribute correlation
+structure — rather than raw cardinality.  :func:`summarize` computes
+them in one pass; the CLI's ``info`` command and the benchmark headers
+use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.data.skyline import skyline_indices
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """Difficulty-relevant statistics of one dataset."""
+
+    name: str
+    n: int
+    dimension: int
+    skyline_size: int
+    skyline_fraction: float
+    mean_correlation: float
+    min_correlation: float
+    attribute_means: np.ndarray
+    attribute_stds: np.ndarray
+
+    @property
+    def difficulty(self) -> str:
+        """A coarse qualitative difficulty label.
+
+        Heuristic: large skylines mean many points can be someone's
+        favourite (hard); high dimensionality compounds it.
+        """
+        if self.dimension >= 10 or self.skyline_fraction >= 0.5:
+            return "hard"
+        if self.skyline_fraction >= 0.1 or self.dimension >= 5:
+            return "moderate"
+        return "easy"
+
+    def lines(self) -> list[str]:
+        """Human-readable report lines (used by the CLI)."""
+        return [
+            f"name:            {self.name}",
+            f"points:          {self.n}",
+            f"attributes:      {self.dimension}",
+            f"skyline:         {self.skyline_size} points "
+            f"({self.skyline_fraction:.1%})",
+            f"mean correlation:{self.mean_correlation:+.2f} "
+            f"(min {self.min_correlation:+.2f})",
+            f"difficulty:      {self.difficulty}",
+        ]
+
+
+def summarize(dataset: Dataset) -> DatasetSummary:
+    """Profile ``dataset``; cheap enough to run interactively."""
+    points = dataset.points
+    sky = skyline_indices(points)
+    if dataset.dimension >= 2 and dataset.n >= 2:
+        with np.errstate(invalid="ignore"):
+            correlation = np.corrcoef(points.T)
+        off_diagonal = correlation[~np.eye(dataset.dimension, dtype=bool)]
+        off_diagonal = off_diagonal[np.isfinite(off_diagonal)]
+        mean_corr = float(off_diagonal.mean()) if off_diagonal.size else 0.0
+        min_corr = float(off_diagonal.min()) if off_diagonal.size else 0.0
+    else:
+        mean_corr = min_corr = 0.0
+    return DatasetSummary(
+        name=dataset.name,
+        n=dataset.n,
+        dimension=dataset.dimension,
+        skyline_size=int(sky.shape[0]),
+        skyline_fraction=float(sky.shape[0]) / dataset.n,
+        mean_correlation=mean_corr,
+        min_correlation=min_corr,
+        attribute_means=points.mean(axis=0),
+        attribute_stds=points.std(axis=0),
+    )

@@ -1,0 +1,51 @@
+"""Training and evaluation sets of utility vectors.
+
+Section V: "We randomly sampled 10,000 utility vectors from the utility
+space for training."  Evaluation uses held-out utility vectors drawn from
+the same distribution; :func:`train_test_utilities` produces disjoint
+streams from a single seed so experiments never evaluate on a vector seen
+in training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.sampling import sample_simplex
+from repro.utils.rng import RngLike, spawn_rngs
+
+DEFAULT_TRAINING_SIZE = 10_000
+
+
+def sample_training_utilities(
+    d: int, n: int = DEFAULT_TRAINING_SIZE, rng: RngLike = None
+) -> np.ndarray:
+    """``(n, d)`` utility vectors uniform on the simplex."""
+    return sample_simplex(d, n, rng)
+
+
+def train_test_utilities(
+    d: int,
+    n_train: int,
+    n_test: int,
+    rng: RngLike = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Independent training and test utility-vector sets from one seed."""
+    train_rng, test_rng = spawn_rngs(_seed_of(rng), 2)
+    train = sample_simplex(d, n_train, train_rng)
+    test = sample_simplex(d, n_test, test_rng)
+    return train, test
+
+
+def _seed_of(rng: RngLike) -> RngLike:
+    """Pass seeds through; fold generators into a spawnable source."""
+    if rng is None:
+        return np.random.SeedSequence()
+    return rng
+
+
+__all__ = [
+    "DEFAULT_TRAINING_SIZE",
+    "sample_training_utilities",
+    "train_test_utilities",
+]

@@ -1,0 +1,41 @@
+"""Evaluation harness: metrics, session runners and experiment configs.
+
+The benchmarks under ``benchmarks/`` are thin wrappers over this package:
+:mod:`~repro.eval.experiments` defines one configuration per paper figure,
+:mod:`~repro.eval.runner` evaluates algorithms over held-out users, and
+:mod:`~repro.eval.metrics` implements the paper's three measurements —
+execution time, actual regret ratio, and number of questions — plus the
+per-round *maximum regret ratio* used in the progress figures.
+"""
+
+from repro.eval.ascii_charts import bar_chart, series_chart, sparkline
+from repro.eval.metrics import max_regret_ratio, session_regret
+from repro.eval.svg import render_range, save_range_svg
+from repro.eval.traces import TracePoint, trace_session
+from repro.eval.reporting import format_table
+from repro.eval.runner import EvaluationSummary, evaluate_algorithm
+from repro.eval.experiments import (
+    MethodResult,
+    build_method,
+    compare_methods,
+    current_scale,
+)
+
+__all__ = [
+    "max_regret_ratio",
+    "session_regret",
+    "format_table",
+    "EvaluationSummary",
+    "evaluate_algorithm",
+    "MethodResult",
+    "build_method",
+    "compare_methods",
+    "current_scale",
+    "TracePoint",
+    "trace_session",
+    "bar_chart",
+    "series_chart",
+    "sparkline",
+    "render_range",
+    "save_range_svg",
+]

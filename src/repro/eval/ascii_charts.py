@@ -1,0 +1,97 @@
+"""Plain-text charts for benchmark output.
+
+The benchmark harness is terminal-only (no plotting dependency), but the
+paper's progress figures are much easier to eyeball as curves than as
+table rows.  These helpers render series as aligned horizontal bar
+charts and compact sparklines using only ASCII/Unicode text.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+_BAR_CHAR = "#"
+
+
+def sparkline(values: Sequence[float], lo: float | None = None,
+              hi: float | None = None) -> str:
+    """A one-line sparkline of ``values``.
+
+    >>> sparkline([0.0, 0.5, 1.0])
+    '▁▅█'
+    """
+    series = [float(v) for v in values]
+    if not series:
+        return ""
+    low = min(series) if lo is None else lo
+    high = max(series) if hi is None else hi
+    span = high - low
+    if span <= 0:
+        return _SPARK_LEVELS[0] * len(series)
+    out = []
+    for value in series:
+        fraction = min(max((value - low) / span, 0.0), 1.0)
+        out.append(_SPARK_LEVELS[round(fraction * (len(_SPARK_LEVELS) - 1))])
+    return "".join(out)
+
+
+def bar_chart(
+    items: Mapping[str, float] | Sequence[tuple[str, float]],
+    width: int = 40,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart with aligned labels and values.
+
+    >>> print(bar_chart([("EA", 5.0), ("AA", 10.0)], width=10))
+    EA | #####      5.000
+    AA | ########## 10.000
+    """
+    pairs = list(items.items()) if isinstance(items, Mapping) else list(items)
+    if not pairs:
+        return ""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    label_width = max(len(label) for label, _ in pairs)
+    peak = max(abs(value) for _, value in pairs)
+    lines = [title] if title else []
+    for label, value in pairs:
+        length = 0 if peak == 0 else round(abs(value) / peak * width)
+        bar = _BAR_CHAR * length
+        lines.append(
+            f"{label.ljust(label_width)} | {bar.ljust(width)} "
+            f"{value:.3f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def series_chart(
+    series: Mapping[str, Sequence[float]],
+    x_label: str = "round",
+    y_label: str = "value",
+    width: int = 40,
+) -> str:
+    """Multiple named series as labelled sparklines with ranges.
+
+    Suited to the paper's progress figures: one sparkline per method,
+    annotated with the first and last values so trends and endpoints are
+    both visible without a plotting library.
+    """
+    if not series:
+        return ""
+    flat = [v for values in series.values() for v in values if values]
+    if not flat:
+        return ""
+    low, high = min(flat), max(flat)
+    label_width = max(len(name) for name in series)
+    lines = [f"{y_label} by {x_label} (shared scale {low:.3f}..{high:.3f})"]
+    for name, values in series.items():
+        if not values:
+            continue
+        spark = sparkline(values, lo=low, hi=high)
+        lines.append(
+            f"{name.ljust(label_width)} | {spark} "
+            f"{values[0]:.3f} -> {values[-1]:.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Per-round progress traces (the measurement behind Figures 7-8).
+
+The paper reports, at the end of every interactive round, the current
+*maximum regret ratio* — the worst regret of the algorithm's current
+recommendation over utility vectors sampled from the range consistent
+with the answers so far — together with the accumulated execution time.
+:func:`trace_session` drives any interactive algorithm against a user
+and collects exactly that series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.session import InteractiveAlgorithm
+from repro.data.datasets import Dataset
+from repro.errors import EmptyRegionError
+from repro.eval.metrics import max_regret_ratio
+from repro.users.oracle import User
+from repro.utils.rng import RngLike
+from repro.utils.timing import Stopwatch
+
+
+@dataclass(frozen=True)
+class TracePoint:
+    """One round's worth of progress measurements."""
+
+    round_number: int
+    max_regret: float
+    elapsed_seconds: float
+    recommendation_index: int
+
+
+def trace_session(
+    algorithm: InteractiveAlgorithm,
+    user: User,
+    dataset: Dataset,
+    max_rounds: int = 50,
+    n_samples: int = 300,
+    rng: RngLike = 0,
+) -> list[TracePoint]:
+    """Run a session collecting the max-regret/time series per round.
+
+    The stopwatch accumulates *agent* time only — measuring the
+    max-regret metric itself is evaluation bookkeeping and is excluded,
+    matching the paper's methodology.
+
+    Parameters
+    ----------
+    algorithm:
+        A fresh interactive session exposing a ``halfspaces`` property
+        (all algorithms in this package do).
+    user:
+        The question-answering user.
+    dataset:
+        The searched dataset (for regret computation).
+    max_rounds:
+        Trace at most this many rounds (the session may finish earlier;
+        it is *not* run to completion beyond the trace).
+    n_samples:
+        Utility vectors sampled per round for the max-regret estimate.
+    """
+    if not hasattr(algorithm, "halfspaces"):
+        raise TypeError(
+            f"{type(algorithm).__name__} does not expose learned half-spaces"
+        )
+    watch = Stopwatch()
+    points: list[TracePoint] = []
+    while not algorithm.finished and algorithm.rounds < max_rounds:
+        watch.start()
+        question = algorithm.next_question()
+        watch.stop()
+        answer = user.prefers(question.p_i, question.p_j)
+        watch.start()
+        algorithm.observe(answer)
+        watch.stop()
+        recommendation = algorithm.recommend()
+        try:
+            regret = max_regret_ratio(
+                dataset,
+                recommendation,
+                list(algorithm.halfspaces),
+                n_samples=n_samples,
+                rng=rng,
+            )
+        except EmptyRegionError:
+            # Noisy answers can empty the region mid-trace; the worst-case
+            # exposure is then undefined — stop tracing.
+            break
+        points.append(
+            TracePoint(
+                round_number=algorithm.rounds,
+                max_regret=regret,
+                elapsed_seconds=watch.elapsed,
+                recommendation_index=recommendation,
+            )
+        )
+    return points

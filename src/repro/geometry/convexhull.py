@@ -1,0 +1,101 @@
+"""Convex-hull helpers used by the UH-Simplex baseline.
+
+UH-Simplex (Xie et al., SIGMOD 2019) selects interaction pairs among points
+that can be *top-1* for some utility vector — exactly the extreme points of
+the dataset's convex hull that face the positive orthant.  For the low
+dimensions where UH-Simplex is applicable we use Qhull; a linear-programming
+fallback handles degenerate inputs (collinear points, tiny sets) where
+Qhull cannot build a full-dimensional hull.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import ConvexHull, QhullError
+
+from repro.geometry import lp
+from repro.utils.validation import require_matrix
+
+
+def hull_extreme_indices(points: np.ndarray) -> np.ndarray:
+    """Indices of the convex-hull vertices of ``points``.
+
+    Falls back to an exact LP witness test per point when Qhull fails
+    (e.g. all points affinely dependent).
+    """
+    points = require_matrix(points, "points")
+    n, d = points.shape
+    if n <= d + 1:
+        return _lp_extreme_indices(points)
+    try:
+        hull = ConvexHull(points)
+    except (QhullError, ValueError):
+        return _lp_extreme_indices(points)
+    return np.sort(np.unique(hull.vertices))
+
+
+def _lp_extreme_indices(points: np.ndarray) -> np.ndarray:
+    """Exact extreme-point test: ``p_i`` is extreme iff it is not a convex
+    combination of the remaining points (one small LP per point)."""
+    n, d = points.shape
+    extreme: list[int] = []
+    for i in range(n):
+        others = np.delete(points, i, axis=0)
+        if others.shape[0] == 0 or not _in_convex_hull(points[i], others):
+            extreme.append(i)
+    return np.asarray(extreme, dtype=int)
+
+
+def _in_convex_hull(point: np.ndarray, points: np.ndarray) -> bool:
+    """Whether ``point`` is a convex combination of rows of ``points``."""
+    m = points.shape[0]
+    # Find lambda >= 0 with sum(lambda) = 1 and points^T lambda = point.
+    a_eq = np.vstack([points.T, np.ones((1, m))])
+    b_eq = np.append(point, 1.0)
+    try:
+        lp.solve(
+            np.zeros(m), a_eq=a_eq, b_eq=b_eq, bounds=[(0.0, None)] * m
+        )
+    except lp.InfeasibleLP:
+        return False
+    except lp.LPError:
+        return False
+    return True
+
+
+def upper_hull_indices(points: np.ndarray) -> np.ndarray:
+    """Hull vertices that maximise some non-negative utility vector.
+
+    A point can be the top-1 of a linear utility with non-negative weights
+    iff it is not dominated in the "maxima" sense by a convex combination
+    of others, i.e. there is a direction ``u >= 0`` separating it.  We test
+    with one LP per hull vertex: maximise the separation margin of
+    ``u . (p_i - p_j) >= margin`` over the simplex.
+    """
+    points = require_matrix(points, "points")
+    candidates = hull_extreme_indices(points)
+    d = points.shape[1]
+    keep: list[int] = []
+    for i in candidates:
+        diffs = points[i] - np.delete(points, i, axis=0)
+        if diffs.shape[0] == 0:
+            keep.append(int(i))
+            continue
+        # Variables (u, margin): maximise margin s.t. u on simplex and
+        # diffs @ u >= margin.
+        a_ub = np.hstack([-diffs, np.ones((diffs.shape[0], 1))])
+        b_ub = np.zeros(diffs.shape[0])
+        a_eq = np.append(np.ones(d), 0.0)[None, :]
+        b_eq = np.ones(1)
+        c = np.zeros(d + 1)
+        c[-1] = -1.0
+        bounds = [(0.0, None)] * d + [(None, None)]
+        try:
+            result = lp.solve(
+                c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq, bounds=bounds
+            )
+        except lp.LPError:
+            continue
+        if -result.value >= -1e-9:
+            keep.append(int(i))
+    return np.asarray(keep, dtype=int)

@@ -1,0 +1,276 @@
+"""Typed linear-programming helpers over ``scipy.optimize.linprog`` (HiGHS).
+
+Two families of helpers live here:
+
+* *Reduced-space* LPs over H-polytopes ``{x : A x <= b}`` used by
+  :class:`repro.geometry.polytope.UtilityPolytope` (Chebyshev centre,
+  feasibility, support functions, redundancy tests).
+* *Ambient-space* LPs over a list of
+  :class:`~repro.geometry.hyperplane.PreferenceHalfspace` plus the simplex
+  equality ``sum(u) = 1`` used by algorithm AA, which never materialises
+  the polytope (Section IV-C): inner sphere, outer rectangle, and the
+  split-margin feasibility check for candidate questions.
+
+All solves go through :func:`solve`, which normalises scipy statuses into
+the package exception hierarchy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.errors import EmptyRegionError, LPError
+from repro.geometry.hyperplane import PreferenceHalfspace
+
+#: Feasibility slack used when interpreting LP optima as strict inequalities.
+FEASIBILITY_TOL = 1e-9
+
+_FREE = (None, None)
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Outcome of a successful LP solve."""
+
+    x: np.ndarray
+    value: float
+
+
+class InfeasibleLP(LPError):
+    """The LP constraint set is empty."""
+
+
+class UnboundedLP(LPError):
+    """The LP objective is unbounded over the constraint set."""
+
+
+def solve(
+    c: np.ndarray,
+    a_ub: np.ndarray | None = None,
+    b_ub: np.ndarray | None = None,
+    a_eq: np.ndarray | None = None,
+    b_eq: np.ndarray | None = None,
+    bounds: Sequence[tuple[float | None, float | None]] | tuple | None = _FREE,
+) -> LPResult:
+    """Minimise ``c . x`` subject to ``a_ub x <= b_ub`` and ``a_eq x = b_eq``.
+
+    Unlike raw ``linprog``, variables are *free* by default (``linprog``
+    defaults to ``x >= 0``, which silently corrupts reduced-space geometry).
+
+    Raises
+    ------
+    InfeasibleLP, UnboundedLP, LPError
+    """
+    result = linprog(
+        c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
+        method="highs",
+    )
+    if result.status == 2:
+        raise InfeasibleLP("LP constraint set is empty")
+    if result.status == 3:
+        raise UnboundedLP("LP objective is unbounded")
+    if not result.success:
+        raise LPError(f"LP solve failed: {result.message}")
+    return LPResult(x=np.asarray(result.x, dtype=float), value=float(result.fun))
+
+
+def maximize(
+    c: np.ndarray,
+    a_ub: np.ndarray | None = None,
+    b_ub: np.ndarray | None = None,
+    a_eq: np.ndarray | None = None,
+    b_eq: np.ndarray | None = None,
+    bounds: Sequence[tuple[float | None, float | None]] | tuple | None = _FREE,
+) -> LPResult:
+    """Maximise ``c . x``; see :func:`solve` for conventions."""
+    result = solve(-np.asarray(c, dtype=float), a_ub, b_ub, a_eq, b_eq, bounds)
+    return LPResult(x=result.x, value=-result.value)
+
+
+# ---------------------------------------------------------------------------
+# Reduced-space helpers (H-polytope  A x <= b)
+# ---------------------------------------------------------------------------
+
+def chebyshev_center(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, float]:
+    """Centre and radius of the largest ball inscribed in ``{A x <= b}``.
+
+    Solves ``max r  s.t.  A x + ||A_i|| r <= b`` — the classic Chebyshev
+    centre LP.  The radius is negative-infeasible handling: if the polytope
+    is empty the LP itself is infeasible and :class:`InfeasibleLP` is
+    raised; a radius of (near) zero means the polytope is flat.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    norms = np.linalg.norm(a, axis=1)
+    k = a.shape[1]
+    # Variables: (x_1..x_k, r); maximise r.
+    a_ext = np.hstack([a, norms[:, None]])
+    c = np.zeros(k + 1)
+    c[-1] = -1.0
+    bounds = [_FREE] * k + [(0.0, None)]
+    result = solve(c, a_ub=a_ext, b_ub=b, bounds=bounds)
+    return result.x[:k], float(result.x[-1])
+
+
+def support_value(a: np.ndarray, b: np.ndarray, direction: np.ndarray) -> float:
+    """Support function ``max {direction . x : A x <= b}``."""
+    return maximize(direction, a_ub=a, b_ub=b).value
+
+
+def is_feasible(a: np.ndarray, b: np.ndarray) -> bool:
+    """Whether ``{x : A x <= b}`` is non-empty."""
+    try:
+        chebyshev_center(a, b)
+    except InfeasibleLP:
+        return False
+    return True
+
+
+def constraint_is_redundant(
+    a: np.ndarray, b: np.ndarray, index: int, tol: float = FEASIBILITY_TOL
+) -> bool:
+    """Whether constraint ``index`` is implied by the remaining ones.
+
+    Constraint ``a_i . x <= b_i`` is redundant iff maximising ``a_i . x``
+    over the other constraints stays ``<= b_i``.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    mask = np.ones(a.shape[0], dtype=bool)
+    mask[index] = False
+    try:
+        best = maximize(a[index], a_ub=a[mask], b_ub=b[mask]).value
+    except UnboundedLP:
+        return False
+    except InfeasibleLP:
+        # Remaining set empty: the whole polytope is empty; treat as
+        # non-redundant so emptiness is detected by the caller.
+        return False
+    return best <= b[index] + tol
+
+
+# ---------------------------------------------------------------------------
+# Ambient-space helpers over the simplex (used by algorithm AA)
+# ---------------------------------------------------------------------------
+
+def _ambient_system(
+    halfspaces: Sequence[PreferenceHalfspace], d: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Assemble ``A_ub u <= b_ub`` / ``A_eq u = b_eq`` for the ambient range.
+
+    Constraints: ``u >= 0``, ``sum(u) = 1`` and ``u . n >= 0`` for every
+    learned half-space normal ``n``.
+    """
+    rows = [-np.eye(d)]
+    if halfspaces:
+        rows.append(np.array([-h.normal for h in halfspaces]))
+    a_ub = np.vstack(rows)
+    b_ub = np.zeros(a_ub.shape[0])
+    a_eq = np.ones((1, d))
+    b_eq = np.ones(1)
+    return a_ub, b_ub, a_eq, b_eq
+
+
+def ambient_is_feasible(
+    halfspaces: Sequence[PreferenceHalfspace], d: int
+) -> bool:
+    """Whether the utility range defined by ``halfspaces`` is non-empty."""
+    a_ub, b_ub, a_eq, b_eq = _ambient_system(halfspaces, d)
+    try:
+        solve(np.zeros(d), a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq)
+    except InfeasibleLP:
+        return False
+    return True
+
+
+def ambient_bounds(
+    halfspaces: Sequence[PreferenceHalfspace], d: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Outer rectangle ``(e_min, e_max)`` of the ambient utility range.
+
+    Solves two LPs per dimension, exactly as Section IV-C prescribes.
+
+    Raises
+    ------
+    EmptyRegionError
+        If the utility range is empty (inconsistent answers).
+    """
+    a_ub, b_ub, a_eq, b_eq = _ambient_system(halfspaces, d)
+    e_min = np.empty(d)
+    e_max = np.empty(d)
+    for i in range(d):
+        c = np.zeros(d)
+        c[i] = 1.0
+        try:
+            e_min[i] = solve(c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq).value
+            e_max[i] = maximize(c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq).value
+        except InfeasibleLP as exc:
+            raise EmptyRegionError(
+                "utility range is empty; user answers are inconsistent"
+            ) from exc
+    return e_min, e_max
+
+
+def ambient_inner_sphere(
+    halfspaces: Sequence[PreferenceHalfspace], d: int
+) -> tuple[np.ndarray, float]:
+    """Inner sphere ``(B_c, B_r)`` of the ambient utility range (Section IV-C).
+
+    Maximises the radius ``r`` such that the centre lies on the simplex and
+    keeps Euclidean distance ``>= r`` from every learned hyper-plane *and*
+    from every simplex facet ``u_i = 0``.  (The paper's LP only bounds the
+    distance to learned hyper-planes; including the simplex facets makes the
+    sphere well-defined for the empty answer set ``H = {}`` as well and is
+    the natural inscribed sphere of ``R``.)
+
+    Raises
+    ------
+    EmptyRegionError
+        If the utility range is empty.
+    """
+    # Variables: (u_1..u_d, r).  Maximise r.
+    rows: list[np.ndarray] = []
+    # Distance to facet u_i = 0 is u_i:  -u_i + r <= 0.
+    facet = np.hstack([-np.eye(d), np.ones((d, 1))])
+    rows.append(facet)
+    for h in halfspaces:
+        # Distance to plane u . n = 0 is u . n / ||n||:  -u . n_hat + r <= 0.
+        rows.append(np.append(-h.unit_normal, 1.0)[None, :])
+    a_ub = np.vstack(rows)
+    b_ub = np.zeros(a_ub.shape[0])
+    a_eq = np.append(np.ones(d), 0.0)[None, :]
+    b_eq = np.ones(1)
+    c = np.zeros(d + 1)
+    c[-1] = -1.0
+    bounds = [_FREE] * d + [(0.0, None)]
+    try:
+        result = solve(c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq, bounds=bounds)
+    except InfeasibleLP as exc:
+        raise EmptyRegionError(
+            "utility range is empty; user answers are inconsistent"
+        ) from exc
+    return result.x[:d], float(result.x[-1])
+
+
+def ambient_split_margin(
+    halfspaces: Sequence[PreferenceHalfspace], d: int, normal: np.ndarray
+) -> float:
+    """How far the utility range extends into ``{u : u . normal >= 0}``.
+
+    Returns ``max {u . normal : u in R}``; a value ``> tol`` certifies that
+    the positive side of the candidate hyper-plane intersects ``R`` (the
+    LP check of Section IV-C used to guarantee strict narrowing, Lemma 8).
+    Returns ``-inf`` if ``R`` is empty.
+    """
+    a_ub, b_ub, a_eq, b_eq = _ambient_system(halfspaces, d)
+    try:
+        return maximize(
+            np.asarray(normal, dtype=float),
+            a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
+        ).value
+    except InfeasibleLP:
+        return float("-inf")

@@ -1,0 +1,40 @@
+"""From-scratch reinforcement-learning substrate (numpy only).
+
+The paper trains its interactive agents with Deep Q-Learning: a Q-network
+``Q(s, a; Theta)`` with one hidden layer of 64 SELU units, experience
+replay, and a periodically synchronised target network (Section IV-B2).
+No deep-learning framework is available offline, so this subpackage
+implements the required pieces directly on numpy:
+
+* :class:`~repro.rl.network.MLP` — dense network with manual backprop.
+* :mod:`~repro.rl.optim` — SGD and Adam.
+* :class:`~repro.rl.replay.ReplayMemory` — uniform ring-buffer replay.
+* :class:`~repro.rl.dqn.DQNAgent` — the full DQN loop with target network.
+* :mod:`~repro.rl.schedules` — epsilon-greedy exploration schedules.
+
+Because candidate actions differ per state (the paper restricts the action
+space to ``m_h`` pairs per round), the Q-network scores a *(state, action
+feature)* concatenation and transitions store the successor state's
+candidate-action matrix for the Bellman max.
+"""
+
+from repro.rl.dqn import DQNAgent, DQNConfig
+from repro.rl.network import MLP
+from repro.rl.optim import SGD, Adam
+from repro.rl.replay import ReplayMemory, Transition
+from repro.rl.schedules import ConstantSchedule, LinearDecay
+from repro.rl.serialization import load_agent, save_agent
+
+__all__ = [
+    "DQNAgent",
+    "DQNConfig",
+    "MLP",
+    "SGD",
+    "Adam",
+    "ReplayMemory",
+    "Transition",
+    "ConstantSchedule",
+    "LinearDecay",
+    "load_agent",
+    "save_agent",
+]

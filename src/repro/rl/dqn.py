@@ -1,0 +1,187 @@
+"""Deep Q-Learning with experience replay and a target network.
+
+Implements the learning core shared by algorithms EA and AA (Sections
+IV-B2 and IV-C2).  The Q-function is represented as a scalar-output MLP
+over the concatenation ``[state_features, action_features]`` because the
+candidate-action set changes every round; evaluating the network over the
+``m_h`` candidates of the current state yields the per-action Q-values.
+
+Defaults follow the paper's Section V configuration: one hidden layer of
+64 SELU units, learning rate 0.003, replay capacity 5,000, batch size 64,
+discount 0.8, exploration rate 0.9, target-network sync every 20 updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.rl.network import MLP
+from repro.rl.optim import Adam, SGD
+from repro.rl.replay import ReplayMemory, Transition
+from repro.rl.schedules import ConstantSchedule, Schedule
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class DQNConfig:
+    """Hyper-parameters of the DQN learner (paper defaults)."""
+
+    hidden_sizes: tuple[int, ...] = (64,)
+    activation: str = "selu"
+    learning_rate: float = 0.003
+    discount: float = 0.8
+    batch_size: int = 64
+    replay_capacity: int = 5_000
+    target_sync_every: int = 20
+    exploration: Schedule = field(default_factory=lambda: ConstantSchedule(0.9))
+    optimizer: str = "adam"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.discount < 1.0:
+            raise ValueError(f"discount must be in (0, 1), got {self.discount}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch size must be >= 1, got {self.batch_size}")
+        if self.target_sync_every < 1:
+            raise ValueError("target_sync_every must be >= 1")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r}")
+
+
+class DQNAgent:
+    """A Q-learner over (state, action-feature) pairs.
+
+    Parameters
+    ----------
+    state_dim, action_dim:
+        Sizes of the state and action feature vectors; the Q-network input
+        is their concatenation.
+    config:
+        Hyper-parameters; defaults reproduce the paper's setting.
+    rng:
+        Seed/generator driving initialisation, exploration and replay
+        sampling.
+    """
+
+    def __init__(
+        self,
+        state_dim: int,
+        action_dim: int,
+        config: DQNConfig | None = None,
+        rng: RngLike = None,
+    ) -> None:
+        if state_dim < 1 or action_dim < 1:
+            raise ValueError("state_dim and action_dim must be >= 1")
+        self.state_dim = int(state_dim)
+        self.action_dim = int(action_dim)
+        self.config = config or DQNConfig()
+        self._rng = ensure_rng(rng)
+        sizes = (state_dim + action_dim, *self.config.hidden_sizes, 1)
+        self.network = MLP(sizes, activation=self.config.activation, rng=self._rng)
+        self.target_network = self.network.clone()
+        if self.config.optimizer == "adam":
+            self.optimizer: Adam | SGD = Adam(
+                self.network.parameters(), lr=self.config.learning_rate
+            )
+        else:
+            self.optimizer = SGD(
+                self.network.parameters(), lr=self.config.learning_rate
+            )
+        self.memory = ReplayMemory(self.config.replay_capacity)
+        self.updates_done = 0
+        self.steps_seen = 0
+
+    # -- acting ---------------------------------------------------------------
+
+    def q_values(
+        self, state: np.ndarray, actions: np.ndarray, use_target: bool = False
+    ) -> np.ndarray:
+        """Q-value of every candidate action for ``state``.
+
+        Parameters
+        ----------
+        state:
+            ``(state_dim,)`` feature vector.
+        actions:
+            ``(m, action_dim)`` candidate-action feature matrix.
+        use_target:
+            Evaluate the target network instead of the main network.
+        """
+        state = np.asarray(state, dtype=float)
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        if actions.shape[1] != self.action_dim:
+            raise ValueError(
+                f"expected action dimension {self.action_dim}, "
+                f"got {actions.shape[1]}"
+            )
+        inputs = np.hstack(
+            [np.tile(state, (actions.shape[0], 1)), actions]
+        )
+        net = self.target_network if use_target else self.network
+        return net.forward(inputs).ravel()
+
+    def select_action(
+        self, state: np.ndarray, actions: np.ndarray, explore: bool = False
+    ) -> int:
+        """Index of the chosen candidate action.
+
+        Greedy on Q-values; with ``explore=True`` applies epsilon-greedy
+        using the configured exploration schedule (Algorithm 1 line 8 /
+        Algorithm 3 line 9).
+        """
+        actions = np.atleast_2d(np.asarray(actions, dtype=float))
+        if actions.shape[0] == 0:
+            raise ValueError("no candidate actions to select from")
+        if explore:
+            self.steps_seen += 1
+            epsilon = self.config.exploration.value(self.steps_seen)
+            if self._rng.uniform() < epsilon:
+                return int(self._rng.integers(actions.shape[0]))
+        return int(np.argmax(self.q_values(state, actions)))
+
+    # -- learning ---------------------------------------------------------------
+
+    def remember(self, transition: Transition) -> None:
+        """Append a transition to the replay memory."""
+        self.memory.push(transition)
+
+    def train_step(self) -> float:
+        """One replayed gradient step; returns the batch MSE loss.
+
+        Samples a batch, computes targets
+        ``y = r + gamma * max_a' Q_target(s', a')`` (``y = r`` on terminal
+        transitions), and descends the MSE between ``Q(s, a)`` and ``y``.
+        Synchronises the target network every ``target_sync_every`` updates.
+        """
+        if not self.memory:
+            return 0.0
+        batch = self.memory.sample(self.config.batch_size, rng=self._rng)
+        inputs = np.array(
+            [np.concatenate([t.state, t.action]) for t in batch]
+        )
+        targets = np.empty(len(batch))
+        for row, transition in enumerate(batch):
+            target = transition.reward
+            if not transition.terminal:
+                next_q = self.q_values(
+                    transition.next_state,
+                    transition.next_actions,
+                    use_target=True,
+                )
+                target += self.config.discount * float(next_q.max())
+            targets[row] = target
+        predictions = self.network.forward(inputs, cache=True).ravel()
+        errors = predictions - targets
+        loss = float(np.mean(errors**2))
+        grad_output = (2.0 / len(batch)) * errors[:, None]
+        gradients = self.network.backward(grad_output)
+        self.optimizer.step(gradients)
+        self.updates_done += 1
+        if self.updates_done % self.config.target_sync_every == 0:
+            self.sync_target()
+        return loss
+
+    def sync_target(self) -> None:
+        """Copy main-network parameters into the target network."""
+        self.target_network.copy_from(self.network)

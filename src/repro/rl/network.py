@@ -1,0 +1,177 @@
+"""A minimal dense neural network with manual backpropagation.
+
+Implements exactly what the paper's DQN needs: an MLP with SELU hidden
+activations (Klambauer et al., the paper's stated choice), a linear output
+head, mean-squared-error loss, and gradient computation.  Weights use
+LeCun-normal initialisation, the standard pairing for SELU
+self-normalisation.
+
+The implementation is deliberately small and explicit — forward caches the
+per-layer pre-activations, backward walks them in reverse — so that the
+unit tests can verify gradients against finite differences.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+_SELU_SCALE = 1.0507009873554805
+_SELU_ALPHA = 1.6732632423543772
+
+
+def _selu(x: np.ndarray) -> np.ndarray:
+    return _SELU_SCALE * np.where(x > 0, x, _SELU_ALPHA * np.expm1(x))
+
+
+def _selu_grad(x: np.ndarray) -> np.ndarray:
+    return _SELU_SCALE * np.where(x > 0, 1.0, _SELU_ALPHA * np.exp(x))
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _relu_grad(x: np.ndarray) -> np.ndarray:
+    return (x > 0).astype(float)
+
+
+def _tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def _tanh_grad(x: np.ndarray) -> np.ndarray:
+    return 1.0 - np.tanh(x) ** 2
+
+
+_ACTIVATIONS: dict[str, tuple[Callable, Callable]] = {
+    "selu": (_selu, _selu_grad),
+    "relu": (_relu, _relu_grad),
+    "tanh": (_tanh, _tanh_grad),
+}
+
+
+class MLP:
+    """Dense network ``in -> hidden... -> out`` with a linear output layer.
+
+    Parameters
+    ----------
+    layer_sizes:
+        E.g. ``(state_dim + action_dim, 64, 1)`` for the paper's Q-network.
+    activation:
+        Hidden activation: ``"selu"`` (default, per the paper), ``"relu"``
+        or ``"tanh"``.
+    rng:
+        Seed/generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        activation: str = "selu",
+        rng: RngLike = None,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least an input and an output layer")
+        if any(size < 1 for size in layer_sizes):
+            raise ValueError(f"layer sizes must be positive: {layer_sizes}")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(
+                f"unknown activation {activation!r}; "
+                f"expected one of {sorted(_ACTIVATIONS)}"
+            )
+        self.layer_sizes = tuple(int(s) for s in layer_sizes)
+        self.activation_name = activation
+        self._act, self._act_grad = _ACTIVATIONS[activation]
+        generator = ensure_rng(rng)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(self.layer_sizes, self.layer_sizes[1:]):
+            # LeCun normal: std = 1 / sqrt(fan_in); correct for SELU.
+            scale = 1.0 / np.sqrt(fan_in)
+            self.weights.append(
+                generator.normal(0.0, scale, size=(fan_in, fan_out))
+            )
+            self.biases.append(np.zeros(fan_out))
+        self._cache: list[tuple[np.ndarray, np.ndarray]] | None = None
+
+    # -- inference -----------------------------------------------------------
+
+    @property
+    def n_layers(self) -> int:
+        """Number of weight layers."""
+        return len(self.weights)
+
+    def forward(self, inputs: np.ndarray, cache: bool = False) -> np.ndarray:
+        """Batched forward pass over ``(batch, in_dim)`` inputs.
+
+        With ``cache=True`` the layer inputs and pre-activations are kept
+        for a subsequent :meth:`backward` call.
+        """
+        x = np.atleast_2d(np.asarray(inputs, dtype=float))
+        if x.shape[1] != self.layer_sizes[0]:
+            raise ValueError(
+                f"expected input dimension {self.layer_sizes[0]}, "
+                f"got {x.shape[1]}"
+            )
+        layers: list[tuple[np.ndarray, np.ndarray]] = []
+        for index, (weight, bias) in enumerate(zip(self.weights, self.biases)):
+            pre = x @ weight + bias
+            if cache:
+                layers.append((x, pre))
+            x = pre if index == self.n_layers - 1 else self._act(pre)
+        self._cache = layers if cache else None
+        return x
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+    # -- training ------------------------------------------------------------
+
+    def backward(self, grad_output: np.ndarray) -> list[np.ndarray]:
+        """Backpropagate ``dLoss/dOutput``; returns a flat gradient list.
+
+        Must follow a ``forward(..., cache=True)`` call on the same batch.
+        Gradients are ordered ``[dW_0, db_0, dW_1, db_1, ...]`` to match
+        :meth:`parameters`.
+        """
+        if self._cache is None:
+            raise RuntimeError("backward() requires forward(..., cache=True)")
+        grad = np.atleast_2d(np.asarray(grad_output, dtype=float))
+        grads_w: list[np.ndarray] = [np.empty(0)] * self.n_layers
+        grads_b: list[np.ndarray] = [np.empty(0)] * self.n_layers
+        for index in range(self.n_layers - 1, -1, -1):
+            layer_input, pre = self._cache[index]
+            if index != self.n_layers - 1:
+                grad = grad * self._act_grad(pre)
+            grads_w[index] = layer_input.T @ grad
+            grads_b[index] = grad.sum(axis=0)
+            if index > 0:
+                grad = grad @ self.weights[index].T
+        flat: list[np.ndarray] = []
+        for gw, gb in zip(grads_w, grads_b):
+            flat.extend((gw, gb))
+        return flat
+
+    def parameters(self) -> list[np.ndarray]:
+        """Live references ``[W_0, b_0, W_1, b_1, ...]`` for optimisers."""
+        flat: list[np.ndarray] = []
+        for weight, bias in zip(self.weights, self.biases):
+            flat.extend((weight, bias))
+        return flat
+
+    def copy_from(self, other: "MLP") -> None:
+        """Hard-copy parameters from ``other`` (target-network sync)."""
+        if other.layer_sizes != self.layer_sizes:
+            raise ValueError("cannot sync networks of different shapes")
+        for mine, theirs in zip(self.parameters(), other.parameters()):
+            mine[...] = theirs
+
+    def clone(self) -> "MLP":
+        """An independent structural + parameter copy of this network."""
+        twin = MLP(self.layer_sizes, activation=self.activation_name, rng=0)
+        twin.copy_from(self)
+        return twin

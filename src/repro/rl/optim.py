@@ -1,0 +1,88 @@
+"""Gradient-descent optimisers for the numpy MLP.
+
+Both optimisers mutate the parameter arrays handed to them in place, so a
+network and its optimiser stay coupled through shared references (the same
+contract PyTorch uses).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+
+class SGD:
+    """Plain stochastic gradient descent, optionally with momentum."""
+
+    def __init__(
+        self,
+        parameters: Sequence[np.ndarray],
+        lr: float = 0.003,
+        momentum: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be > 0, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self._parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p) for p in self._parameters]
+
+    def step(self, gradients: Sequence[np.ndarray]) -> None:
+        """Apply one descent step for ``gradients`` (same order as params)."""
+        if len(gradients) != len(self._parameters):
+            raise ValueError("gradient list does not match parameter list")
+        for param, grad, velocity in zip(
+            self._parameters, gradients, self._velocity
+        ):
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                param -= self.lr * velocity
+            else:
+                param -= self.lr * grad
+
+
+class Adam:
+    """Adam (Kingma & Ba) with bias-corrected moment estimates."""
+
+    def __init__(
+        self,
+        parameters: Sequence[np.ndarray],
+        lr: float = 0.003,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be > 0, got {lr}")
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        self._parameters = list(parameters)
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = [np.zeros_like(p) for p in self._parameters]
+        self._v = [np.zeros_like(p) for p in self._parameters]
+        self._t = 0
+
+    def step(self, gradients: Sequence[np.ndarray]) -> None:
+        """Apply one Adam update for ``gradients``."""
+        if len(gradients) != len(self._parameters):
+            raise ValueError("gradient list does not match parameter list")
+        self._t += 1
+        correction1 = 1.0 - self.beta1**self._t
+        correction2 = 1.0 - self.beta2**self._t
+        for param, grad, m, v in zip(
+            self._parameters, gradients, self._m, self._v
+        ):
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / correction1
+            v_hat = v / correction2
+            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

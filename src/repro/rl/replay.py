@@ -1,0 +1,100 @@
+"""Experience replay for DQN training.
+
+Transitions carry the successor state's *candidate-action matrix* in
+addition to the usual ``(s, a, r, s')`` tuple: because the interactive
+agents restrict the action space to ``m_h`` state-dependent pairs
+(Sections IV-B and IV-C), the Bellman backup ``max_a' Q(s', a')`` must
+range over exactly the candidates that were available at ``s'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One interaction step ``(s, a, r, s', A')``.
+
+    Attributes
+    ----------
+    state:
+        State feature vector at the time of the decision.
+    action:
+        Feature vector of the action actually taken.
+    reward:
+        Immediate reward (``c`` on reaching a terminal state, else 0).
+    next_state:
+        Successor state features.
+    next_actions:
+        ``(m, action_dim)`` candidate-action features at the successor
+        state, or ``None`` when the successor is terminal.
+    terminal:
+        Whether the successor state ended the episode.
+    """
+
+    state: np.ndarray
+    action: np.ndarray
+    reward: float
+    next_state: np.ndarray
+    next_actions: np.ndarray | None
+    terminal: bool
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "state", np.asarray(self.state, dtype=float))
+        object.__setattr__(self, "action", np.asarray(self.action, dtype=float))
+        object.__setattr__(
+            self, "next_state", np.asarray(self.next_state, dtype=float)
+        )
+        if self.next_actions is not None:
+            object.__setattr__(
+                self, "next_actions", np.asarray(self.next_actions, dtype=float)
+            )
+        if self.terminal and self.next_actions is not None:
+            raise ValueError("terminal transitions carry no next actions")
+        if not self.terminal and self.next_actions is None:
+            raise ValueError("non-terminal transitions need next actions")
+
+
+class ReplayMemory:
+    """Fixed-capacity ring buffer with uniform sampling.
+
+    Matches the paper's configuration knobs: capacity 5,000 and uniform
+    batches of 64 by default (Section V).
+    """
+
+    def __init__(self, capacity: int = 5_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buffer: list[Transition] = []
+        self._cursor = 0
+
+    def push(self, transition: Transition) -> None:
+        """Store a transition, evicting the oldest once full."""
+        if len(self._buffer) < self.capacity:
+            self._buffer.append(transition)
+        else:
+            self._buffer[self._cursor] = transition
+        self._cursor = (self._cursor + 1) % self.capacity
+
+    def sample(self, batch_size: int, rng: RngLike = None) -> list[Transition]:
+        """Uniform sample without replacement (with, if buffer is small)."""
+        if not self._buffer:
+            raise ValueError("cannot sample from an empty replay memory")
+        generator = ensure_rng(rng)
+        replace = batch_size > len(self._buffer)
+        indices = generator.choice(
+            len(self._buffer), size=batch_size, replace=replace
+        )
+        return [self._buffer[i] for i in indices]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __bool__(self) -> bool:
+        return bool(self._buffer)

@@ -1,0 +1,60 @@
+"""Exploration-rate schedules for epsilon-greedy action selection.
+
+The paper fixes the exploration parameter at 0.9 during training
+(Section V); :class:`ConstantSchedule` reproduces that exactly.
+:class:`LinearDecay` is provided for the ablation benchmarks — annealed
+exploration is the common DQN default and `bench_ablations.py` quantifies
+the difference on this problem.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.utils.validation import require_probability
+
+
+class Schedule(Protocol):
+    """A time-indexed scalar, evaluated per training step."""
+
+    def value(self, step: int) -> float:
+        """Schedule value at (zero-based) ``step``."""
+        ...
+
+
+class ConstantSchedule:
+    """Always returns the same exploration rate."""
+
+    def __init__(self, rate: float) -> None:
+        require_probability(rate, "rate")
+        self.rate = rate
+
+    def value(self, step: int) -> float:
+        """The constant rate, for any ``step``."""
+        return self.rate
+
+    def __repr__(self) -> str:
+        return f"ConstantSchedule({self.rate})"
+
+
+class LinearDecay:
+    """Linear interpolation from ``start`` to ``end`` over ``steps`` steps."""
+
+    def __init__(self, start: float, end: float, steps: int) -> None:
+        require_probability(start, "start")
+        require_probability(end, "end")
+        if steps < 1:
+            raise ValueError(f"steps must be >= 1, got {steps}")
+        self.start = start
+        self.end = end
+        self.steps = steps
+
+    def value(self, step: int) -> float:
+        """Rate at ``step``; clamped to ``end`` after ``steps`` steps."""
+        if step < 0:
+            raise ValueError(f"step must be >= 0, got {step}")
+        fraction = min(step / self.steps, 1.0)
+        return self.start + (self.end - self.start) * fraction
+
+    def __repr__(self) -> str:
+        return f"LinearDecay({self.start} -> {self.end} over {self.steps})"

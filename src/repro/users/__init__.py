@@ -1,0 +1,5 @@
+"""Simulated users answering pairwise preference questions."""
+
+from repro.users.oracle import NoisyUser, OracleUser, User
+
+__all__ = ["User", "OracleUser", "NoisyUser"]

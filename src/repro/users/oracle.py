@@ -1,0 +1,114 @@
+"""Simulated users for interactive sessions.
+
+Experiments simulate the human in the loop with a hidden utility vector
+(Section V): when asked a question :math:`\\langle p_i, p_j \\rangle` the
+user replies "prefer ``p_i``" iff :math:`u \\cdot p_i \\ge u \\cdot p_j`.
+The vector is *hidden by convention*: interactive algorithms receive the
+:class:`User` object and may only call :meth:`User.prefers`; only the
+evaluation harness reads :attr:`OracleUser.utility` to score the result.
+
+:class:`NoisyUser` implements the paper's future-work scenario of users
+who occasionally answer incorrectly, with a Bradley-Terry-style error
+model: mistakes are more likely when the two utilities are close.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.geometry import simplex
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require_probability, require_vector
+
+
+class User(Protocol):
+    """What an interactive algorithm may do with a user: ask questions."""
+
+    def prefers(self, p_i: np.ndarray, p_j: np.ndarray) -> bool:
+        """``True`` iff the user prefers ``p_i`` to ``p_j``."""
+        ...
+
+
+class OracleUser:
+    """A deterministic simulated user with a hidden linear utility.
+
+    Parameters
+    ----------
+    utility:
+        The hidden utility vector; must lie on the simplex.
+
+    Attributes
+    ----------
+    questions_asked:
+        Number of :meth:`prefers` calls so far — the round counter used by
+        every experiment.
+    """
+
+    def __init__(self, utility: np.ndarray) -> None:
+        utility = require_vector(utility, "utility")
+        if not simplex.on_simplex(utility, tol=1e-6):
+            raise ValueError(
+                "utility vector must be non-negative and sum to 1"
+            )
+        self._utility = utility
+        self.questions_asked = 0
+
+    @property
+    def utility(self) -> np.ndarray:
+        """The hidden utility vector (evaluation harness only)."""
+        return self._utility.copy()
+
+    @property
+    def dimension(self) -> int:
+        """Number of attributes the user scores."""
+        return int(self._utility.shape[0])
+
+    def prefers(self, p_i: np.ndarray, p_j: np.ndarray) -> bool:
+        """Answer one question; increments :attr:`questions_asked`.
+
+        Ties (equal utilities) resolve in favour of ``p_i``, matching
+        line 9 of Algorithm 1.
+        """
+        p_i = require_vector(p_i, "p_i", size=self.dimension)
+        p_j = require_vector(p_j, "p_j", size=self.dimension)
+        self.questions_asked += 1
+        return float(self._utility @ p_i) >= float(self._utility @ p_j)
+
+
+class NoisyUser(OracleUser):
+    """An oracle that errs with a utility-gap-dependent probability.
+
+    With probability ``error_rate * exp(-gap / temperature)`` the answer is
+    flipped, where ``gap`` is the absolute utility difference: near-ties
+    are maximally confusable, clear-cut comparisons are answered reliably.
+    ``temperature = inf`` degenerates to a constant flip probability.
+    """
+
+    def __init__(
+        self,
+        utility: np.ndarray,
+        error_rate: float = 0.1,
+        temperature: float = 0.05,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(utility)
+        require_probability(error_rate, "error_rate")
+        if temperature <= 0:
+            raise ValueError(f"temperature must be > 0, got {temperature}")
+        self._error_rate = error_rate
+        self._temperature = temperature
+        self._rng = ensure_rng(rng)
+        self.mistakes_made = 0
+
+    def prefers(self, p_i: np.ndarray, p_j: np.ndarray) -> bool:
+        truthful = super().prefers(p_i, p_j)
+        gap = abs(float(self._utility @ (np.asarray(p_i) - np.asarray(p_j))))
+        flip_probability = self._error_rate * float(
+            np.exp(-gap / self._temperature)
+        )
+        if self._rng.uniform() < flip_probability:
+            self.mistakes_made += 1
+            return not truthful
+        return truthful

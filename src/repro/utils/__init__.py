@@ -1,0 +1,22 @@
+"""Small shared utilities: RNG plumbing, validation, timing."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.timing import Stopwatch
+from repro.utils.validation import (
+    require,
+    require_matrix,
+    require_positive,
+    require_probability,
+    require_vector,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "require",
+    "require_matrix",
+    "require_positive",
+    "require_probability",
+    "require_vector",
+]

@@ -1,0 +1,64 @@
+"""Wall-clock timing used by the evaluation harness.
+
+The paper reports the accumulated execution time of the interactive agent
+at the end of every round (Figures 7-8) and the total execution time of a
+session (Figures 9-16).  :class:`Stopwatch` accumulates *agent* time only:
+the session runner pauses it while the simulated user "thinks", matching
+how the paper measures algorithm cost rather than human latency.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """A pausable, accumulating wall-clock stopwatch.
+
+    Examples
+    --------
+    >>> watch = Stopwatch()
+    >>> watch.start(); watch.stop()
+    >>> watch.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._accumulated = 0.0
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        """Start (or resume) the stopwatch; idempotent while running."""
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+
+    def stop(self) -> None:
+        """Pause the stopwatch; idempotent while stopped."""
+        if self._started_at is not None:
+            self._accumulated += time.perf_counter() - self._started_at
+            self._started_at = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time and stop the watch."""
+        self._accumulated = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently accumulating time."""
+        return self._started_at is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated seconds, including any in-flight interval."""
+        extra = 0.0
+        if self._started_at is not None:
+            extra = time.perf_counter() - self._started_at
+        return self._accumulated + extra
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

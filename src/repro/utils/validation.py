@@ -1,0 +1,52 @@
+"""Argument validation helpers.
+
+Library entry points validate their inputs eagerly with these helpers so
+that misuse surfaces as a clear :class:`ValueError`/:class:`TypeError` at
+the call site instead of as a shape error deep inside numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise unless ``value`` is strictly positive."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+
+
+def require_probability(value: float, name: str) -> None:
+    """Raise unless ``value`` lies in [0, 1]."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+
+
+def require_vector(array: np.ndarray, name: str, size: int | None = None) -> np.ndarray:
+    """Coerce ``array`` to a 1-d float array, optionally checking its size."""
+    out = np.asarray(array, dtype=float)
+    if out.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {out.shape}")
+    if size is not None and out.shape[0] != size:
+        raise ValueError(f"{name} must have length {size}, got {out.shape[0]}")
+    return out
+
+
+def require_matrix(
+    array: np.ndarray, name: str, columns: int | None = None
+) -> np.ndarray:
+    """Coerce ``array`` to a 2-d float array, optionally checking columns."""
+    out = np.asarray(array, dtype=float)
+    if out.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {out.shape}")
+    if columns is not None and out.shape[1] != columns:
+        raise ValueError(
+            f"{name} must have {columns} columns, got {out.shape[1]}"
+        )
+    return out

@@ -1,0 +1,83 @@
+"""Tests for the Adaptive preference-learning baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import AdaptiveSession, UHRandomSession
+from repro.core import run_session
+from repro.errors import ConfigurationError
+from repro.eval.metrics import session_regret
+from repro.users import OracleUser
+
+
+class TestConstruction:
+    def test_invalid_epsilon(self, small_anti_3d):
+        with pytest.raises(ConfigurationError):
+            AdaptiveSession(small_anti_3d, epsilon=0.0)
+
+    def test_name(self, small_anti_3d):
+        assert AdaptiveSession(small_anti_3d, rng=0).name == "Adaptive"
+
+
+class TestBehaviour:
+    def test_learns_the_utility_vector(self, small_anti_3d):
+        u = np.array([0.5, 0.3, 0.2])
+        session = AdaptiveSession(small_anti_3d, epsilon=0.1, rng=1)
+        result = run_session(session, OracleUser(u), max_rounds=500)
+        if result.truncated:
+            pytest.skip("dataset too small to localise the vector")
+        estimate = session.estimated_utility()
+        # The whole point of Adaptive: the *vector* is learned well.
+        assert np.linalg.norm(estimate - u) <= 0.25
+
+    def test_regret_is_low(self, small_anti_3d, test_utilities_3d):
+        for u in test_utilities_3d:
+            user = OracleUser(u)
+            result = run_session(
+                AdaptiveSession(small_anti_3d, epsilon=0.1, rng=2),
+                user,
+                max_rounds=500,
+            )
+            assert session_regret(small_anti_3d, result, user) <= 0.1 + 1e-6
+
+    def test_asks_more_than_regret_focused_methods(
+        self, small_anti_3d, test_utilities_3d
+    ):
+        """The paper's critique: deriving preferences costs extra rounds."""
+        adaptive_rounds = []
+        uh_rounds = []
+        for seed, u in enumerate(test_utilities_3d):
+            adaptive_rounds.append(
+                run_session(
+                    AdaptiveSession(small_anti_3d, epsilon=0.1, rng=seed),
+                    OracleUser(u),
+                    max_rounds=500,
+                ).rounds
+            )
+            uh_rounds.append(
+                run_session(
+                    UHRandomSession(small_anti_3d, epsilon=0.1, rng=seed),
+                    OracleUser(u),
+                ).rounds
+            )
+        assert np.mean(adaptive_rounds) >= np.mean(uh_rounds) - 1.0
+
+    def test_stops_when_no_informative_pair_remains(self):
+        """On a tiny dataset the vector cannot be localised; must stop."""
+        from repro.data.datasets import Dataset
+
+        tiny = Dataset(
+            np.array([[1.0, 0.2], [0.2, 1.0], [0.6, 0.7]]), name="tiny"
+        )
+        result = run_session(
+            AdaptiveSession(tiny, epsilon=0.05, rng=0),
+            OracleUser(np.array([0.5, 0.5])),
+            max_rounds=100,
+        )
+        assert not result.truncated
+
+    def test_halfspaces_exposed(self, small_anti_3d):
+        session = AdaptiveSession(small_anti_3d, rng=3)
+        assert session.halfspaces == ()

@@ -1,0 +1,99 @@
+"""Tests for the SinglePass baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SinglePassSession
+from repro.core import run_session
+from repro.errors import ConfigurationError
+from repro.eval.metrics import session_regret
+from repro.users import OracleUser
+
+
+class TestConstruction:
+    def test_invalid_epsilon(self, small_anti_3d):
+        with pytest.raises(ConfigurationError):
+            SinglePassSession(small_anti_3d, epsilon=-0.1)
+
+    def test_no_dimension_guard(self, highd_anti_8d):
+        """SinglePass is the high-dimensional baseline; 8-d must work."""
+        session = SinglePassSession(highd_anti_8d, rng=0)
+        assert not session.finished or session.recommend() >= 0
+
+
+class TestSinglePassBehaviour:
+    def test_regret_below_threshold(self, small_anti_3d, test_utilities_3d):
+        for u in test_utilities_3d:
+            user = OracleUser(u)
+            result = run_session(
+                SinglePassSession(small_anti_3d, epsilon=0.1, rng=1), user,
+                max_rounds=small_anti_3d.n + 5,
+            )
+            assert not result.truncated
+            assert session_regret(small_anti_3d, result, user) <= 0.1 + 1e-6
+
+    def test_at_most_one_question_per_point(self, small_anti_3d):
+        user = OracleUser(np.array([0.4, 0.3, 0.3]))
+        result = run_session(
+            SinglePassSession(small_anti_3d, rng=2), user,
+            max_rounds=small_anti_3d.n + 5,
+        )
+        assert result.rounds <= small_anti_3d.n - 1
+
+    def test_champion_is_always_question_member(self, small_anti_3d):
+        user = OracleUser(np.array([0.2, 0.4, 0.4]))
+        session = SinglePassSession(small_anti_3d, rng=3)
+        while not session.finished and session.rounds < 100:
+            question = session.next_question()
+            assert question.index_i == session.champion
+            session.observe(user.prefers(question.p_i, question.p_j))
+
+    def test_champion_never_loses_recorded_comparisons(self, small_anti_3d):
+        """After an answer, the champion is the reported winner."""
+        user = OracleUser(np.array([0.3, 0.3, 0.4]))
+        session = SinglePassSession(small_anti_3d, rng=4)
+        while not session.finished and session.rounds < 100:
+            question = session.next_question()
+            answer = user.prefers(question.p_i, question.p_j)
+            session.observe(answer)
+            expected = question.index_i if answer else question.index_j
+            assert session.champion == expected
+
+    def test_more_questions_in_higher_dimensions(
+        self, small_anti_3d, highd_anti_8d
+    ):
+        """The paper's headline: SinglePass degrades with dimensionality."""
+        low_rounds = []
+        high_rounds = []
+        for seed in range(3):
+            u3 = np.random.default_rng(seed).dirichlet(np.ones(3))
+            u8 = np.random.default_rng(seed).dirichlet(np.ones(8))
+            low_rounds.append(
+                run_session(
+                    SinglePassSession(small_anti_3d, rng=seed),
+                    OracleUser(u3),
+                    max_rounds=2_000,
+                ).rounds
+            )
+            high_rounds.append(
+                run_session(
+                    SinglePassSession(highd_anti_8d, rng=seed),
+                    OracleUser(u8),
+                    max_rounds=2_000,
+                ).rounds
+            )
+        assert np.mean(high_rounds) > np.mean(low_rounds)
+
+    def test_loose_epsilon_skips_more(self, small_anti_3d):
+        u = np.array([0.3, 0.4, 0.3])
+        tight = run_session(
+            SinglePassSession(small_anti_3d, epsilon=0.02, rng=5),
+            OracleUser(u), max_rounds=2_000,
+        )
+        loose = run_session(
+            SinglePassSession(small_anti_3d, epsilon=0.3, rng=5),
+            OracleUser(u), max_rounds=2_000,
+        )
+        assert loose.rounds <= tight.rounds

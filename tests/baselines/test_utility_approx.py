@@ -1,0 +1,90 @@
+"""Tests for the UtilityApprox baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import UtilityApproxSession
+from repro.core import run_session
+from repro.errors import ConfigurationError
+from repro.eval.metrics import session_regret
+from repro.users import OracleUser
+
+
+class TestConstruction:
+    def test_invalid_epsilon(self, small_anti_3d):
+        with pytest.raises(ConfigurationError):
+            UtilityApproxSession(small_anti_3d, epsilon=2.0)
+
+    def test_tolerance_scales_with_dimension(self, small_anti_3d):
+        session = UtilityApproxSession(small_anti_3d, epsilon=0.12)
+        assert session.tolerance == pytest.approx(0.12 / 6)
+
+
+class TestFakePoints:
+    def test_questions_use_fake_points(self, small_anti_3d):
+        session = UtilityApproxSession(small_anti_3d)
+        question = session.next_question()
+        # Fake points have negative sentinel indices and are sparse.
+        assert question.index_i < 0 and question.index_j < 0
+        assert np.count_nonzero(question.p_i) <= 1
+        assert np.count_nonzero(question.p_j) <= 1
+
+    def test_fake_points_absent_from_dataset(self, small_anti_3d):
+        session = UtilityApproxSession(small_anti_3d)
+        question = session.next_question()
+        for point in (question.p_i, question.p_j):
+            matches = np.all(
+                np.isclose(small_anti_3d.points, point[None, :]), axis=1
+            )
+            assert not matches.any()
+
+
+class TestConvergence:
+    def test_estimates_utility_vector(self, small_anti_3d):
+        u = np.array([0.5, 0.3, 0.2])
+        user = OracleUser(u)
+        session = UtilityApproxSession(small_anti_3d, epsilon=0.05)
+        result = run_session(session, user, max_rounds=500)
+        assert not result.truncated
+        estimate = session.estimated_utility()
+        np.testing.assert_allclose(estimate, u, atol=0.05)
+
+    def test_regret_below_threshold(self, small_anti_3d, test_utilities_3d):
+        for u in test_utilities_3d:
+            user = OracleUser(u)
+            result = run_session(
+                UtilityApproxSession(small_anti_3d, epsilon=0.1), user,
+                max_rounds=500,
+            )
+            assert not result.truncated
+            assert session_regret(small_anti_3d, result, user) <= 0.1 + 1e-6
+
+    def test_round_count_data_independent(self, small_anti_3d, small_anti_4d):
+        """Rounds depend only on (d, eps) — the algorithm's weakness."""
+        u3 = np.array([0.4, 0.3, 0.3])
+        first = run_session(
+            UtilityApproxSession(small_anti_3d, epsilon=0.1),
+            OracleUser(u3), max_rounds=500,
+        )
+        second = run_session(
+            UtilityApproxSession(small_anti_3d.subset(range(10)), epsilon=0.1),
+            OracleUser(u3), max_rounds=500,
+        )
+        assert first.rounds == second.rounds
+
+    def test_more_rounds_in_higher_dimension(
+        self, small_anti_3d, small_anti_4d
+    ):
+        u3 = np.full(3, 1 / 3)
+        u4 = np.full(4, 0.25)
+        low = run_session(
+            UtilityApproxSession(small_anti_3d, epsilon=0.1),
+            OracleUser(u3), max_rounds=500,
+        )
+        high = run_session(
+            UtilityApproxSession(small_anti_4d, epsilon=0.1),
+            OracleUser(u4), max_rounds=500,
+        )
+        assert high.rounds > low.rounds

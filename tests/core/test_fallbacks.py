@@ -1,0 +1,92 @@
+"""White-box tests of the contradictory-answer fallback paths.
+
+With a truthful user the utility range never empties; these tests drive
+the environments into the inconsistent states a noisy user can cause and
+verify the documented graceful degradation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aa import AAConfig, AAEnvironment
+from repro.core.ea import EAConfig, EAEnvironment
+from repro.data.datasets import Dataset
+from repro.errors import InteractionError
+
+
+@pytest.fixture
+def three_point_dataset():
+    return Dataset(
+        np.array([[1.0, 0.1], [0.1, 1.0], [0.6, 0.7]]), name="triple"
+    )
+
+
+class TestEAContradiction:
+    def test_contradictory_answer_terminates_gracefully(
+        self, three_point_dataset
+    ):
+        env = EAEnvironment(
+            three_point_dataset, EAConfig(epsilon=0.05, n_samples=16), rng=0
+        )
+        observation = env.reset()
+        assert not observation.terminal
+        # Answer the same pair both ways: the second answer contradicts
+        # the first and must not crash; the environment may legitimately
+        # finish earlier for other reasons, so steer manually.
+        choice = 0
+        index_i, index_j = observation.pairs[choice]
+        observation, _ = env.step(choice, prefers_first=True)
+        if observation.terminal:
+            pytest.skip("range became terminal before a contradiction")
+        # Force the contradicted question back into the action slot.
+        env._pairs = [(index_i, index_j)]
+        observation, reward = env.step(0, prefers_first=False)
+        assert observation.terminal
+        assert 0 <= env.recommend() < three_point_dataset.n
+
+    def test_step_after_terminal_rejected(self, three_point_dataset):
+        env = EAEnvironment(
+            three_point_dataset, EAConfig(epsilon=0.9, n_samples=8), rng=0
+        )
+        observation = env.reset()
+        if not observation.terminal:
+            pytest.skip("huge epsilon should be terminal at reset")
+        with pytest.raises(Exception):
+            env.step(0, True)
+
+
+class TestAAContradiction:
+    def test_infeasible_update_dropped(self, three_point_dataset):
+        env = AAEnvironment(
+            three_point_dataset, AAConfig(epsilon=0.05), rng=0
+        )
+        observation = env.reset()
+        assert not observation.terminal
+        index_i, index_j = observation.pairs[0]
+        observation, _ = env.step(0, prefers_first=True)
+        learned = len(env.halfspaces)
+        if observation.terminal:
+            pytest.skip("terminal before a contradiction could be staged")
+        # Re-ask the identical pair answered the opposite way: the new
+        # half-space contradicts the old one on the boundary-free
+        # interior; AA must drop it, keeping the last consistent set.
+        env._pairs = [(index_i, index_j)]
+        env._asked.discard((min(index_i, index_j), max(index_i, index_j)))
+        observation, _ = env.step(0, prefers_first=False)
+        assert len(env.halfspaces) <= learned + 1
+        assert 0 <= env.recommend() < three_point_dataset.n
+
+    def test_step_on_terminal_raises(self, three_point_dataset):
+        env = AAEnvironment(three_point_dataset, AAConfig(epsilon=0.45), rng=0)
+        observation = env.reset()
+        # Drive to terminal.
+        guard = 0
+        while not observation.terminal and guard < 50:
+            observation, _ = env.step(0, True)
+            guard += 1
+        if not observation.terminal:
+            pytest.skip("could not reach terminal quickly")
+        with pytest.raises(InteractionError):
+            env.step(0, True)

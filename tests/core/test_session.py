@@ -1,0 +1,142 @@
+"""Tests for the interaction protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.session import (
+    InteractiveAlgorithm,
+    Question,
+    run_session,
+)
+from repro.errors import InteractionError
+from repro.users import OracleUser
+
+
+class CountdownAlgorithm(InteractiveAlgorithm):
+    """Asks a fixed number of questions, then recommends point 0."""
+
+    def __init__(self, dataset, questions: int = 3):
+        super().__init__(dataset)
+        self._remaining = questions
+        self.answers: list[bool] = []
+
+    def _propose(self) -> Question:
+        return self.question_for(0, 1)
+
+    def _update(self, question: Question, prefers_first: bool) -> None:
+        self.answers.append(prefers_first)
+        self._remaining -= 1
+
+    def _finished(self) -> bool:
+        return self._remaining <= 0
+
+    def recommend(self) -> int:
+        return 0
+
+
+class TestQuestion:
+    def test_rejects_self_comparison(self):
+        with pytest.raises(InteractionError):
+            Question(1, 1, np.zeros(2), np.zeros(2))
+
+
+class TestProtocolOrder:
+    def test_cannot_answer_without_question(self, toy):
+        algorithm = CountdownAlgorithm(toy)
+        with pytest.raises(InteractionError):
+            algorithm.observe(True)
+
+    def test_cannot_ask_twice(self, toy):
+        algorithm = CountdownAlgorithm(toy)
+        algorithm.next_question()
+        with pytest.raises(InteractionError):
+            algorithm.next_question()
+
+    def test_cannot_ask_after_finish(self, toy):
+        algorithm = CountdownAlgorithm(toy, questions=1)
+        algorithm.next_question()
+        algorithm.observe(True)
+        assert algorithm.finished
+        with pytest.raises(InteractionError):
+            algorithm.next_question()
+
+    def test_round_counting(self, toy):
+        algorithm = CountdownAlgorithm(toy, questions=2)
+        algorithm.next_question()
+        algorithm.observe(True)
+        assert algorithm.rounds == 1
+
+
+class TestRunSession:
+    def test_runs_to_completion(self, toy):
+        user = OracleUser(np.array([0.3, 0.7]))
+        result = run_session(CountdownAlgorithm(toy, questions=3), user)
+        assert result.rounds == 3
+        assert user.questions_asked == 3
+        assert not result.truncated
+        assert result.recommendation_index == 0
+        np.testing.assert_array_equal(result.recommendation, toy.points[0])
+
+    def test_truncation(self, toy):
+        user = OracleUser(np.array([0.3, 0.7]))
+        result = run_session(
+            CountdownAlgorithm(toy, questions=100), user, max_rounds=5
+        )
+        assert result.truncated
+        assert result.rounds == 5
+
+    def test_rejects_used_algorithm(self, toy):
+        user = OracleUser(np.array([0.3, 0.7]))
+        algorithm = CountdownAlgorithm(toy, questions=2)
+        algorithm.next_question()
+        algorithm.observe(True)
+        with pytest.raises(InteractionError):
+            run_session(algorithm, user)
+
+    def test_trace_records_rounds(self, toy):
+        user = OracleUser(np.array([0.3, 0.7]))
+        result = run_session(
+            CountdownAlgorithm(toy, questions=3), user, trace=True
+        )
+        assert [r.round_number for r in result.trace] == [1, 2, 3]
+        times = [r.elapsed_seconds for r in result.trace]
+        assert times == sorted(times)
+
+    def test_on_round_callback(self, toy):
+        user = OracleUser(np.array([0.3, 0.7]))
+        seen: list[int] = []
+        run_session(
+            CountdownAlgorithm(toy, questions=2),
+            user,
+            on_round=lambda record: seen.append(record.round_number),
+        )
+        assert seen == [1, 2]
+
+    def test_answers_follow_user_utility(self, toy):
+        user = OracleUser(np.array([0.3, 0.7]))
+        algorithm = CountdownAlgorithm(toy, questions=2)
+        run_session(algorithm, user)
+        # p_1 = (floor, 1.0) beats p_2 = (0.3, 0.7) for u = (0.3, 0.7).
+        assert algorithm.answers == [True, True]
+
+
+class TestSessionResultContainer:
+    def test_default_trace_empty(self, toy):
+        from repro.core.session import SessionResult
+
+        result = SessionResult(
+            recommendation_index=0,
+            recommendation=toy.points[0],
+            rounds=0,
+            elapsed_seconds=0.0,
+        )
+        assert result.trace == []
+        assert not result.truncated
+
+    def test_question_for_builds_points(self, toy):
+        algorithm = CountdownAlgorithm(toy)
+        question = algorithm.question_for(1, 3)
+        np.testing.assert_array_equal(question.p_i, toy.points[1])
+        np.testing.assert_array_equal(question.p_j, toy.points[3])

@@ -1,0 +1,113 @@
+"""Tests for EA's state encoding (max-coverage selection + outer sphere)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.state_encoding import (
+    ea_state,
+    ea_state_dim,
+    neighborhood_sets,
+    select_extreme_vectors,
+)
+
+
+class TestNeighborhoodSets:
+    def test_self_coverage(self):
+        vertices = np.eye(3)
+        cover = neighborhood_sets(vertices, d_eps=0.1)
+        assert np.all(np.diag(cover))
+
+    def test_distant_points_uncovered(self):
+        vertices = np.eye(3)
+        cover = neighborhood_sets(vertices, d_eps=0.1)
+        assert not cover[0, 1]
+
+    def test_close_points_covered(self):
+        vertices = np.array([[0.0, 0.0], [0.05, 0.0], [1.0, 1.0]])
+        cover = neighborhood_sets(vertices, d_eps=0.1)
+        assert cover[0, 1] and cover[1, 0]
+        assert not cover[0, 2]
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            neighborhood_sets(np.eye(2), d_eps=-0.1)
+
+
+class TestSelectExtremeVectors:
+    def test_exact_count_returned(self):
+        vertices = np.eye(4)
+        selected = select_extreme_vectors(vertices, m_e=3, d_eps=0.1)
+        assert selected.shape == (3, 4)
+
+    def test_padding_by_cycling(self):
+        vertices = np.array([[1.0, 0.0], [0.0, 1.0]])
+        selected = select_extreme_vectors(vertices, m_e=5, d_eps=0.01)
+        assert selected.shape == (5, 2)
+        # Rows cycle through the two selected vertices.
+        np.testing.assert_array_equal(selected[0], selected[2])
+
+    def test_greedy_picks_cluster_representative(self):
+        # A cluster of 3 near-identical vertices plus 2 isolated ones:
+        # with m_e = 1 the cluster member must win (covers 3).
+        vertices = np.array(
+            [
+                [0.0, 0.0],
+                [0.01, 0.0],
+                [0.0, 0.01],
+                [1.0, 0.0],
+                [0.0, 1.0],
+            ]
+        )
+        selected = select_extreme_vectors(vertices, m_e=1, d_eps=0.05)
+        assert np.linalg.norm(selected[0]) < 0.1
+
+    def test_max_coverage_beats_worst_case(self):
+        """Greedy must cover at least as much as a single random pick."""
+        rng = np.random.default_rng(0)
+        vertices = rng.uniform(size=(30, 3))
+        from repro.core.state_encoding import neighborhood_sets as ns
+
+        cover = ns(vertices, d_eps=0.4)
+        selected = select_extreme_vectors(vertices, m_e=3, d_eps=0.4)
+        # Coverage of the greedy set:
+        rows = [
+            int(np.flatnonzero((vertices == v).all(axis=1))[0])
+            for v in np.unique(selected, axis=0)
+        ]
+        covered = np.zeros(30, dtype=bool)
+        for row in rows:
+            covered |= cover[row]
+        assert covered.sum() >= cover.sum(axis=1).max()
+
+    def test_empty_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            select_extreme_vectors(np.empty((0, 3)), m_e=2, d_eps=0.1)
+
+    def test_invalid_m_e(self):
+        with pytest.raises(ValueError):
+            select_extreme_vectors(np.eye(2), m_e=0, d_eps=0.1)
+
+
+class TestEaState:
+    def test_layout_and_length(self):
+        vertices = np.eye(3)
+        state, sphere = ea_state(vertices, m_e=4, d_eps=0.1, rng=0)
+        assert state.shape == (ea_state_dim(3, 4),)
+        # The tail is the sphere features.
+        np.testing.assert_allclose(state[-4:], sphere.features())
+
+    def test_sphere_encloses_vertices(self):
+        rng = np.random.default_rng(1)
+        vertices = rng.dirichlet(np.ones(4), size=8)
+        _, sphere = ea_state(vertices, m_e=3, d_eps=0.1, rng=0)
+        for vertex in vertices:
+            assert sphere.contains(vertex, tol=1e-6)
+
+    def test_state_dim_formula(self):
+        assert ea_state_dim(4, 5) == 4 * 5 + 4 + 1
+
+    def test_state_dim_validation(self):
+        with pytest.raises(ValueError):
+            ea_state_dim(1, 5)

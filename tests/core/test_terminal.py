@@ -1,0 +1,166 @@
+"""Tests for terminal polyhedra and the anchor set (Lemmas 4, 6, 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import terminal
+from repro.geometry.hyperplane import epsilon_halfspace, preference_halfspace
+from repro.geometry.polytope import UtilityPolytope
+from repro.geometry.vectors import regret_ratio
+
+
+@pytest.fixture
+def corner_points():
+    """Three well-separated skyline points in 3-d."""
+    return np.array(
+        [
+            [1.0, 0.1, 0.1],
+            [0.1, 1.0, 0.1],
+            [0.1, 0.1, 1.0],
+        ]
+    )
+
+
+class TestEpsilonDominates:
+    def test_winner_dominates_itself(self, corner_points):
+        vertices = np.eye(3)
+        scores = vertices @ corner_points.T
+        # Point 0 tops vertex 0 but loses badly at the others.
+        assert not terminal.epsilon_dominates(scores, 0, epsilon=0.1)
+
+    def test_dominates_when_within_epsilon(self):
+        points = np.array([[1.0, 1.0], [0.95, 0.95]])
+        vertices = np.eye(2)
+        scores = vertices @ points.T
+        assert terminal.epsilon_dominates(scores, 0, epsilon=0.1)
+        assert terminal.epsilon_dominates(scores, 1, epsilon=0.1)
+
+    def test_not_within_small_epsilon(self):
+        points = np.array([[1.0, 1.0], [0.8, 0.8]])
+        vertices = np.eye(2)
+        scores = vertices @ points.T
+        assert not terminal.epsilon_dominates(scores, 1, epsilon=0.1)
+
+
+class TestAnchorIndices:
+    def test_finds_all_corner_winners(self, corner_points):
+        vectors = np.eye(3)
+        anchors = terminal.anchor_indices(corner_points, vectors)
+        np.testing.assert_array_equal(anchors, [0, 1, 2])
+
+    def test_counts_reflect_frequency(self, corner_points):
+        vectors = np.array(
+            [[0.9, 0.05, 0.05], [0.8, 0.1, 0.1], [0.05, 0.9, 0.05]]
+        )
+        anchors, counts = terminal.anchor_indices_with_counts(
+            corner_points, vectors
+        )
+        np.testing.assert_array_equal(anchors, [0, 1])
+        np.testing.assert_array_equal(counts, [2, 1])
+
+
+class TestTerminalAnchor:
+    def test_whole_simplex_not_terminal(self, corner_points):
+        vertices = np.eye(3)
+        assert (
+            terminal.terminal_anchor(corner_points, vertices, epsilon=0.1)
+            is None
+        )
+
+    def test_narrow_region_is_terminal(self, corner_points):
+        # A tight region around the first corner: point 0 dominates.
+        vertices = np.array(
+            [[0.9, 0.05, 0.05], [0.85, 0.1, 0.05], [0.85, 0.05, 0.1]]
+        )
+        anchor = terminal.terminal_anchor(corner_points, vertices, epsilon=0.1)
+        assert anchor == 0
+
+    def test_lemma4_regret_bound(self, corner_points):
+        """Any point of a terminal polyhedron gives regret < eps (Lemma 4)."""
+        epsilon = 0.15
+        poly = UtilityPolytope.simplex(3)
+        best = 0
+        for j in range(corner_points.shape[0]):
+            if j != best:
+                poly = poly.with_halfspace(
+                    epsilon_halfspace(
+                        corner_points[best], corner_points[j], epsilon
+                    )
+                )
+        assert not poly.is_empty()
+        for u in poly.sample(100, rng=0):
+            assert (
+                regret_ratio(corner_points, corner_points[best], u)
+                <= epsilon + 1e-9
+            )
+
+    def test_terminal_anchor_agrees_with_lemma4_region(self, corner_points):
+        """Inside a terminal polyhedron, the terminal test must fire."""
+        epsilon = 0.2
+        poly = UtilityPolytope.simplex(3)
+        for j in (1, 2):
+            poly = poly.with_halfspace(
+                epsilon_halfspace(corner_points[0], corner_points[j], epsilon)
+            )
+        vertices = poly.vertices()
+        anchor = terminal.terminal_anchor(corner_points, vertices, epsilon)
+        assert anchor == 0
+
+    def test_invalid_epsilon(self, corner_points):
+        with pytest.raises(ValueError):
+            terminal.terminal_anchor(corner_points, np.eye(3), epsilon=0.0)
+
+
+class TestBuildActionVectors:
+    def test_includes_vertices(self):
+        poly = UtilityPolytope.simplex(3)
+        vectors = terminal.build_action_vectors(poly, n_samples=10, rng=0)
+        assert vectors.shape == (13, 3)
+
+    def test_zero_samples_only_vertices(self):
+        poly = UtilityPolytope.simplex(3)
+        vectors = terminal.build_action_vectors(poly, n_samples=0, rng=0)
+        assert vectors.shape == (3, 3)
+
+
+class TestAnchorPairs:
+    def test_pairs_are_distinct_points(self, rng):
+        pairs = terminal.anchor_pairs(np.array([3, 5, 9]), m_h=3, rng=rng)
+        for i, j in pairs:
+            assert i != j
+
+    def test_all_pairs_when_few_anchors(self, rng):
+        pairs = terminal.anchor_pairs(np.array([1, 2]), m_h=5, rng=rng)
+        assert pairs == [(1, 2)]
+
+    def test_count_capped_at_m_h(self, rng):
+        pairs = terminal.anchor_pairs(np.arange(10), m_h=4, rng=rng)
+        assert len(pairs) == 4
+
+    def test_weighted_selection_prefers_heavy_anchors(self, rng):
+        anchors = np.arange(10)
+        counts = np.array([100, 100, 1, 1, 1, 1, 1, 1, 1, 1])
+        seen: set[tuple[int, int]] = set()
+        for _ in range(30):
+            seen.update(
+                terminal.anchor_pairs(anchors, m_h=1, rng=rng, counts=counts)
+            )
+        # The heavy pair (0, 1) dominates the draw.
+        assert (0, 1) in seen
+
+    def test_single_anchor_rejected(self, rng):
+        with pytest.raises(ValueError):
+            terminal.anchor_pairs(np.array([1]), m_h=1, rng=rng)
+
+    def test_lemma7_pairs_split_range(self, corner_points, rng):
+        """Both sides of an anchor-pair plane intersect R (Lemma 7)."""
+        poly = UtilityPolytope.simplex(3)
+        vectors = terminal.build_action_vectors(poly, n_samples=50, rng=rng)
+        anchors = terminal.anchor_indices(corner_points, vectors)
+        pairs = terminal.anchor_pairs(anchors, m_h=3, rng=rng)
+        for i, j in pairs:
+            h = preference_halfspace(corner_points[i], corner_points[j])
+            assert not poly.with_halfspace(h).is_empty()
+            assert not poly.with_halfspace(h.flipped()).is_empty()

@@ -1,0 +1,121 @@
+"""Tests for the generic DQN training loop over environments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.environment import EnvObservation, InteractiveEnvironment
+from repro.core.trainer import TrainingLog, train_agent
+from repro.data.datasets import toy_database
+from repro.rl.dqn import DQNAgent, DQNConfig
+
+
+class LineEnvironment(InteractiveEnvironment):
+    """A tiny deterministic MDP: reach the terminal in `length` steps.
+
+    Candidate pairs are always (0, 1); the episode ends after a fixed
+    number of steps regardless of answers — enough to exercise the
+    trainer's bookkeeping deterministically.
+    """
+
+    def __init__(self, length: int = 3):
+        super().__init__(toy_database())
+        self.length = length
+        self._position = 0
+
+    @property
+    def state_dim(self) -> int:
+        return 1
+
+    @property
+    def action_dim(self) -> int:
+        return 4
+
+    def reset(self) -> EnvObservation:
+        self._position = 0
+        return self._observe()
+
+    def _observe(self) -> EnvObservation:
+        state = np.array([float(self._position)])
+        if self._position >= self.length:
+            return EnvObservation(state, None, None, terminal=True)
+        actions = np.array([self.action_features(0, 1)])
+        return EnvObservation(state, actions, [(0, 1)], terminal=False)
+
+    def step(self, choice, prefers_first):
+        self._position += 1
+        obs = self._observe()
+        return obs, (100.0 if obs.terminal else 0.0)
+
+    def recommend(self) -> int:
+        return 0
+
+
+class TestTrainAgent:
+    def make_dqn(self) -> DQNAgent:
+        return DQNAgent(
+            state_dim=1,
+            action_dim=4,
+            config=DQNConfig(batch_size=8),
+            rng=0,
+        )
+
+    def test_episode_count(self):
+        env = LineEnvironment(length=2)
+        utilities = np.tile([0.3, 0.7], (5, 1))
+        log = train_agent(env, self.make_dqn(), utilities)
+        assert log.episodes == 5
+        assert log.rounds_per_episode == [2] * 5
+
+    def test_replay_filled(self):
+        env = LineEnvironment(length=3)
+        dqn = self.make_dqn()
+        train_agent(env, dqn, np.tile([0.3, 0.7], (4, 1)))
+        assert len(dqn.memory) == 12
+
+    def test_losses_recorded(self):
+        env = LineEnvironment(length=2)
+        log = train_agent(
+            env,
+            self.make_dqn(),
+            np.tile([0.3, 0.7], (3, 1)),
+            updates_per_episode=2,
+        )
+        assert len(log.losses) == 6
+
+    def test_round_cap_truncates(self):
+        env = LineEnvironment(length=50)
+        log = train_agent(
+            env, self.make_dqn(), np.tile([0.3, 0.7], (2, 1)), round_cap=5
+        )
+        assert log.truncated_episodes == 2
+        assert log.rounds_per_episode == [5, 5]
+
+    def test_on_episode_callback(self):
+        env = LineEnvironment(length=1)
+        seen = []
+        train_agent(
+            env,
+            self.make_dqn(),
+            np.tile([0.3, 0.7], (3, 1)),
+            on_episode=lambda episode, rounds: seen.append((episode, rounds)),
+        )
+        assert seen == [(0, 1), (1, 1), (2, 1)]
+
+    def test_invalid_updates_rejected(self):
+        env = LineEnvironment()
+        with pytest.raises(ValueError):
+            train_agent(
+                env, self.make_dqn(), np.zeros((1, 2)), updates_per_episode=-1
+            )
+
+
+class TestTrainingLog:
+    def test_mean_rounds_empty(self):
+        assert np.isnan(TrainingLog().mean_rounds())
+
+    def test_mean_rounds_tail(self):
+        log = TrainingLog(rounds_per_episode=[10, 2, 4])
+        assert log.mean_rounds(last=2) == pytest.approx(3.0)
+        assert log.mean_rounds() == pytest.approx(16 / 3)

@@ -1,0 +1,183 @@
+"""Tests for the Dataset container and normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    Dataset,
+    NORMALIZATION_FLOOR,
+    normalize_columns,
+    toy_database,
+)
+from repro.errors import DataError
+
+
+class TestDataset:
+    def test_basic_properties(self, toy):
+        assert toy.n == 5
+        assert toy.dimension == 2
+        assert toy.attribute_names == ("attr_a", "attr_b")
+
+    def test_rejects_out_of_range_values(self):
+        with pytest.raises(DataError):
+            Dataset(np.array([[0.5, 1.5], [0.2, 0.3]]))
+
+    def test_rejects_zero_values(self):
+        with pytest.raises(DataError):
+            Dataset(np.array([[0.0, 0.5], [0.2, 0.3]]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DataError):
+            Dataset(np.empty((0, 2)))
+
+    def test_rejects_one_dimension(self):
+        with pytest.raises(DataError):
+            Dataset(np.array([[0.5], [0.2]]))
+
+    def test_rejects_wrong_name_count(self):
+        with pytest.raises(DataError):
+            Dataset(np.array([[0.5, 0.5]]), attribute_names=("only_one",))
+
+    def test_default_attribute_names(self):
+        ds = Dataset(np.array([[0.5, 0.5, 0.5]]))
+        assert ds.attribute_names == ("attr_0", "attr_1", "attr_2")
+
+    def test_subset(self, toy):
+        sub = toy.subset([0, 2])
+        assert sub.n == 2
+        np.testing.assert_array_equal(sub.points[1], toy.points[2])
+
+    def test_sample(self, toy, rng):
+        sub = toy.sample(3, rng)
+        assert sub.n == 3
+
+    def test_sample_too_many(self, toy, rng):
+        with pytest.raises(DataError):
+            toy.sample(10, rng)
+
+    def test_skyline_filters_dominated(self):
+        points = np.array([[0.9, 0.9], [0.5, 0.5], [0.2, 1.0]])
+        sky = Dataset(points).skyline()
+        assert sky.n == 2
+
+    def test_repr(self, toy):
+        assert "toy" in repr(toy)
+
+
+class TestNormalizeColumns:
+    def test_maps_into_unit_interval(self):
+        raw = np.array([[10.0, 5.0], [20.0, 1.0], [30.0, 9.0]])
+        out = normalize_columns(raw)
+        assert np.all(out > 0)
+        assert np.all(out <= 1)
+        assert out[:, 0].max() == pytest.approx(1.0)
+        assert out[:, 0].min() == pytest.approx(NORMALIZATION_FLOOR)
+
+    def test_invert_flips_order(self):
+        raw = np.array([[10.0], [20.0], [30.0]])
+        raw = np.hstack([raw, raw])
+        out = normalize_columns(raw, invert=[True, False])
+        # Inverted column: smallest raw value becomes the largest.
+        assert out[0, 0] == pytest.approx(1.0)
+        assert out[2, 0] == pytest.approx(NORMALIZATION_FLOOR)
+        assert out[2, 1] == pytest.approx(1.0)
+
+    def test_constant_column_maps_to_one(self):
+        raw = np.array([[5.0, 1.0], [5.0, 2.0]])
+        out = normalize_columns(raw)
+        np.testing.assert_allclose(out[:, 0], [1.0, 1.0])
+
+    def test_wrong_flag_count(self):
+        with pytest.raises(ValueError):
+            normalize_columns(np.ones((2, 2)), invert=[True])
+
+    def test_invalid_floor(self):
+        with pytest.raises(ValueError):
+            normalize_columns(np.ones((2, 2)), floor=1.5)
+
+    def test_result_valid_for_dataset(self):
+        rng = np.random.default_rng(0)
+        raw = rng.normal(size=(50, 3)) * 100
+        ds = Dataset(normalize_columns(raw))
+        assert ds.n == 50
+
+
+class TestToyDatabase:
+    def test_matches_table_iii_favourite(self, toy):
+        u = np.array([0.3, 0.7])
+        scores = toy.points @ u
+        assert int(np.argmax(scores)) == 2  # p_3 in 1-based paper numbering
+
+    def test_utilities_match_paper(self, toy):
+        """Utilities in Table III: 0.70, 0.58, 0.71, 0.49, 0.30 (approx)."""
+        u = np.array([0.3, 0.7])
+        scores = toy.points @ u
+        expected = [0.70, 0.58, 0.71, 0.49, 0.30]
+        # p_1 and p_5 are lifted off 0 by the normalisation floor.
+        np.testing.assert_allclose(scores, expected, atol=0.01)
+
+
+class TestNormalizeColumnsProperties:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(
+                    min_value=-1e6,
+                    max_value=1e6,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                min_size=2,
+                max_size=2,
+            ),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_output_always_in_range(self, rows):
+        raw = np.asarray(rows, dtype=float)
+        out = normalize_columns(raw)
+        assert np.all(out >= NORMALIZATION_FLOOR - 1e-12)
+        assert np.all(out <= 1.0 + 1e-12)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=3,
+            max_size=15,
+            unique=True,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_order_preserved(self, values):
+        """Normalisation is monotone (ties allowed at float precision)."""
+        raw = np.asarray(values, dtype=float)[:, None]
+        raw = np.hstack([raw, raw])
+        out = normalize_columns(raw)
+        order_raw = np.argsort(raw[:, 0])
+        sorted_out = out[order_raw, 0]
+        assert np.all(np.diff(sorted_out) >= -1e-12)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=3,
+            max_size=15,
+            unique=True,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_invert_reverses_order(self, values):
+        """Inverted normalisation is antitone (ties at float precision)."""
+        raw = np.asarray(values, dtype=float)[:, None]
+        raw = np.hstack([raw, raw])
+        out = normalize_columns(raw, invert=[True, False])
+        order_raw = np.argsort(raw[:, 0])
+        sorted_out = out[order_raw, 0]
+        assert np.all(np.diff(sorted_out) <= 1e-12)

@@ -1,0 +1,108 @@
+"""Tests for CSV import/export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_csv, save_csv, skyline_fraction
+from repro.errors import DataError
+
+
+@pytest.fixture
+def car_csv(tmp_path):
+    path = tmp_path / "cars.csv"
+    path.write_text(
+        "price,mileage,mpg\n"
+        "5000,45000,25\n"
+        "4000,60000,30\n"
+        "6000,30000,22\n"
+        "3500,80000,28\n"
+        "4500,50000,27\n"
+    )
+    return path
+
+
+class TestLoadCsv:
+    def test_basic_load(self, car_csv):
+        ds = load_csv(car_csv, invert=["price", "mileage"], skyline=False)
+        assert ds.n == 5
+        assert ds.attribute_names == ("price", "mileage", "mpg")
+        assert np.all(ds.points > 0) and np.all(ds.points <= 1)
+
+    def test_invert_semantics(self, car_csv):
+        ds = load_csv(car_csv, invert=["price"], skyline=False)
+        # Cheapest car (3500) gets the best normalised price.
+        assert ds.points[3, 0] == pytest.approx(1.0)
+        # Most expensive (6000) gets the floor.
+        assert ds.points[2, 0] == pytest.approx(0.01)
+
+    def test_column_subset_and_order(self, car_csv):
+        ds = load_csv(car_csv, columns=["mpg", "price"], skyline=False)
+        assert ds.attribute_names == ("mpg", "price")
+
+    def test_skyline_applied_by_default(self, car_csv):
+        full = load_csv(car_csv, invert=["price", "mileage"], skyline=False)
+        sky = load_csv(car_csv, invert=["price", "mileage"])
+        assert sky.n <= full.n
+
+    def test_name_defaults_to_stem(self, car_csv):
+        assert load_csv(car_csv, skyline=False).name == "cars"
+        assert "cars" in load_csv(car_csv).name
+
+    def test_missing_column_rejected(self, car_csv):
+        with pytest.raises(DataError, match="horsepower"):
+            load_csv(car_csv, columns=["price", "horsepower"])
+
+    def test_invert_must_be_selected(self, car_csv):
+        with pytest.raises(DataError, match="invert"):
+            load_csv(car_csv, columns=["price", "mpg"], invert=["mileage"])
+
+    def test_non_numeric_cell_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\nx,4\n")
+        with pytest.raises(DataError, match="row 3"):
+            load_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(DataError):
+            load_csv(path)
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "semi.csv"
+        path.write_text("a;b\n1;2\n3;4\n")
+        ds = load_csv(path, delimiter=";", skyline=False)
+        assert ds.n == 2
+
+
+class TestSaveCsv:
+    def test_round_trip(self, car_csv, tmp_path):
+        ds = load_csv(car_csv, invert=["price", "mileage"], skyline=False)
+        out = tmp_path / "out.csv"
+        save_csv(ds, out)
+        # Re-loading already-normalised data without inversion keeps shape.
+        again = load_csv(out, skyline=False)
+        assert again.n == ds.n
+        assert again.attribute_names == ds.attribute_names
+
+
+class TestSkylineFraction:
+    def test_fully_dominated_set(self):
+        points = np.array([[1.0, 1.0], [0.5, 0.5], [0.2, 0.2]])
+        assert skyline_fraction(points) == pytest.approx(1 / 3)
+
+    def test_no_domination(self):
+        points = np.array([[1.0, 0.1], [0.1, 1.0]])
+        assert skyline_fraction(points) == pytest.approx(1.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            skyline_fraction(np.empty((0, 2)))

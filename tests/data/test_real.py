@@ -1,0 +1,76 @@
+"""Tests for the Car/Player real-dataset stand-ins."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.real import (
+    CAR_ATTRIBUTES,
+    CAR_SIZE,
+    PLAYER_ATTRIBUTES,
+    PLAYER_SIZE,
+    load_car,
+    load_player,
+)
+
+
+class TestCar:
+    def test_published_shape_before_skyline(self):
+        ds = load_car(skyline=False)
+        assert ds.n == CAR_SIZE
+        assert ds.dimension == 3
+        assert ds.attribute_names == CAR_ATTRIBUTES
+
+    def test_values_normalised(self):
+        ds = load_car(skyline=False)
+        assert np.all(ds.points > 0)
+        assert np.all(ds.points <= 1)
+
+    def test_skyline_is_smallish(self):
+        """Low-d real data has a small skyline (the paper's easy case)."""
+        ds = load_car()
+        assert 3 <= ds.n <= 2_000
+
+    def test_anti_correlation_after_inversion(self):
+        """Inverted price vs. mileage/mpg trade-offs must exist."""
+        ds = load_car(skyline=False)
+        corr = np.corrcoef(ds.points.T)
+        # Normalised price (larger = cheaper) anti-correlates with
+        # normalised mileage (larger = fewer miles): cheap cars have
+        # been driven more.
+        assert corr[0, 1] < 0
+
+    def test_deterministic_default_seed(self):
+        np.testing.assert_array_equal(load_car().points, load_car().points)
+
+
+class TestPlayer:
+    def test_published_shape_before_skyline(self):
+        ds = load_player(skyline=False)
+        assert ds.n == PLAYER_SIZE
+        assert ds.dimension == 20
+        assert ds.attribute_names == PLAYER_ATTRIBUTES
+
+    def test_values_normalised(self):
+        ds = load_player(skyline=False)
+        assert np.all(ds.points > 0)
+        assert np.all(ds.points <= 1)
+
+    def test_skyline_is_large(self):
+        """High-d data keeps a very large skyline (the paper's hard case)."""
+        ds = load_player()
+        assert ds.n >= PLAYER_SIZE * 0.10
+
+    def test_deterministic_default_seed(self):
+        np.testing.assert_array_equal(
+            load_player(skyline=False).points[:100],
+            load_player(skyline=False).points[:100],
+        )
+
+    def test_common_skill_factor(self):
+        """Attributes share a strong positive common factor."""
+        ds = load_player(skyline=False)
+        corr = np.corrcoef(ds.points.T)
+        off_diagonal = corr[~np.eye(20, dtype=bool)]
+        assert off_diagonal.mean() > 0.1

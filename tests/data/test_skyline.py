@@ -1,0 +1,90 @@
+"""Tests for the skyline operator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.skyline import (
+    is_dominated,
+    skyline_indices,
+    skyline_indices_naive,
+)
+
+
+def point_sets(d: int):
+    return st.lists(
+        st.lists(st.floats(min_value=0.01, max_value=1.0), min_size=d, max_size=d),
+        min_size=1,
+        max_size=25,
+    ).map(np.array)
+
+
+class TestIsDominated:
+    def test_strictly_smaller_dominated(self):
+        assert is_dominated(np.array([0.4, 0.4]), np.array([[0.5, 0.5]]))
+
+    def test_tradeoff_not_dominated(self):
+        assert not is_dominated(np.array([0.4, 0.9]), np.array([[0.5, 0.5]]))
+
+    def test_equal_not_dominated(self):
+        assert not is_dominated(np.array([0.5, 0.5]), np.array([[0.5, 0.5]]))
+
+    def test_partial_tie_dominated(self):
+        assert is_dominated(np.array([0.5, 0.4]), np.array([[0.5, 0.5]]))
+
+
+class TestSkylineIndices:
+    @given(point_sets(2))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_naive_2d(self, points):
+        fast = skyline_indices(points)
+        naive = skyline_indices_naive(points)
+        np.testing.assert_array_equal(fast, naive)
+
+    @given(point_sets(4))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_naive_4d(self, points):
+        fast = skyline_indices(points)
+        naive = skyline_indices_naive(points)
+        np.testing.assert_array_equal(fast, naive)
+
+    def test_empty_input(self):
+        assert skyline_indices(np.empty((0, 3))).size == 0
+
+    def test_single_point(self):
+        np.testing.assert_array_equal(
+            skyline_indices(np.array([[0.5, 0.5]])), [0]
+        )
+
+    def test_duplicates_all_kept(self):
+        points = np.array([[0.5, 0.5], [0.5, 0.5]])
+        assert skyline_indices(points).size == 2
+
+    @given(point_sets(3))
+    @settings(max_examples=40, deadline=None)
+    def test_skyline_points_not_dominated(self, points):
+        indices = skyline_indices(points)
+        for i in indices:
+            others = np.delete(points, i, axis=0)
+            if others.size:
+                assert not is_dominated(points[i], others)
+
+    @given(point_sets(3))
+    @settings(max_examples=40, deadline=None)
+    def test_non_skyline_points_dominated(self, points):
+        indices = set(skyline_indices(points).tolist())
+        for i in range(points.shape[0]):
+            if i not in indices:
+                assert is_dominated(points[i], points)
+
+    def test_top1_always_on_skyline(self):
+        """Only skyline points can top a non-negative linear utility."""
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0.01, 1.0, size=(50, 3))
+        sky = set(skyline_indices(points).tolist())
+        for _ in range(50):
+            u = rng.dirichlet(np.ones(3))
+            assert int(np.argmax(points @ u)) in sky

@@ -1,0 +1,68 @@
+"""Tests for dataset profiling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_dataset, toy_database
+from repro.data.summary import DatasetSummary, summarize
+
+
+class TestSummarize:
+    def test_basic_fields(self, toy):
+        summary = summarize(toy)
+        assert summary.name == "toy"
+        assert summary.n == 5
+        assert summary.dimension == 2
+        assert 1 <= summary.skyline_size <= 5
+        assert summary.attribute_means.shape == (2,)
+        assert summary.attribute_stds.shape == (2,)
+
+    def test_skyline_fraction_consistent(self, small_anti_3d):
+        summary = summarize(small_anti_3d)
+        assert summary.skyline_fraction == pytest.approx(
+            summary.skyline_size / summary.n
+        )
+
+    def test_anti_correlated_flags_negative_correlation(self):
+        ds = synthetic_dataset("anti", 2_000, 3, rng=0, skyline=False)
+        summary = summarize(ds)
+        assert summary.mean_correlation < 0
+
+    def test_correlated_flags_positive_correlation(self):
+        ds = synthetic_dataset("corr", 2_000, 3, rng=0, skyline=False)
+        summary = summarize(ds)
+        assert summary.mean_correlation > 0.3
+
+
+class TestDifficulty:
+    def make(self, dimension, skyline_fraction):
+        return DatasetSummary(
+            name="x",
+            n=100,
+            dimension=dimension,
+            skyline_size=int(100 * skyline_fraction),
+            skyline_fraction=skyline_fraction,
+            mean_correlation=0.0,
+            min_correlation=0.0,
+            attribute_means=np.zeros(dimension),
+            attribute_stds=np.zeros(dimension),
+        )
+
+    def test_high_dimension_is_hard(self):
+        assert self.make(20, 0.05).difficulty == "hard"
+
+    def test_large_skyline_is_hard(self):
+        assert self.make(3, 0.8).difficulty == "hard"
+
+    def test_small_lowd_is_easy(self):
+        assert self.make(3, 0.02).difficulty == "easy"
+
+    def test_middle_is_moderate(self):
+        assert self.make(5, 0.2).difficulty == "moderate"
+
+    def test_lines_render(self):
+        lines = self.make(3, 0.02).lines()
+        assert any("difficulty" in line for line in lines)
+        assert any("skyline" in line for line in lines)

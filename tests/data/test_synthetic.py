@@ -1,0 +1,80 @@
+"""Tests for the synthetic data generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.skyline import skyline_indices
+from repro.data.synthetic import (
+    anti_correlated,
+    correlated,
+    independent,
+    synthetic_dataset,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "generator", [independent, correlated, anti_correlated]
+    )
+    def test_shape_and_range(self, generator):
+        points = generator(100, 4, rng=0)
+        assert points.shape == (100, 4)
+        assert np.all(points > 0)
+        assert np.all(points <= 1)
+
+    @pytest.mark.parametrize(
+        "generator", [independent, correlated, anti_correlated]
+    )
+    def test_deterministic(self, generator):
+        np.testing.assert_array_equal(
+            generator(50, 3, rng=7), generator(50, 3, rng=7)
+        )
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            independent(0, 3)
+        with pytest.raises(ValueError):
+            independent(10, 1)
+
+    def test_anti_correlated_negative_correlations(self):
+        points = anti_correlated(5000, 3, rng=1)
+        corr = np.corrcoef(points.T)
+        off_diagonal = corr[~np.eye(3, dtype=bool)]
+        assert np.all(off_diagonal < 0)
+
+    def test_correlated_positive_correlations(self):
+        points = correlated(5000, 3, rng=1)
+        corr = np.corrcoef(points.T)
+        off_diagonal = corr[~np.eye(3, dtype=bool)]
+        assert np.all(off_diagonal > 0.5)
+
+    def test_skyline_size_ordering(self):
+        """anti-correlated >> independent >> correlated skylines."""
+        n, d = 3000, 3
+        sizes = {
+            kind: len(skyline_indices(gen(n, d, rng=3)))
+            for kind, gen in [
+                ("anti", anti_correlated),
+                ("indep", independent),
+                ("corr", correlated),
+            ]
+        }
+        assert sizes["anti"] > sizes["indep"] > sizes["corr"]
+
+
+class TestSyntheticDataset:
+    def test_skyline_applied_by_default(self):
+        full = synthetic_dataset("anti", 500, 3, rng=0, skyline=False)
+        sky = synthetic_dataset("anti", 500, 3, rng=0, skyline=True)
+        assert sky.n < full.n
+
+    def test_name_encodes_parameters(self):
+        ds = synthetic_dataset("indep", 100, 3, rng=0)
+        assert "indep" in ds.name
+        assert "n100" in ds.name
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            synthetic_dataset("weird", 100, 3)

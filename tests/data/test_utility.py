@@ -1,0 +1,48 @@
+"""Tests for utility-vector training sets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.utility import (
+    DEFAULT_TRAINING_SIZE,
+    sample_training_utilities,
+    train_test_utilities,
+)
+from repro.geometry import simplex
+
+
+class TestSampleTrainingUtilities:
+    def test_default_size_is_papers(self):
+        assert DEFAULT_TRAINING_SIZE == 10_000
+
+    def test_shape(self):
+        out = sample_training_utilities(5, 20, rng=0)
+        assert out.shape == (20, 5)
+
+    def test_on_simplex(self):
+        out = sample_training_utilities(4, 50, rng=1)
+        for row in out:
+            assert simplex.on_simplex(row, tol=1e-9)
+
+
+class TestTrainTestSplit:
+    def test_shapes(self):
+        train, test = train_test_utilities(3, 10, 4, rng=0)
+        assert train.shape == (10, 3)
+        assert test.shape == (4, 3)
+
+    def test_streams_are_independent(self):
+        train, test = train_test_utilities(3, 5, 5, rng=0)
+        assert not np.allclose(train, test)
+
+    def test_deterministic_with_seed(self):
+        a = train_test_utilities(3, 5, 5, rng=42)
+        b = train_test_utilities(3, 5, 5, rng=42)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_different_seeds_differ(self):
+        a = train_test_utilities(3, 5, 5, rng=1)
+        b = train_test_utilities(3, 5, 5, rng=2)
+        assert not np.allclose(a[0], b[0])

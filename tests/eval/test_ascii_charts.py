@@ -1,0 +1,76 @@
+"""Tests for text chart rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.ascii_charts import bar_chart, series_chart, sparkline
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        assert sparkline([0.0, 0.5, 1.0]) == "▁▅█"
+
+    def test_constant_series(self):
+        assert sparkline([3.0, 3.0, 3.0]) == "▁▁▁"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_explicit_bounds_clamp(self):
+        out = sparkline([-10.0, 0.5, 10.0], lo=0.0, hi=1.0)
+        assert out[0] == "▁"
+        assert out[2] == "█"
+
+    def test_length_matches_input(self):
+        assert len(sparkline(list(range(17)))) == 17
+
+
+class TestBarChart:
+    def test_alignment_and_values(self):
+        out = bar_chart([("EA", 5.0), ("AA", 10.0)], width=10)
+        lines = out.splitlines()
+        assert lines[0].startswith("EA |")
+        assert lines[1].startswith("AA |")
+        assert "5.000" in lines[0]
+        assert "##########" in lines[1]
+
+    def test_title(self):
+        out = bar_chart([("x", 1.0)], title="Rounds")
+        assert out.splitlines()[0] == "Rounds"
+
+    def test_unit_suffix(self):
+        out = bar_chart([("x", 1.0)], unit="s")
+        assert "1.000s" in out
+
+    def test_zero_values(self):
+        out = bar_chart([("x", 0.0), ("y", 0.0)])
+        assert "0.000" in out
+
+    def test_empty(self):
+        assert bar_chart([]) == ""
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            bar_chart([("x", 1.0)], width=0)
+
+    def test_mapping_input(self):
+        out = bar_chart({"a": 1.0, "b": 2.0})
+        assert "a" in out and "b" in out
+
+
+class TestSeriesChart:
+    def test_shared_scale_header(self):
+        out = series_chart({"EA": [0.5, 0.1], "AA": [0.4, 0.2]})
+        assert "shared scale" in out.splitlines()[0]
+
+    def test_endpoints_annotated(self):
+        out = series_chart({"EA": [0.5, 0.1]})
+        assert "0.500 -> 0.100" in out
+
+    def test_empty(self):
+        assert series_chart({}) == ""
+
+    def test_empty_series_skipped(self):
+        out = series_chart({"EA": [0.5], "empty": []})
+        assert "empty" not in out

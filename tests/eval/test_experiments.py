@@ -1,0 +1,149 @@
+"""Tests for the shared experiment configuration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic_dataset
+from repro.eval.experiments import (
+    ALL_METHODS,
+    LOW_DIMENSIONAL_METHODS,
+    PAPER_SCALE,
+    REDUCED_SCALE,
+    MethodResult,
+    Scale,
+    applicable_methods,
+    build_method,
+    compare_methods,
+    current_scale,
+)
+
+
+class TestScale:
+    def test_reduced_is_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+        assert current_scale() == REDUCED_SCALE
+
+    def test_paper_scale_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+        assert current_scale() == PAPER_SCALE
+
+    def test_paper_scale_matches_section_v(self):
+        assert PAPER_SCALE.synthetic_n == 100_000
+        assert PAPER_SCALE.train_episodes == 10_000
+        assert PAPER_SCALE.test_users == 10
+
+    def test_label(self):
+        assert "n=5000" in REDUCED_SCALE.label
+
+
+class TestApplicableMethods:
+    def test_low_dimension_keeps_all(self):
+        assert applicable_methods(4) == ALL_METHODS
+
+    def test_high_dimension_drops_polytope_methods(self):
+        methods = applicable_methods(20)
+        for name in LOW_DIMENSIONAL_METHODS:
+            assert name not in methods
+        assert "AA" in methods
+        assert "SinglePass" in methods
+
+
+class TestBuildMethod:
+    @pytest.fixture(scope="class")
+    def tiny_dataset(self):
+        return synthetic_dataset("anti", 300, 3, rng=0)
+
+    @pytest.fixture(scope="class")
+    def tiny_scale(self):
+        return Scale(
+            synthetic_n=300,
+            train_episodes=3,
+            test_users=2,
+            region_samples=50,
+            updates_per_episode=1,
+        )
+
+    @pytest.mark.parametrize(
+        "name", ["UH-Random", "UH-Simplex", "SinglePass", "UtilityApprox"]
+    )
+    def test_baseline_factories(self, tiny_dataset, tiny_scale, name):
+        factory = build_method(name, tiny_dataset, 0.1, seed=0, scale=tiny_scale)
+        session = factory()
+        assert session.dataset is tiny_dataset
+
+    def test_rl_factory_trains(self, tiny_dataset, tiny_scale):
+        factory = build_method("AA", tiny_dataset, 0.2, seed=0, scale=tiny_scale)
+        session = factory()
+        assert session.dataset is tiny_dataset
+
+    def test_unknown_method(self, tiny_dataset):
+        with pytest.raises(ValueError):
+            build_method("Oracle", tiny_dataset, 0.1)
+
+    def test_factories_produce_fresh_sessions(self, tiny_dataset, tiny_scale):
+        factory = build_method(
+            "UH-Random", tiny_dataset, 0.1, seed=0, scale=tiny_scale
+        )
+        assert factory() is not factory()
+
+
+class TestCompareMethods:
+    def test_result_structure(self):
+        dataset = synthetic_dataset("anti", 300, 3, rng=1)
+        scale = Scale(
+            synthetic_n=300,
+            train_episodes=3,
+            test_users=2,
+            region_samples=50,
+            updates_per_episode=1,
+        )
+        results = compare_methods(
+            dataset, 0.2, ("UH-Random", "SinglePass"), seed=3, scale=scale
+        )
+        assert [r.method for r in results] == ["UH-Random", "SinglePass"]
+        for result in results:
+            assert isinstance(result, MethodResult)
+            assert result.rounds > 0
+            assert result.epsilon == 0.2
+            assert result.n == dataset.n
+            assert len(result.row()) == 5
+
+
+class TestBuildMethodEA:
+    def test_ea_factory_trains_and_runs(self):
+        from repro.core.session import run_session
+        from repro.users import OracleUser
+        import numpy as np
+
+        dataset = synthetic_dataset("anti", 200, 2, rng=5)
+        scale = Scale(
+            synthetic_n=200,
+            train_episodes=2,
+            test_users=1,
+            region_samples=20,
+            updates_per_episode=1,
+        )
+        factory = build_method("EA", dataset, 0.25, seed=1, scale=scale)
+        result = run_session(
+            factory(), OracleUser(np.array([0.4, 0.6])), max_rounds=50
+        )
+        assert result.recommendation_index >= 0
+
+    def test_explicit_train_utilities_used(self):
+        import numpy as np
+
+        dataset = synthetic_dataset("anti", 200, 2, rng=6)
+        scale = Scale(
+            synthetic_n=200,
+            train_episodes=99,  # would be slow; explicit set overrides
+            test_users=1,
+            region_samples=20,
+            updates_per_episode=1,
+        )
+        train = np.array([[0.5, 0.5], [0.3, 0.7]])
+        factory = build_method(
+            "AA", dataset, 0.25, seed=2, scale=scale, train_utilities=train
+        )
+        assert factory() is not None

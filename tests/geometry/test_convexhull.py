@@ -1,0 +1,61 @@
+"""Tests for convex-hull helpers used by UH-Simplex."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.convexhull import (
+    hull_extreme_indices,
+    upper_hull_indices,
+)
+
+
+class TestHullExtremeIndices:
+    def test_square_corners(self):
+        points = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0], [0.5, 0.5]]
+        )
+        extremes = hull_extreme_indices(points)
+        assert set(extremes) == {0, 1, 2, 3}
+
+    def test_interior_point_excluded(self):
+        points = np.array(
+            [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.2, 0.2]]
+        )
+        assert 3 not in hull_extreme_indices(points)
+
+    def test_collinear_points_fallback(self):
+        # Qhull cannot build a 2-d hull of collinear points; LP fallback
+        # should identify the two endpoints.
+        points = np.array([[0.0, 0.0], [0.5, 0.5], [1.0, 1.0]])
+        extremes = hull_extreme_indices(points)
+        assert set(extremes) == {0, 2}
+
+    def test_tiny_input(self):
+        points = np.array([[0.3, 0.7], [0.7, 0.3]])
+        extremes = hull_extreme_indices(points)
+        assert set(extremes) == {0, 1}
+
+    def test_3d_simplex_corners(self):
+        points = np.vstack([np.eye(3), [[1 / 3, 1 / 3, 1 / 3]]])
+        extremes = hull_extreme_indices(points)
+        assert set(extremes) == {0, 1, 2}
+
+
+class TestUpperHullIndices:
+    def test_dominated_point_excluded(self):
+        points = np.array([[1.0, 0.1], [0.1, 1.0], [0.2, 0.2]])
+        upper = upper_hull_indices(points)
+        assert 2 not in upper
+        assert {0, 1} <= set(upper)
+
+    def test_every_upper_point_is_some_top1(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0.1, 1.0, size=(15, 2))
+        upper = set(upper_hull_indices(points))
+        # Every top-1 over a dense utility sweep must be in the upper hull.
+        grid = np.linspace(0, 1, 101)
+        us = np.column_stack([grid, 1 - grid])
+        tops = set(np.argmax(us @ points.T, axis=1).tolist())
+        assert tops <= upper

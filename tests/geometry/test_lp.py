@@ -1,0 +1,184 @@
+"""Tests for the LP toolkit (reduced- and ambient-space helpers)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import EmptyRegionError
+from repro.geometry import lp, simplex
+from repro.geometry.hyperplane import preference_halfspace
+
+
+def square_constraints() -> tuple[np.ndarray, np.ndarray]:
+    """The unit square [0, 1]^2 as A x <= b."""
+    a = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+    b = np.array([1.0, 0.0, 1.0, 0.0])
+    return a, b
+
+
+class TestSolve:
+    def test_minimises(self):
+        a, b = square_constraints()
+        result = lp.solve(np.array([1.0, 1.0]), a_ub=a, b_ub=b)
+        assert result.value == pytest.approx(0.0)
+
+    def test_maximise_wrapper(self):
+        a, b = square_constraints()
+        result = lp.maximize(np.array([1.0, 1.0]), a_ub=a, b_ub=b)
+        assert result.value == pytest.approx(2.0)
+
+    def test_variables_free_by_default(self):
+        # min x s.t. x >= -5 should reach -5, not 0.
+        result = lp.solve(
+            np.array([1.0]), a_ub=np.array([[-1.0]]), b_ub=np.array([5.0])
+        )
+        assert result.value == pytest.approx(-5.0)
+
+    def test_infeasible_raises(self):
+        a = np.array([[1.0], [-1.0]])
+        b = np.array([-1.0, -1.0])  # x <= -1 and x >= 1
+        with pytest.raises(lp.InfeasibleLP):
+            lp.solve(np.array([1.0]), a_ub=a, b_ub=b)
+
+    def test_unbounded_raises(self):
+        with pytest.raises(lp.UnboundedLP):
+            lp.solve(np.array([-1.0]), a_ub=np.array([[-1.0]]), b_ub=np.array([0.0]))
+
+
+class TestChebyshev:
+    def test_square_center(self):
+        a, b = square_constraints()
+        center, radius = lp.chebyshev_center(a, b)
+        np.testing.assert_allclose(center, [0.5, 0.5], atol=1e-8)
+        assert radius == pytest.approx(0.5)
+
+    def test_empty_raises(self):
+        a = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        b = np.array([-1.0, -1.0])
+        with pytest.raises(lp.InfeasibleLP):
+            lp.chebyshev_center(a, b)
+
+    def test_flat_polytope_zero_radius(self):
+        # x_1 = 0.5 exactly.
+        a = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        b = np.array([0.5, -0.5, 1.0, 0.0])
+        _, radius = lp.chebyshev_center(a, b)
+        assert radius == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSupportAndRedundancy:
+    def test_support_value(self):
+        a, b = square_constraints()
+        assert lp.support_value(a, b, np.array([1.0, -1.0])) == pytest.approx(1.0)
+
+    def test_is_feasible(self):
+        a, b = square_constraints()
+        assert lp.is_feasible(a, b)
+
+    def test_redundant_constraint_detected(self):
+        a, b = square_constraints()
+        a2 = np.vstack([a, [1.0, 0.0]])
+        b2 = np.append(b, 2.0)  # x <= 2 is implied by x <= 1
+        assert lp.constraint_is_redundant(a2, b2, index=4)
+
+    def test_necessary_constraint_kept(self):
+        a, b = square_constraints()
+        assert not lp.constraint_is_redundant(a, b, index=0)
+
+
+class TestAmbientHelpers:
+    def test_feasible_empty_halfspace_list(self):
+        assert lp.ambient_is_feasible([], 3)
+
+    def test_infeasible_contradiction(self):
+        h = preference_halfspace(np.array([0.9, 0.1]), np.array([0.1, 0.9]))
+        # h and its flip leave only the boundary; adding a shifted variant
+        # that excludes the boundary empties the region.
+        shifted = preference_halfspace(
+            np.array([0.95, 0.1]), np.array([0.1, 0.9])
+        )
+        assert lp.ambient_is_feasible([h, h.flipped()], 2)  # boundary line
+        # A genuinely empty system:
+        strict_a = preference_halfspace(np.array([1.0, 0.2]), np.array([0.0, 0.9]))
+        strict_b = preference_halfspace(np.array([0.0, 0.9]), np.array([1.0, 0.0]))
+        del shifted
+        feasible = lp.ambient_is_feasible([strict_a, strict_b], 2)
+        # Verify against brute force over a dense simplex grid.
+        grid = np.linspace(0, 1, 2001)
+        us = np.column_stack([grid, 1 - grid])
+        ok = np.all(us @ np.array([h.normal for h in (strict_a, strict_b)]).T >= -1e-12, axis=1)
+        assert feasible == bool(ok.any())
+
+    def test_bounds_of_full_simplex(self):
+        e_min, e_max = lp.ambient_bounds([], 3)
+        np.testing.assert_allclose(e_min, np.zeros(3), atol=1e-9)
+        np.testing.assert_allclose(e_max, np.ones(3), atol=1e-9)
+
+    def test_bounds_shrink_with_halfspace(self):
+        h = preference_halfspace(np.array([1.0, 0.01]), np.array([0.01, 1.0]))
+        e_min, e_max = lp.ambient_bounds([h], 2)
+        # Prefers attribute 1: u_1 >= u_2 roughly, so u_1 >= ~0.5.
+        assert e_min[0] >= 0.45
+        assert e_max[1] <= 0.55
+
+    def test_inner_sphere_of_simplex(self):
+        center, radius = lp.ambient_inner_sphere([], 3)
+        assert simplex.on_simplex(center, tol=1e-6)
+        assert radius > 0.0
+        # Centre of the 3-simplex inscribed sphere is the centroid.
+        np.testing.assert_allclose(center, np.full(3, 1 / 3), atol=1e-6)
+
+    def test_inner_sphere_respects_halfspaces(self):
+        h = preference_halfspace(np.array([1.0, 0.01]), np.array([0.01, 1.0]))
+        center, radius = lp.ambient_inner_sphere([h], 2)
+        assert float(center @ h.normal) >= radius * 0.9
+
+    def test_split_margin_signs(self):
+        # Empty H: the range is the whole simplex; both directions reachable.
+        w = np.array([1.0, -1.0])
+        assert lp.ambient_split_margin([], 2, w) > 0
+        assert lp.ambient_split_margin([], 2, -w) > 0
+
+    def test_split_margin_blocked_direction(self):
+        h = preference_halfspace(np.array([1.0, 0.01]), np.array([0.01, 1.0]))
+        # R now requires u . h.normal >= 0; the opposite direction's max is ~0.
+        margin = lp.ambient_split_margin([h], 2, -h.normal)
+        assert margin <= 1e-9
+
+    def test_bounds_empty_region_raises(self):
+        h = preference_halfspace(np.array([1.0, 0.2]), np.array([0.0, 0.9]))
+        g = preference_halfspace(np.array([0.0, 0.9]), np.array([1.0, 0.0]))
+        if not lp.ambient_is_feasible([h, g], 2):
+            with pytest.raises(EmptyRegionError):
+                lp.ambient_bounds([h, g], 2)
+
+
+class TestAmbientHighDimensions:
+    """AA's LP machinery must stay healthy at the paper's d = 20+."""
+
+    def test_inner_sphere_d20(self):
+        center, radius = lp.ambient_inner_sphere([], 20)
+        assert radius > 0
+        assert abs(center.sum() - 1.0) < 1e-6
+
+    def test_bounds_d20_unit_box(self):
+        e_min, e_max = lp.ambient_bounds([], 20)
+        np.testing.assert_allclose(e_min, np.zeros(20), atol=1e-8)
+        np.testing.assert_allclose(e_max, np.ones(20), atol=1e-8)
+
+    def test_split_margin_d20(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=20)
+        assert lp.ambient_split_margin([], 20, w) >= -1e-9
+
+    def test_constraints_accumulate_d20(self):
+        rng = np.random.default_rng(1)
+        spaces = []
+        for _ in range(10):
+            a, b = rng.uniform(0.01, 1.0, size=(2, 20))
+            spaces.append(preference_halfspace(a, b))
+            if not lp.ambient_is_feasible(spaces, 20):
+                spaces.pop()
+        _, radius = lp.ambient_inner_sphere(spaces, 20)
+        assert radius >= 0

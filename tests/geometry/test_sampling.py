@@ -1,0 +1,92 @@
+"""Tests for simplex and polytope samplers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import simplex
+from repro.geometry.sampling import hit_and_run, sample_simplex
+
+
+class TestSampleSimplex:
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=40, deadline=None)
+    def test_output_on_simplex(self, d, n):
+        samples = sample_simplex(d, n, rng=0)
+        assert samples.shape == (n, d)
+        for row in samples:
+            assert simplex.on_simplex(row, tol=1e-9)
+
+    def test_deterministic_with_seed(self):
+        a = sample_simplex(3, 5, rng=42)
+        b = sample_simplex(3, 5, rng=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = sample_simplex(3, 5, rng=1)
+        b = sample_simplex(3, 5, rng=2)
+        assert not np.allclose(a, b)
+
+    def test_roughly_uniform_means(self):
+        samples = sample_simplex(4, 20_000, rng=0)
+        np.testing.assert_allclose(samples.mean(axis=0), np.full(4, 0.25), atol=0.02)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            sample_simplex(0, 3)
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            sample_simplex(3, -1)
+
+
+class TestHitAndRun:
+    def _square(self):
+        a = np.array([[1.0, 0.0], [-1.0, 0.0], [0.0, 1.0], [0.0, -1.0]])
+        b = np.array([1.0, 0.0, 1.0, 0.0])
+        return a, b
+
+    def test_samples_stay_inside(self):
+        a, b = self._square()
+        samples = hit_and_run(a, b, start=np.array([0.5, 0.5]), n_samples=100, rng=0)
+        assert samples.shape == (100, 2)
+        assert np.all(samples >= -1e-9)
+        assert np.all(samples <= 1 + 1e-9)
+
+    def test_covers_the_square(self):
+        a, b = self._square()
+        samples = hit_and_run(a, b, start=np.array([0.5, 0.5]), n_samples=2000, rng=1)
+        # Mean near the centre and significant spread in both axes.
+        np.testing.assert_allclose(samples.mean(axis=0), [0.5, 0.5], atol=0.05)
+        assert np.all(samples.std(axis=0) > 0.2)
+
+    def test_outside_start_rejected(self):
+        a, b = self._square()
+        with pytest.raises(GeometryError):
+            hit_and_run(a, b, start=np.array([2.0, 0.5]), n_samples=5)
+
+    def test_unbounded_polytope_rejected(self):
+        a = np.array([[1.0, 0.0]])  # only x <= 1: unbounded
+        b = np.array([1.0])
+        with pytest.raises(GeometryError):
+            hit_and_run(a, b, start=np.array([0.0, 0.0]), n_samples=5, rng=0)
+
+    def test_zero_samples(self):
+        a, b = self._square()
+        samples = hit_and_run(a, b, start=np.array([0.5, 0.5]), n_samples=0, rng=0)
+        assert samples.shape == (0, 2)
+
+    def test_dimension_mismatch(self):
+        a, b = self._square()
+        with pytest.raises(ValueError):
+            hit_and_run(a, b, start=np.array([0.5]), n_samples=5)
+
+    def test_deterministic_with_seed(self):
+        a, b = self._square()
+        s1 = hit_and_run(a, b, start=np.array([0.5, 0.5]), n_samples=10, rng=7)
+        s2 = hit_and_run(a, b, start=np.array([0.5, 0.5]), n_samples=10, rng=7)
+        np.testing.assert_array_equal(s1, s2)

@@ -1,0 +1,107 @@
+"""Edge-case integration tests: degenerate thresholds, tiny datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    SinglePassSession,
+    UHRandomSession,
+    UtilityApproxSession,
+)
+from repro.core import EAConfig, run_session, train_ea
+from repro.data.datasets import Dataset
+from repro.data.utility import sample_training_utilities
+from repro.users import OracleUser
+
+
+@pytest.fixture(scope="module")
+def two_point_dataset():
+    return Dataset(np.array([[1.0, 0.2], [0.2, 1.0]]), name="pair")
+
+
+class TestImmediateTermination:
+    def test_ea_huge_epsilon_zero_rounds(self, small_anti_3d):
+        """With eps ~ 1 the whole simplex is terminal: no questions."""
+        agent = train_ea(
+            small_anti_3d,
+            sample_training_utilities(3, 2, rng=0),
+            config=EAConfig(epsilon=0.95, n_samples=16),
+            rng=1,
+            updates_per_episode=1,
+        )
+        result = run_session(
+            agent.new_session(rng=2), OracleUser(np.array([0.2, 0.4, 0.4]))
+        )
+        assert result.rounds == 0
+        assert result.recommendation_index >= 0
+
+    def test_uh_random_huge_epsilon_few_rounds(self, small_anti_3d):
+        result = run_session(
+            UHRandomSession(small_anti_3d, epsilon=0.95, rng=0),
+            OracleUser(np.array([0.3, 0.3, 0.4])),
+        )
+        assert result.rounds <= 2
+
+    def test_single_point_recommendation_valid(self, small_anti_3d):
+        """Whatever happens, the recommendation indexes the dataset."""
+        result = run_session(
+            UHRandomSession(small_anti_3d, epsilon=0.9, rng=1),
+            OracleUser(np.array([0.5, 0.25, 0.25])),
+        )
+        assert 0 <= result.recommendation_index < small_anti_3d.n
+
+
+class TestTinyDatasets:
+    def test_two_points_one_question(self, two_point_dataset):
+        """Two skyline points: a single comparison settles everything."""
+        user = OracleUser(np.array([0.8, 0.2]))
+        result = run_session(
+            UHRandomSession(two_point_dataset, epsilon=0.05, rng=0), user
+        )
+        assert result.rounds <= 2
+        assert result.recommendation_index == 0
+
+    def test_single_pass_two_points(self, two_point_dataset):
+        user = OracleUser(np.array([0.2, 0.8]))
+        result = run_session(
+            SinglePassSession(two_point_dataset, epsilon=0.05, rng=0), user
+        )
+        assert result.recommendation_index == 1
+
+    def test_utility_approx_two_dimensions(self, two_point_dataset):
+        user = OracleUser(np.array([0.7, 0.3]))
+        result = run_session(
+            UtilityApproxSession(two_point_dataset, epsilon=0.1), user,
+            max_rounds=200,
+        )
+        assert not result.truncated
+        assert result.recommendation_index == 0
+
+
+class TestExtremeUsers:
+    """Users whose utility sits exactly on a simplex corner."""
+
+    @pytest.mark.parametrize("corner", [0, 1, 2])
+    def test_corner_utility_handled(self, small_anti_3d, corner):
+        utility = np.zeros(3)
+        utility[corner] = 1.0
+        user = OracleUser(utility)
+        result = run_session(
+            UHRandomSession(small_anti_3d, epsilon=0.1, rng=corner), user
+        )
+        assert not result.truncated
+        from repro.geometry.vectors import regret_ratio
+
+        regret = regret_ratio(
+            small_anti_3d.points, result.recommendation, utility
+        )
+        assert regret <= 0.1 + 1e-6
+
+    def test_uniform_utility_handled(self, small_anti_3d):
+        user = OracleUser(np.full(3, 1 / 3))
+        result = run_session(
+            UHRandomSession(small_anti_3d, epsilon=0.1, rng=5), user
+        )
+        assert not result.truncated

@@ -1,0 +1,134 @@
+"""End-to-end integration: all algorithms on shared datasets and users."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    SinglePassSession,
+    UHRandomSession,
+    UHSimplexSession,
+    UtilityApproxSession,
+)
+from repro.core import run_session
+from repro.eval.metrics import max_regret_ratio, session_regret
+from repro.users import OracleUser
+
+
+class TestAllMethodsAgree:
+    """Every method must return an eps-good point for the same users."""
+
+    def test_exact_methods_meet_threshold(
+        self, small_anti_3d, test_utilities_3d, trained_ea_3d
+    ):
+        factories = {
+            "EA": lambda: trained_ea_3d.new_session(rng=11),
+            "UH-Random": lambda: UHRandomSession(small_anti_3d, rng=11),
+            "UH-Simplex": lambda: UHSimplexSession(small_anti_3d, rng=11),
+        }
+        for name, factory in factories.items():
+            for u in test_utilities_3d:
+                user = OracleUser(u)
+                result = run_session(factory(), user)
+                regret = session_regret(small_anti_3d, result, user)
+                assert regret <= 0.1 + 1e-6, f"{name} exceeded threshold"
+
+    def test_approximate_methods_meet_threshold_empirically(
+        self, small_anti_3d, test_utilities_3d, trained_aa_3d
+    ):
+        factories = {
+            "AA": lambda: trained_aa_3d.new_session(rng=13),
+            "SinglePass": lambda: SinglePassSession(small_anti_3d, rng=13),
+            "UtilityApprox": lambda: UtilityApproxSession(small_anti_3d),
+        }
+        for name, factory in factories.items():
+            for u in test_utilities_3d:
+                user = OracleUser(u)
+                result = run_session(factory(), user, max_rounds=1_000)
+                regret = session_regret(small_anti_3d, result, user)
+                assert regret <= 0.1 + 1e-6, f"{name} exceeded threshold"
+
+
+class TestHeadlineShape:
+    """The paper's qualitative claims at test scale."""
+
+    def test_rl_methods_competitive_with_baselines(
+        self, small_anti_3d, test_utilities_3d, trained_ea_3d
+    ):
+        """EA should need no more rounds than UH-Random on average."""
+        ea_rounds = []
+        random_rounds = []
+        for seed, u in enumerate(test_utilities_3d):
+            ea_rounds.append(
+                run_session(
+                    trained_ea_3d.new_session(rng=seed), OracleUser(u)
+                ).rounds
+            )
+            random_rounds.append(
+                run_session(
+                    UHRandomSession(small_anti_3d, rng=seed), OracleUser(u)
+                ).rounds
+            )
+        assert np.mean(ea_rounds) <= np.mean(random_rounds) + 0.5
+
+    def test_max_regret_decreases_during_session(
+        self, small_anti_3d, trained_ea_3d
+    ):
+        """The progress metric of Figures 7-8 trends downward."""
+        user = OracleUser(np.array([0.35, 0.3, 0.35]))
+        session = trained_ea_3d.new_session(rng=21)
+        values = []
+        while not session.finished and session.rounds < 30:
+            question = session.next_question()
+            session.observe(user.prefers(question.p_i, question.p_j))
+            values.append(
+                max_regret_ratio(
+                    small_anti_3d,
+                    session.recommend(),
+                    list(session.halfspaces),
+                    n_samples=300,
+                    rng=0,
+                )
+            )
+        assert values[-1] <= values[0] + 1e-9
+
+    def test_fewer_rounds_with_larger_epsilon(
+        self, small_anti_3d, trained_ea_3d
+    ):
+        """Figure 9 trend: RL agents exploit looser thresholds."""
+        from repro.core import EAConfig, train_ea
+        from repro.data.utility import sample_training_utilities
+
+        train = sample_training_utilities(3, 10, rng=31)
+        loose_agent = train_ea(
+            small_anti_3d,
+            train,
+            config=EAConfig(epsilon=0.3, n_samples=32),
+            rng=32,
+            updates_per_episode=2,
+        )
+        tight_rounds = []
+        loose_rounds = []
+        for seed in range(3):
+            u = np.random.default_rng(seed + 40).dirichlet(np.ones(3))
+            tight_rounds.append(
+                run_session(
+                    trained_ea_3d.new_session(rng=seed), OracleUser(u)
+                ).rounds
+            )
+            loose_rounds.append(
+                run_session(
+                    loose_agent.new_session(rng=seed), OracleUser(u)
+                ).rounds
+            )
+        assert np.mean(loose_rounds) <= np.mean(tight_rounds)
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_sessions(self, small_anti_3d, trained_ea_3d):
+        u = np.array([0.3, 0.3, 0.4])
+        first = run_session(trained_ea_3d.new_session(rng=99), OracleUser(u))
+        second = run_session(trained_ea_3d.new_session(rng=99), OracleUser(u))
+        assert first.rounds == second.rounds
+        assert first.recommendation_index == second.recommendation_index

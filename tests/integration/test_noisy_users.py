@@ -1,0 +1,83 @@
+"""Robustness under noisy answers — the paper's future-work scenario.
+
+The paper assumes truthful users and defers mistakes to future work; the
+implementation nevertheless degrades gracefully: inconsistent answers are
+dropped (AA, SinglePass) or end the session with the best point found so
+far (EA, UH-*), never crashing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SinglePassSession, UHRandomSession
+from repro.core import run_session
+from repro.eval.metrics import session_regret
+from repro.users import NoisyUser
+
+
+@pytest.fixture
+def noisy_user_factory():
+    def make(u: np.ndarray, seed: int) -> NoisyUser:
+        return NoisyUser(u, error_rate=0.3, temperature=0.05, rng=seed)
+
+    return make
+
+
+class TestNoisyRobustness:
+    def test_ea_never_crashes(
+        self, trained_ea_3d, small_anti_3d, noisy_user_factory
+    ):
+        for seed in range(3):
+            u = np.random.default_rng(seed).dirichlet(np.ones(3))
+            user = noisy_user_factory(u, seed)
+            result = run_session(
+                trained_ea_3d.new_session(rng=seed), user, max_rounds=200
+            )
+            assert result.recommendation_index >= 0
+
+    def test_aa_never_crashes(
+        self, trained_aa_3d, small_anti_3d, noisy_user_factory
+    ):
+        for seed in range(3):
+            u = np.random.default_rng(seed).dirichlet(np.ones(3))
+            user = noisy_user_factory(u, seed)
+            result = run_session(
+                trained_aa_3d.new_session(rng=seed), user, max_rounds=200
+            )
+            assert result.recommendation_index >= 0
+
+    def test_uh_random_never_crashes(self, small_anti_3d, noisy_user_factory):
+        for seed in range(3):
+            u = np.random.default_rng(seed).dirichlet(np.ones(3))
+            user = noisy_user_factory(u, seed)
+            result = run_session(
+                UHRandomSession(small_anti_3d, rng=seed), user, max_rounds=200
+            )
+            assert result.recommendation_index >= 0
+
+    def test_single_pass_never_crashes(self, small_anti_3d, noisy_user_factory):
+        for seed in range(3):
+            u = np.random.default_rng(seed).dirichlet(np.ones(3))
+            user = noisy_user_factory(u, seed)
+            result = run_session(
+                SinglePassSession(small_anti_3d, rng=seed),
+                user,
+                max_rounds=1_000,
+            )
+            assert result.recommendation_index >= 0
+
+    def test_mild_noise_keeps_regret_reasonable(
+        self, trained_ea_3d, small_anti_3d
+    ):
+        """With rare mistakes the result should still be decent."""
+        regrets = []
+        for seed in range(5):
+            u = np.random.default_rng(seed + 100).dirichlet(np.ones(3))
+            user = NoisyUser(u, error_rate=0.05, temperature=0.01, rng=seed)
+            result = run_session(
+                trained_ea_3d.new_session(rng=seed), user, max_rounds=200
+            )
+            regrets.append(session_regret(small_anti_3d, result, user))
+        assert float(np.median(regrets)) <= 0.3

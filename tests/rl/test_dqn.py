@@ -1,0 +1,191 @@
+"""Tests for the DQN agent."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rl.dqn import DQNAgent, DQNConfig
+from repro.rl.replay import Transition
+from repro.rl.schedules import ConstantSchedule
+
+
+def terminal_transition(state, action, reward):
+    return Transition(
+        state=state,
+        action=action,
+        reward=reward,
+        next_state=state,
+        next_actions=None,
+        terminal=True,
+    )
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        config = DQNConfig()
+        assert config.hidden_sizes == (64,)
+        assert config.activation == "selu"
+        assert config.learning_rate == pytest.approx(0.003)
+        assert config.discount == pytest.approx(0.8)
+        assert config.batch_size == 64
+        assert config.replay_capacity == 5_000
+        assert config.target_sync_every == 20
+        assert config.exploration.value(0) == pytest.approx(0.9)
+
+    def test_rejects_bad_discount(self):
+        with pytest.raises(ValueError):
+            DQNConfig(discount=1.0)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            DQNConfig(batch_size=0)
+
+    def test_rejects_bad_optimizer(self):
+        with pytest.raises(ValueError):
+            DQNConfig(optimizer="rmsprop")
+
+
+class TestQValues:
+    def test_shape(self):
+        agent = DQNAgent(state_dim=3, action_dim=2, rng=0)
+        values = agent.q_values(np.zeros(3), np.zeros((5, 2)))
+        assert values.shape == (5,)
+
+    def test_wrong_action_dim_rejected(self):
+        agent = DQNAgent(state_dim=3, action_dim=2, rng=0)
+        with pytest.raises(ValueError):
+            agent.q_values(np.zeros(3), np.zeros((5, 3)))
+
+    def test_target_network_initially_equal(self):
+        agent = DQNAgent(state_dim=2, action_dim=1, rng=0)
+        state = np.array([0.1, 0.2])
+        actions = np.array([[0.5], [0.7]])
+        np.testing.assert_allclose(
+            agent.q_values(state, actions),
+            agent.q_values(state, actions, use_target=True),
+        )
+
+
+class TestSelectAction:
+    def test_greedy_picks_argmax(self):
+        agent = DQNAgent(state_dim=1, action_dim=1, rng=0)
+        state = np.array([0.0])
+        actions = np.array([[0.0], [1.0]])
+        greedy = agent.select_action(state, actions, explore=False)
+        values = agent.q_values(state, actions)
+        assert greedy == int(np.argmax(values))
+
+    def test_full_exploration_is_uniform(self):
+        config = DQNConfig(exploration=ConstantSchedule(1.0))
+        agent = DQNAgent(state_dim=1, action_dim=1, config=config, rng=0)
+        state = np.array([0.0])
+        actions = np.array([[0.0], [1.0], [2.0]])
+        picks = {
+            agent.select_action(state, actions, explore=True)
+            for _ in range(60)
+        }
+        assert picks == {0, 1, 2}
+
+    def test_zero_exploration_is_greedy(self):
+        config = DQNConfig(exploration=ConstantSchedule(0.0))
+        agent = DQNAgent(state_dim=1, action_dim=1, config=config, rng=0)
+        state = np.array([0.0])
+        actions = np.array([[0.0], [1.0]])
+        greedy = agent.select_action(state, actions, explore=False)
+        for _ in range(20):
+            assert agent.select_action(state, actions, explore=True) == greedy
+
+    def test_empty_actions_rejected(self):
+        agent = DQNAgent(state_dim=1, action_dim=1, rng=0)
+        with pytest.raises(ValueError):
+            agent.select_action(np.zeros(1), np.zeros((0, 1)))
+
+
+class TestTraining:
+    def test_train_step_on_empty_memory_is_noop(self):
+        agent = DQNAgent(state_dim=1, action_dim=1, rng=0)
+        assert agent.train_step() == 0.0
+        assert agent.updates_done == 0
+
+    def test_learns_terminal_rewards(self):
+        config = DQNConfig(batch_size=16)
+        agent = DQNAgent(state_dim=2, action_dim=1, config=config, rng=0)
+        state = np.array([0.5, 0.5])
+        for _ in range(200):
+            agent.remember(terminal_transition(state, np.array([1.0]), 1.0))
+            agent.remember(terminal_transition(state, np.array([0.0]), 0.0))
+            agent.train_step()
+        values = agent.q_values(state, np.array([[0.0], [1.0]]))
+        assert values[1] > values[0] + 0.5
+
+    def test_bellman_backup_uses_next_actions(self):
+        """A two-step chain: Q(s0, a) must approach gamma * c."""
+        config = DQNConfig(batch_size=8, discount=0.5)
+        agent = DQNAgent(state_dim=1, action_dim=1, config=config, rng=0)
+        s0 = np.array([0.0])
+        s1 = np.array([1.0])
+        a = np.array([1.0])
+        next_actions = np.array([[1.0]])
+        for _ in range(400):
+            agent.remember(
+                Transition(s0, a, 0.0, s1, next_actions, terminal=False)
+            )
+            agent.remember(terminal_transition(s1, a, 1.0))
+            agent.train_step()
+        q0 = float(agent.q_values(s0, a[None, :])[0])
+        q1 = float(agent.q_values(s1, a[None, :])[0])
+        assert q1 == pytest.approx(1.0, abs=0.15)
+        assert q0 == pytest.approx(0.5, abs=0.15)
+
+    def test_target_sync_cadence(self):
+        config = DQNConfig(batch_size=4, target_sync_every=5)
+        agent = DQNAgent(state_dim=1, action_dim=1, config=config, rng=0)
+        for _ in range(10):
+            agent.remember(terminal_transition(np.zeros(1), np.ones(1), 1.0))
+        for step in range(1, 11):
+            agent.train_step()
+        assert agent.updates_done == 10
+
+    def test_loss_returned_non_negative(self):
+        agent = DQNAgent(state_dim=1, action_dim=1, rng=0)
+        agent.remember(terminal_transition(np.zeros(1), np.ones(1), 1.0))
+        assert agent.train_step() >= 0.0
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            DQNAgent(state_dim=0, action_dim=1)
+
+
+class TestNumericalRobustness:
+    def test_q_values_stay_finite_under_large_rewards(self):
+        config = DQNConfig(batch_size=8)
+        agent = DQNAgent(state_dim=2, action_dim=1, config=config, rng=0)
+        state = np.array([0.5, 0.5])
+        for _ in range(200):
+            agent.remember(
+                terminal_transition(state, np.array([1.0]), 1_000.0)
+            )
+            agent.train_step()
+        values = agent.q_values(state, np.array([[1.0]]))
+        assert np.all(np.isfinite(values))
+
+    def test_selu_inputs_far_outside_unit_range(self):
+        agent = DQNAgent(state_dim=2, action_dim=1, rng=0)
+        extreme = np.array([50.0, -50.0])
+        values = agent.q_values(extreme, np.array([[1.0]]))
+        assert np.all(np.isfinite(values))
+
+    def test_training_reduces_loss_on_fixed_batch(self):
+        config = DQNConfig(batch_size=32, target_sync_every=1)
+        agent = DQNAgent(state_dim=1, action_dim=1, config=config, rng=0)
+        rng = np.random.default_rng(0)
+        for _ in range(64):
+            s = rng.uniform(size=1)
+            a = rng.uniform(size=1)
+            agent.remember(terminal_transition(s, a, float(s[0] + a[0])))
+        first_losses = [agent.train_step() for _ in range(5)]
+        for _ in range(200):
+            agent.train_step()
+        last_losses = [agent.train_step() for _ in range(5)]
+        assert np.mean(last_losses) <= np.mean(first_losses)

@@ -1,0 +1,154 @@
+"""Tests for the numpy MLP, including finite-difference gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rl.network import MLP
+
+
+def finite_difference_check(net: MLP, x: np.ndarray, y: np.ndarray) -> float:
+    """Max abs error between backprop and central finite differences."""
+
+    def loss() -> float:
+        return float(np.mean((net.forward(x) - y) ** 2))
+
+    predictions = net.forward(x, cache=True)
+    grads = net.backward(2.0 * (predictions - y) / x.shape[0])
+    params = net.parameters()
+    worst = 0.0
+    rng = np.random.default_rng(0)
+    for param, grad in zip(params, grads):
+        flat = param.reshape(-1)
+        flat_grad = grad.reshape(-1)
+        for index in rng.choice(flat.size, size=min(5, flat.size), replace=False):
+            eps = 1e-6
+            original = flat[index]
+            flat[index] = original + eps
+            up = loss()
+            flat[index] = original - eps
+            down = loss()
+            flat[index] = original
+            numeric = (up - down) / (2 * eps)
+            worst = max(worst, abs(numeric - flat_grad[index]))
+    return worst
+
+
+class TestConstruction:
+    def test_layer_shapes(self):
+        net = MLP((4, 8, 1), rng=0)
+        assert net.weights[0].shape == (4, 8)
+        assert net.weights[1].shape == (8, 1)
+        assert net.n_layers == 2
+
+    def test_rejects_single_layer(self):
+        with pytest.raises(ValueError):
+            MLP((4,))
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ValueError):
+            MLP((4, 0, 1))
+
+    def test_rejects_unknown_activation(self):
+        with pytest.raises(ValueError):
+            MLP((2, 2), activation="swish")
+
+    def test_deterministic_init(self):
+        a = MLP((3, 5, 1), rng=9)
+        b = MLP((3, 5, 1), rng=9)
+        np.testing.assert_array_equal(a.weights[0], b.weights[0])
+
+
+class TestForward:
+    def test_output_shape(self):
+        net = MLP((3, 6, 2), rng=0)
+        out = net.forward(np.zeros((5, 3)))
+        assert out.shape == (5, 2)
+
+    def test_single_sample_promoted(self):
+        net = MLP((3, 6, 1), rng=0)
+        out = net.forward(np.zeros(3))
+        assert out.shape == (1, 1)
+
+    def test_wrong_input_dim_rejected(self):
+        net = MLP((3, 6, 1), rng=0)
+        with pytest.raises(ValueError):
+            net.forward(np.zeros((5, 4)))
+
+    def test_linear_output_layer(self):
+        """Output can be negative (no activation on the last layer)."""
+        net = MLP((2, 4, 1), rng=1)
+        outputs = net.forward(np.random.default_rng(0).normal(size=(100, 2)))
+        assert outputs.min() < 0 or outputs.max() > 0
+
+
+class TestBackward:
+    @pytest.mark.parametrize("activation", ["selu", "relu", "tanh"])
+    def test_gradients_match_finite_differences(self, activation):
+        net = MLP((3, 7, 1), activation=activation, rng=0)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(6, 3))
+        y = rng.normal(size=(6, 1))
+        assert finite_difference_check(net, x, y) < 1e-5
+
+    def test_deep_network_gradients(self):
+        net = MLP((2, 5, 5, 1), rng=2)
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(4, 2))
+        y = rng.normal(size=(4, 1))
+        assert finite_difference_check(net, x, y) < 1e-5
+
+    def test_backward_without_cache_rejected(self):
+        net = MLP((2, 3, 1), rng=0)
+        net.forward(np.zeros((1, 2)))
+        with pytest.raises(RuntimeError):
+            net.backward(np.zeros((1, 1)))
+
+    def test_gradient_list_matches_parameters(self):
+        net = MLP((2, 3, 1), rng=0)
+        net.forward(np.zeros((1, 2)), cache=True)
+        grads = net.backward(np.ones((1, 1)))
+        params = net.parameters()
+        assert len(grads) == len(params)
+        for grad, param in zip(grads, params):
+            assert grad.shape == param.shape
+
+
+class TestCloneAndSync:
+    def test_clone_is_equal_but_independent(self):
+        net = MLP((2, 4, 1), rng=0)
+        twin = net.clone()
+        np.testing.assert_array_equal(net.weights[0], twin.weights[0])
+        twin.weights[0][0, 0] += 1.0
+        assert net.weights[0][0, 0] != twin.weights[0][0, 0]
+
+    def test_copy_from(self):
+        a = MLP((2, 4, 1), rng=0)
+        b = MLP((2, 4, 1), rng=1)
+        b.copy_from(a)
+        np.testing.assert_array_equal(a.weights[1], b.weights[1])
+
+    def test_copy_from_shape_mismatch(self):
+        a = MLP((2, 4, 1), rng=0)
+        b = MLP((2, 5, 1), rng=1)
+        with pytest.raises(ValueError):
+            b.copy_from(a)
+
+
+class TestTrainability:
+    def test_can_fit_linear_function(self):
+        """A tiny regression task must be learnable with plain SGD."""
+        from repro.rl.optim import Adam
+
+        net = MLP((2, 16, 1), rng=0)
+        optimizer = Adam(net.parameters(), lr=0.01)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, size=(128, 2))
+        y = (2 * x[:, :1] - x[:, 1:]) * 0.5
+        for _ in range(300):
+            pred = net.forward(x, cache=True)
+            grads = net.backward(2 * (pred - y) / len(x))
+            optimizer.step(grads)
+        final = float(np.mean((net.forward(x) - y) ** 2))
+        assert final < 1e-3

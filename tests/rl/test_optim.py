@@ -1,0 +1,78 @@
+"""Tests for SGD and Adam optimisers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rl.optim import SGD, Adam
+
+
+def quadratic_descent(optimizer_factory, steps: int = 200) -> float:
+    """Minimise f(x) = ||x||^2 from a fixed start; return final norm."""
+    x = np.array([3.0, -2.0])
+    params = [x]
+    optimizer = optimizer_factory(params)
+    for _ in range(steps):
+        optimizer.step([2 * x])
+    return float(np.linalg.norm(x))
+
+
+class TestSGD:
+    def test_descends_quadratic(self):
+        assert quadratic_descent(lambda p: SGD(p, lr=0.05)) < 1e-3
+
+    def test_momentum_descends(self):
+        assert quadratic_descent(lambda p: SGD(p, lr=0.02, momentum=0.9)) < 1e-3
+
+    def test_updates_in_place(self):
+        x = np.array([1.0])
+        optimizer = SGD([x], lr=0.5)
+        optimizer.step([np.array([1.0])])
+        assert x[0] == pytest.approx(0.5)
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(1)], lr=0.0)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([np.zeros(1)], momentum=1.0)
+
+    def test_gradient_count_mismatch(self):
+        optimizer = SGD([np.zeros(1)])
+        with pytest.raises(ValueError):
+            optimizer.step([np.zeros(1), np.zeros(1)])
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        assert quadratic_descent(lambda p: Adam(p, lr=0.1)) < 1e-2
+
+    def test_handles_sparse_scales(self):
+        # Coordinates with very different gradient magnitudes.
+        x = np.array([100.0, 0.01])
+        optimizer = Adam([x], lr=0.5)
+        for _ in range(500):
+            optimizer.step([np.array([2 * x[0], 0.0002 * x[1]])])
+        assert abs(x[0]) < 1.0
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            Adam([np.zeros(1)], lr=-0.1)
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([np.zeros(1)], beta1=1.0)
+
+    def test_gradient_count_mismatch(self):
+        optimizer = Adam([np.zeros(1)])
+        with pytest.raises(ValueError):
+            optimizer.step([])
+
+    def test_bias_correction_first_step(self):
+        """First Adam step moves by ~lr regardless of gradient scale."""
+        x = np.array([1.0])
+        optimizer = Adam([x], lr=0.1)
+        optimizer.step([np.array([1e-4])])
+        assert x[0] == pytest.approx(0.9, abs=1e-3)

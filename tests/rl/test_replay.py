@@ -1,0 +1,97 @@
+"""Tests for the replay memory and the Transition container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.rl.replay import ReplayMemory, Transition
+
+
+def make_transition(tag: float, terminal: bool = False) -> Transition:
+    return Transition(
+        state=np.array([tag]),
+        action=np.array([tag]),
+        reward=tag,
+        next_state=np.array([tag + 1]),
+        next_actions=None if terminal else np.array([[tag]]),
+        terminal=terminal,
+    )
+
+
+class TestTransition:
+    def test_terminal_requires_no_next_actions(self):
+        with pytest.raises(ValueError):
+            Transition(
+                state=np.zeros(1),
+                action=np.zeros(1),
+                reward=1.0,
+                next_state=np.zeros(1),
+                next_actions=np.zeros((1, 1)),
+                terminal=True,
+            )
+
+    def test_non_terminal_requires_next_actions(self):
+        with pytest.raises(ValueError):
+            Transition(
+                state=np.zeros(1),
+                action=np.zeros(1),
+                reward=0.0,
+                next_state=np.zeros(1),
+                next_actions=None,
+                terminal=False,
+            )
+
+    def test_arrays_coerced_to_float(self):
+        t = make_transition(1.0)
+        assert t.state.dtype == float
+
+
+class TestReplayMemory:
+    def test_push_and_len(self):
+        memory = ReplayMemory(capacity=10)
+        memory.push(make_transition(1.0))
+        assert len(memory) == 1
+
+    def test_eviction_at_capacity(self):
+        memory = ReplayMemory(capacity=3)
+        for tag in range(5):
+            memory.push(make_transition(float(tag)))
+        assert len(memory) == 3
+        stored = {t.reward for t in memory.sample(50, rng=0)}
+        assert stored <= {2.0, 3.0, 4.0}
+
+    def test_sample_uniform_coverage(self):
+        memory = ReplayMemory(capacity=100)
+        for tag in range(10):
+            memory.push(make_transition(float(tag)))
+        seen = {t.reward for t in memory.sample(200, rng=0)}
+        assert len(seen) >= 8
+
+    def test_sample_empty_raises(self):
+        with pytest.raises(ValueError):
+            ReplayMemory().sample(1)
+
+    def test_sample_more_than_stored_allows_replacement(self):
+        memory = ReplayMemory()
+        memory.push(make_transition(1.0))
+        batch = memory.sample(8, rng=0)
+        assert len(batch) == 8
+
+    def test_bool(self):
+        memory = ReplayMemory()
+        assert not memory
+        memory.push(make_transition(0.0))
+        assert memory
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            ReplayMemory(capacity=0)
+
+    def test_deterministic_sampling(self):
+        memory = ReplayMemory()
+        for tag in range(20):
+            memory.push(make_transition(float(tag)))
+        a = [t.reward for t in memory.sample(5, rng=3)]
+        b = [t.reward for t in memory.sample(5, rng=3)]
+        assert a == b

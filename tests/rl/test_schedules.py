@@ -1,0 +1,54 @@
+"""Tests for exploration schedules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rl.schedules import ConstantSchedule, LinearDecay
+
+
+class TestConstantSchedule:
+    def test_constant_value(self):
+        schedule = ConstantSchedule(0.9)
+        assert schedule.value(0) == 0.9
+        assert schedule.value(10_000) == 0.9
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(1.5)
+
+    def test_repr(self):
+        assert "0.9" in repr(ConstantSchedule(0.9))
+
+
+class TestLinearDecay:
+    def test_endpoints(self):
+        schedule = LinearDecay(0.9, 0.1, steps=100)
+        assert schedule.value(0) == pytest.approx(0.9)
+        assert schedule.value(100) == pytest.approx(0.1)
+
+    def test_midpoint(self):
+        schedule = LinearDecay(1.0, 0.0, steps=10)
+        assert schedule.value(5) == pytest.approx(0.5)
+
+    def test_clamps_after_end(self):
+        schedule = LinearDecay(0.9, 0.1, steps=10)
+        assert schedule.value(1_000) == pytest.approx(0.1)
+
+    def test_monotone_decreasing(self):
+        schedule = LinearDecay(0.8, 0.05, steps=50)
+        values = [schedule.value(t) for t in range(60)]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_rejects_negative_step(self):
+        schedule = LinearDecay(0.9, 0.1, steps=10)
+        with pytest.raises(ValueError):
+            schedule.value(-1)
+
+    def test_rejects_zero_steps(self):
+        with pytest.raises(ValueError):
+            LinearDecay(0.9, 0.1, steps=0)
+
+    def test_increasing_schedule_allowed(self):
+        schedule = LinearDecay(0.1, 0.9, steps=10)
+        assert schedule.value(10) == pytest.approx(0.9)

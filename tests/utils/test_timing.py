@@ -1,0 +1,80 @@
+"""Tests for the pausable stopwatch."""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.timing import Stopwatch
+
+
+class TestStopwatch:
+    def test_starts_at_zero(self):
+        assert Stopwatch().elapsed == 0.0
+
+    def test_accumulates_while_running(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.01)
+        watch.stop()
+        assert watch.elapsed >= 0.005
+
+    def test_pause_excludes_time(self):
+        watch = Stopwatch()
+        watch.start()
+        watch.stop()
+        elapsed = watch.elapsed
+        time.sleep(0.02)
+        assert watch.elapsed == elapsed
+
+    def test_resume_adds_more(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.005)
+        watch.stop()
+        first = watch.elapsed
+        watch.start()
+        time.sleep(0.005)
+        watch.stop()
+        assert watch.elapsed > first
+
+    def test_start_idempotent(self):
+        watch = Stopwatch()
+        watch.start()
+        watch.start()
+        watch.stop()
+        assert watch.elapsed >= 0.0
+
+    def test_stop_idempotent(self):
+        watch = Stopwatch()
+        watch.stop()
+        assert watch.elapsed == 0.0
+
+    def test_reset(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.005)
+        watch.reset()
+        assert watch.elapsed == 0.0
+        assert not watch.running
+
+    def test_running_flag(self):
+        watch = Stopwatch()
+        assert not watch.running
+        watch.start()
+        assert watch.running
+        watch.stop()
+        assert not watch.running
+
+    def test_context_manager(self):
+        watch = Stopwatch()
+        with watch:
+            time.sleep(0.005)
+        assert not watch.running
+        assert watch.elapsed >= 0.003
+
+    def test_elapsed_during_run(self):
+        watch = Stopwatch()
+        watch.start()
+        time.sleep(0.005)
+        assert watch.elapsed > 0.0
+        watch.stop()

@@ -1,0 +1,73 @@
+"""Tests for validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    require,
+    require_matrix,
+    require_positive,
+    require_probability,
+    require_vector,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive(0.1, "x")
+
+    @pytest.mark.parametrize("value", [0.0, -1.0])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x"):
+            require_positive(value, "x")
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        require_probability(value, "p")
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            require_probability(value, "p")
+
+
+class TestRequireVector:
+    def test_coerces_list(self):
+        out = require_vector([1, 2, 3], "v")
+        assert out.dtype == float
+        assert out.shape == (3,)
+
+    def test_checks_size(self):
+        with pytest.raises(ValueError, match="length 2"):
+            require_vector(np.zeros(3), "v", size=2)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError):
+            require_vector(np.zeros((2, 2)), "v")
+
+
+class TestRequireMatrix:
+    def test_coerces_nested_list(self):
+        out = require_matrix([[1, 2], [3, 4]], "m")
+        assert out.shape == (2, 2)
+
+    def test_checks_columns(self):
+        with pytest.raises(ValueError, match="columns"):
+            require_matrix(np.zeros((2, 3)), "m", columns=2)
+
+    def test_rejects_vector(self):
+        with pytest.raises(ValueError):
+            require_matrix(np.zeros(3), "m")
