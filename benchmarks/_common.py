@@ -22,17 +22,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.baselines import (
-    SinglePassSession,
-    UHRandomSession,
-    UHSimplexSession,
-    UtilityApproxSession,
-)
 from repro.core import AAConfig, EAConfig, train_aa, train_ea
 from repro.data import load_car, load_player, synthetic_dataset
 from repro.data.utility import sample_training_utilities
 from repro.eval.reporting import format_table
 from repro.eval.runner import evaluate_algorithm
+from repro.registry import canonical_session_name, make_session
 from repro.utils.rng import ensure_rng
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -152,31 +147,20 @@ def session_factory(method: str, dataset, dataset_key: str, epsilon: float, seed
     condition lives in the environment, not in the network (see
     EXPERIMENTS.md, "Protocol notes").
     """
-    if method == "EA":
+    key = canonical_session_name(method)
+    if key == "ea":
         agent = trained_ea(dataset_key)
-        return lambda: agent.new_session(
-            rng=int(seed_rng.integers(2**62)), epsilon=epsilon
+        return lambda: make_session(
+            key, dataset, epsilon, rng=int(seed_rng.integers(2**62)), agent=agent
         )
-    if method == "AA":
+    if key == "aa":
         agent = trained_aa(dataset_key)
-        return lambda: agent.new_session(
-            rng=int(seed_rng.integers(2**62)), epsilon=epsilon
+        return lambda: make_session(
+            key, dataset, epsilon, rng=int(seed_rng.integers(2**62)), agent=agent
         )
-    if method == "UH-Random":
-        return lambda: UHRandomSession(
-            dataset, epsilon=epsilon, rng=int(seed_rng.integers(2**62))
-        )
-    if method == "UH-Simplex":
-        return lambda: UHSimplexSession(
-            dataset, epsilon=epsilon, rng=int(seed_rng.integers(2**62))
-        )
-    if method == "SinglePass":
-        return lambda: SinglePassSession(
-            dataset, epsilon=epsilon, rng=int(seed_rng.integers(2**62))
-        )
-    if method == "UtilityApprox":
-        return lambda: UtilityApproxSession(dataset, epsilon=epsilon)
-    raise ValueError(f"unknown method {method!r}")
+    return lambda: make_session(
+        key, dataset, epsilon, rng=int(seed_rng.integers(2**62))
+    )
 
 
 def evaluate_cell(

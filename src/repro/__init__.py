@@ -62,9 +62,17 @@ from repro.data import (
 from repro.data.io import load_csv, save_csv
 from repro.data.summary import DatasetSummary, summarize
 from repro.errors import ReproError
+from repro.registry import (
+    make_config,
+    make_session,
+    make_trainer,
+    register_session,
+    session_names,
+)
 from repro.rl.serialization import load_agent, save_agent
 from repro.eval import evaluate_algorithm, max_regret_ratio
 from repro.geometry.vectors import regret_ratio
+from repro.serve import SessionEngine, run_serve_bench
 from repro.users import NoisyUser, OracleUser
 
 __version__ = "1.0.0"
@@ -90,14 +98,21 @@ __all__ = [
     "UHRandomSession",
     "UHSimplexSession",
     "UtilityApproxSession",
+    "SessionEngine",
     "evaluate_algorithm",
     "load_agent",
     "load_car",
     "load_csv",
     "load_player",
+    "make_config",
+    "make_session",
+    "make_trainer",
     "max_regret_ratio",
+    "register_session",
     "regret_ratio",
+    "run_serve_bench",
     "run_session",
+    "session_names",
     "sample_training_utilities",
     "save_agent",
     "save_csv",

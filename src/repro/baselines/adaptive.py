@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.session import InteractiveAlgorithm, Question
+from repro.core.session import InteractiveAlgorithm, Question, validate_epsilon
 from repro.data.datasets import Dataset
 from repro.errors import ConfigurationError
 from repro.geometry import lp
@@ -43,9 +43,7 @@ class AdaptiveSession(InteractiveAlgorithm):
         self, dataset: Dataset, epsilon: float = 0.1, rng: RngLike = None
     ) -> None:
         super().__init__(dataset)
-        if not 0.0 < epsilon < 1.0:
-            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
-        self.epsilon = epsilon
+        self.epsilon = validate_epsilon(epsilon)
         self._rng = ensure_rng(rng)
         self._halfspaces: list[PreferenceHalfspace] = []
         self._asked: set[tuple[int, int]] = set()

@@ -24,7 +24,7 @@ import abc
 import numpy as np
 
 from repro.core import terminal
-from repro.core.session import InteractiveAlgorithm, Question
+from repro.core.session import InteractiveAlgorithm, Question, validate_epsilon
 from repro.data.datasets import Dataset
 from repro.errors import (
     ConfigurationError,
@@ -49,8 +49,7 @@ class UHBaseSession(InteractiveAlgorithm):
         self, dataset: Dataset, epsilon: float = 0.1, rng: RngLike = None
     ) -> None:
         super().__init__(dataset)
-        if not 0.0 < epsilon < 1.0:
-            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
+        epsilon = validate_epsilon(epsilon)
         if dataset.dimension > MAX_UH_DIMENSION:
             raise ConfigurationError(
                 f"UH algorithms maintain explicit polytopes and support at "

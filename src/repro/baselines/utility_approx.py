@@ -27,9 +27,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.session import InteractiveAlgorithm, Question
+from repro.core.session import InteractiveAlgorithm, Question, validate_epsilon
 from repro.data.datasets import Dataset
-from repro.errors import ConfigurationError, InteractionError
+from repro.errors import InteractionError
 from repro.geometry.vectors import top_point_index
 
 
@@ -52,9 +52,7 @@ class UtilityApproxSession(InteractiveAlgorithm):
 
     def __init__(self, dataset: Dataset, epsilon: float = 0.1) -> None:
         super().__init__(dataset)
-        if not 0.0 < epsilon < 1.0:
-            raise ConfigurationError(f"epsilon must be in (0, 1), got {epsilon}")
-        self.epsilon = epsilon
+        self.epsilon = validate_epsilon(epsilon)
         self.tolerance = epsilon / (2.0 * dataset.dimension)
         d = dataset.dimension
         # Feasible interval of the ratio u_k / (u_k + u_d) per attribute.

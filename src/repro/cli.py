@@ -10,6 +10,9 @@ Commands
               ``--interactive``).
 ``compare``   Run the method comparison of the paper's evaluation on a
               dataset and print the table.
+``serve-bench``  Drive many concurrent simulated users through one
+              trained agent via the session engine and report
+              throughput, LP cache hit rate and batch occupancy.
 
 Examples
 --------
@@ -19,6 +22,7 @@ Examples
     python -m repro train --algorithm EA --dataset car --out car_ea.npz
     python -m repro search car_ea.npz --seed 7
     python -m repro compare --dataset anti:2000:3 --epsilon 0.1
+    python -m repro serve-bench --dataset anti:2000:3 --sessions 64
 """
 
 from __future__ import annotations
@@ -29,7 +33,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core import AAConfig, EAConfig, run_session, train_aa, train_ea
+from repro.core import run_session
 from repro.data import load_car, load_player, synthetic_dataset
 from repro.data.io import load_csv
 from repro.data.summary import summarize
@@ -43,7 +47,9 @@ from repro.eval.experiments import (
 )
 from repro.eval.reporting import format_table
 from repro.geometry.vectors import regret_ratio
+from repro.registry import make_config, make_trainer
 from repro.rl.serialization import load_agent, save_agent
+from repro.serve import run_serve_bench
 from repro.users import OracleUser
 
 
@@ -88,16 +94,12 @@ def _cmd_train(args: argparse.Namespace) -> int:
         f"training {args.algorithm} on {dataset.name} "
         f"({args.episodes} episodes, eps={args.epsilon}) ..."
     )
-    if args.algorithm == "EA":
-        agent = train_ea(
-            dataset, utilities, config=EAConfig(epsilon=args.epsilon),
-            rng=args.seed + 1, updates_per_episode=args.updates,
-        )
-    else:
-        agent = train_aa(
-            dataset, utilities, config=AAConfig(epsilon=args.epsilon),
-            rng=args.seed + 1, updates_per_episode=args.updates,
-        )
+    trainer = make_trainer(args.algorithm)
+    agent = trainer(
+        dataset, utilities,
+        config=make_config(args.algorithm, epsilon=args.epsilon),
+        rng=args.seed + 1, updates_per_episode=args.updates,
+    )
     written = save_agent(agent, args.out)
     log = agent.training_log
     print(
@@ -151,6 +153,26 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args.dataset)
+    print(
+        f"serve-bench: training {args.algorithm} on {dataset.name} "
+        f"({args.episodes} episodes), then serving {args.sessions} "
+        f"concurrent sessions ..."
+    )
+    report = run_serve_bench(
+        dataset,
+        sessions=args.sessions,
+        algorithm=args.algorithm,
+        epsilon=args.epsilon,
+        episodes=args.episodes,
+        seed=args.seed,
+    )
+    for line in report.lines():
+        print(line)
+    return 0
+
+
 def _describe(dataset, index: int) -> str:
     values = dataset.points[index]
     parts = [
@@ -194,6 +216,17 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--methods", nargs="*", default=None)
     compare.set_defaults(handler=_cmd_compare)
+
+    serve = commands.add_parser(
+        "serve-bench", help="benchmark many concurrent sessions"
+    )
+    serve.add_argument("--dataset", required=True)
+    serve.add_argument("--sessions", type=int, default=64)
+    serve.add_argument("--algorithm", choices=("EA", "AA"), default="AA")
+    serve.add_argument("--epsilon", type=float, default=0.1)
+    serve.add_argument("--episodes", type=int, default=8)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(handler=_cmd_serve_bench)
     return parser
 
 

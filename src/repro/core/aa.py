@@ -34,6 +34,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.core.environment import EnvObservation, InteractiveEnvironment, RLPolicy
+from repro.core.session import validate_epsilon
 from repro.core.trainer import TrainingLog, train_agent
 from repro.data.datasets import Dataset
 from repro.errors import ConfigurationError, EmptyRegionError, InteractionError
@@ -75,10 +76,7 @@ class AAConfig:
     step_penalty: float = 0.0
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.epsilon < 1.0:
-            raise ConfigurationError(
-                f"epsilon must be in (0, 1), got {self.epsilon}"
-            )
+        validate_epsilon(self.epsilon)
         if self.m_h < 1:
             raise ConfigurationError("m_h must be >= 1")
         if self.top_k < 2:
@@ -262,7 +260,8 @@ class AAAgent:
 
         ``epsilon`` overrides the training-time threshold; the stopping
         condition is evaluated by the environment, so one trained agent
-        serves queries at any threshold.
+        serves queries at any threshold.  Overrides outside ``(0, 1)``
+        raise :class:`~repro.errors.ConfigurationError`.
         """
         return AASession(self, rng=rng, epsilon=epsilon)
 
@@ -278,7 +277,7 @@ class AASession(RLPolicy):
     ) -> None:
         config = agent.config
         if epsilon is not None:
-            config = replace(config, epsilon=epsilon)
+            config = replace(config, epsilon=validate_epsilon(epsilon))
         environment = AAEnvironment(agent.dataset, config, rng=rng)
         super().__init__(environment, agent.dqn)
 

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core import state_encoding, terminal
 from repro.core.environment import EnvObservation, InteractiveEnvironment, RLPolicy
+from repro.core.session import validate_epsilon
 from repro.core.trainer import TrainingLog, train_agent
 from repro.data.datasets import Dataset
 from repro.errors import (
@@ -97,10 +98,7 @@ class EAConfig:
     sphere_method: str = "iterative"
 
     def __post_init__(self) -> None:
-        if not 0.0 < self.epsilon < 1.0:
-            raise ConfigurationError(
-                f"epsilon must be in (0, 1), got {self.epsilon}"
-            )
+        validate_epsilon(self.epsilon)
         if self.m_e < 1 or self.m_h < 1:
             raise ConfigurationError("m_e and m_h must be >= 1")
         if self.n_samples < 0:
@@ -274,7 +272,9 @@ class EAAgent:
         Q-function is threshold-agnostic (it scores states and candidate
         pairs), while the stopping condition is evaluated by the
         environment, so one trained agent can serve queries at any
-        threshold.
+        threshold.  Overrides outside ``(0, 1)`` raise
+        :class:`~repro.errors.ConfigurationError` (an unreachable stopping
+        condition would otherwise loop to the round cap).
         """
         return EASession(self, rng=rng, epsilon=epsilon)
 
@@ -290,7 +290,7 @@ class EASession(RLPolicy):
     ) -> None:
         config = agent.config
         if epsilon is not None:
-            config = replace(config, epsilon=epsilon)
+            config = replace(config, epsilon=validate_epsilon(epsilon))
         environment = EAEnvironment(agent.dataset, config, rng=rng)
         super().__init__(environment, agent.dqn)
 

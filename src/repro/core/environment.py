@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.session import InteractiveAlgorithm, Question
+from repro.core.session import CandidateBatch, InteractiveAlgorithm, Question
 from repro.data.datasets import Dataset
 from repro.errors import InteractionError
 from repro.rl.dqn import DQNAgent
@@ -99,6 +99,13 @@ class RLPolicy(InteractiveAlgorithm):
     Implements Algorithms 2 and 4: in every round the candidate with the
     highest Q-value is asked; the environment maintains the information
     and detects the terminal state.
+
+    Question selection is split into the two halves the serving engine
+    needs: :meth:`candidate_batch` exposes the current candidates
+    (generation), :meth:`score_candidates` evaluates them (scoring), and
+    ``_propose`` composes the two for the sequential path.  Engine-driven
+    sessions replace only the scoring call with a batched one that is
+    bit-identical per candidate set.
     """
 
     def __init__(self, environment: InteractiveEnvironment, dqn: DQNAgent) -> None:
@@ -109,15 +116,42 @@ class RLPolicy(InteractiveAlgorithm):
         self._choice: int | None = None
         self._done = self._observation.terminal
 
-    def _propose(self) -> Question:
+    def candidate_batch(self) -> CandidateBatch:
+        """Current candidates for external (possibly batched) scoring."""
         observation = self._observation
-        if observation.terminal or observation.pairs is None:
+        if (
+            observation.terminal
+            or observation.pairs is None
+            or observation.actions is None
+        ):
             raise InteractionError("environment is already terminal")
-        self._choice = self.dqn.select_action(
-            observation.state, observation.actions, explore=False
+        return CandidateBatch(
+            state=observation.state,
+            actions=observation.actions,
+            pairs=tuple(observation.pairs),
         )
-        index_i, index_j = observation.pairs[self._choice]
+
+    def score_candidates(self, batch: CandidateBatch) -> np.ndarray:
+        """Q-value of every candidate in ``batch`` (the scoring hook)."""
+        return self.dqn.q_values(batch.state, batch.actions)
+
+    def _resolve_choice(self, choice: int) -> Question:
+        pairs = self._observation.pairs
+        if self._observation.terminal or pairs is None:
+            raise InteractionError("environment is already terminal")
+        if not 0 <= choice < len(pairs):
+            raise InteractionError(
+                f"candidate choice {choice} out of range for "
+                f"{len(pairs)} candidates"
+            )
+        self._choice = int(choice)
+        index_i, index_j = pairs[self._choice]
         return self.question_for(index_i, index_j)
+
+    def _propose(self) -> Question:
+        batch = self.candidate_batch()
+        scores = self.score_candidates(batch)
+        return self._resolve_choice(int(np.argmax(scores)))
 
     def _update(self, question: Question, prefers_first: bool) -> None:
         if self._choice is None:

@@ -14,17 +14,38 @@ from __future__ import annotations
 import abc
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.data.datasets import Dataset
-from repro.errors import InteractionError
+from repro.errors import ConfigurationError, InteractionError
 from repro.users.oracle import User
 from repro.utils.timing import Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.serve.metrics import SessionMetrics
 
 #: Hard cap on rounds; a correct algorithm terminates far earlier, so
 #: hitting the cap indicates a logic error or inconsistent (noisy) answers.
 DEFAULT_MAX_ROUNDS = 2_000
+
+
+def validate_epsilon(epsilon: float) -> float:
+    """Validate a regret-ratio threshold, returning it as ``float``.
+
+    Every session constructor and ``new_session`` override funnels its
+    ``epsilon`` through this helper: values outside the open interval
+    ``(0, 1)`` can make stopping conditions unreachable (the session then
+    silently loops to :data:`DEFAULT_MAX_ROUNDS`), so they are rejected
+    eagerly with :class:`~repro.errors.ConfigurationError`.
+    """
+    value = float(epsilon)
+    if not 0.0 < value < 1.0:
+        raise ConfigurationError(
+            f"epsilon must be in (0, 1), got {epsilon!r}"
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -52,9 +73,38 @@ class RoundRecord:
     recommendation_index: int
 
 
+@dataclass(frozen=True)
+class CandidateBatch:
+    """One round's scorable candidates, exposed for external batching.
+
+    Produced by :meth:`InteractiveAlgorithm.candidate_batch` on algorithms
+    that select questions by *scoring* a candidate set (the RL policies).
+    ``state`` is the ``(state_dim,)`` feature vector, ``actions`` the
+    ``(m, action_dim)`` candidate feature matrix and ``pairs`` the
+    dataset-index pairs the rows encode.  A serving engine can stack many
+    sessions' batches through one network pass and resolve each round via
+    :meth:`InteractiveAlgorithm.next_question_from`.
+    """
+
+    state: np.ndarray
+    actions: np.ndarray
+    pairs: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.pairs) != self.actions.shape[0]:
+            raise InteractionError(
+                "pair list and action matrix length differ"
+            )
+
+
 @dataclass
 class SessionResult:
-    """Outcome of one full interactive session."""
+    """Outcome of one full interactive session.
+
+    ``metrics`` is populated only by engine-driven sessions
+    (:class:`repro.serve.SessionEngine`); plain :func:`run_session` calls
+    leave it ``None``, and old pickles without the field load unchanged.
+    """
 
     recommendation_index: int
     recommendation: np.ndarray
@@ -62,6 +112,7 @@ class SessionResult:
     elapsed_seconds: float
     truncated: bool = False
     trace: list[RoundRecord] = field(default_factory=list)
+    metrics: "SessionMetrics | None" = None
 
 
 class InteractiveAlgorithm(abc.ABC):
@@ -111,6 +162,45 @@ class InteractiveAlgorithm(abc.ABC):
         self._update(question, prefers_first)
         self._done = self._finished()
 
+    # -- external scoring (engine protocol) ----------------------------------
+
+    def candidate_batch(self) -> CandidateBatch | None:
+        """The current round's candidates, if question selection is scored.
+
+        Algorithms whose question selection is "generate candidates, score
+        them, ask the argmax" (EA and AA via :class:`RLPolicy`) override
+        this to expose the *candidate-generation* half of ``_propose``; a
+        serving engine then performs the *scoring* half in one batched
+        network pass across sessions and resolves each round with
+        :meth:`next_question_from`.  The default ``None`` marks algorithms
+        that pick their question internally (the baselines) — engines fall
+        back to plain :meth:`next_question` for those.
+        """
+        return None
+
+    def next_question_from(self, choice: int) -> Question:
+        """Select the question for this round from an external scoring.
+
+        The counterpart of :meth:`next_question` for engine-driven
+        sessions: ``choice`` indexes into the most recent
+        :meth:`candidate_batch` and must have been computed from exactly
+        the scores the algorithm itself would have used, so engine-driven
+        sessions replay bit-identically.  Protocol order is enforced the
+        same way as for :meth:`next_question`.
+        """
+        if self._done:
+            raise InteractionError("session already finished")
+        if self._pending is not None:
+            raise InteractionError("previous question was not answered yet")
+        self._pending = self._resolve_choice(choice)
+        return self._pending
+
+    def _resolve_choice(self, choice: int) -> Question:
+        """Build the question for candidate ``choice`` (scoring hook)."""
+        raise InteractionError(
+            "this algorithm does not expose scorable candidates"
+        )
+
     # -- hooks ---------------------------------------------------------------
 
     @abc.abstractmethod
@@ -159,13 +249,16 @@ def run_session(
         Anything with a ``prefers(p_i, p_j) -> bool`` method.
     max_rounds:
         Safety cap; the session is marked ``truncated`` when reached.
-    trace:
-        Record a :class:`RoundRecord` after every round (used by the
-        progress benchmarks, Figures 7-8).  Tracing calls
+    trace, on_round:
+        One per-round observation surface, documented here once: after
+        every answered round a :class:`RoundRecord` (round number,
+        accumulated agent seconds, current recommendation) is delivered to
+        each registered callback.  ``on_round`` registers an arbitrary
+        callback; ``trace=True`` is sugar that registers an internal
+        callback collecting the records into ``result.trace``.  The two
+        compose freely.  Round records call
         :meth:`InteractiveAlgorithm.recommend` each round, which may cost
         extra time; the stopwatch excludes that bookkeeping.
-    on_round:
-        Optional callback invoked with each trace record.
 
     Returns
     -------
@@ -176,6 +269,11 @@ def run_session(
         raise InteractionError("run_session() requires a fresh algorithm")
     watch = Stopwatch()
     records: list[RoundRecord] = []
+    callbacks: list[Callable[[RoundRecord], None]] = []
+    if trace:
+        callbacks.append(records.append)
+    if on_round is not None:
+        callbacks.append(on_round)
     truncated = False
     while True:
         watch.start()
@@ -192,16 +290,14 @@ def run_session(
         watch.start()
         algorithm.observe(answer)
         watch.stop()
-        if trace or on_round is not None:
+        if callbacks:
             record = RoundRecord(
                 round_number=algorithm.rounds,
                 elapsed_seconds=watch.elapsed,
                 recommendation_index=algorithm.recommend(),
             )
-            if trace:
-                records.append(record)
-            if on_round is not None:
-                on_round(record)
+            for callback in callbacks:
+                callback(record)
     watch.start()
     index = algorithm.recommend()
     watch.stop()

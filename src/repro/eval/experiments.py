@@ -21,16 +21,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.baselines import (
-    SinglePassSession,
-    UHRandomSession,
-    UHSimplexSession,
-    UtilityApproxSession,
-)
-from repro.core import AAConfig, EAConfig, train_aa, train_ea
 from repro.data.datasets import Dataset
 from repro.data.utility import sample_training_utilities
 from repro.eval.runner import AlgorithmFactory, EvaluationSummary, evaluate_algorithm
+from repro.registry import (
+    canonical_session_name,
+    make_config,
+    make_session,
+    make_trainer,
+)
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 #: Methods usable only with explicit polytopes (the paper stops comparing
@@ -153,44 +152,34 @@ def build_method(
     freshly sampled training set of the scale's size; the baselines need
     no training.  Each factory invocation gets an independent RNG stream
     so repeated sessions differ exactly as they would for different users.
+
+    Names are resolved through :mod:`repro.registry`, so registry names
+    and display names are both accepted; unknown names raise
+    :class:`~repro.errors.ConfigurationError`.
     """
     scale = scale or current_scale()
+    key = canonical_session_name(name)
     train_rng, session_seed_rng = spawn_rngs(seed, 2)
-    if train_utilities is None and name in ("EA", "AA"):
-        train_utilities = sample_training_utilities(
-            dataset.dimension, scale.train_episodes, rng=train_rng
-        )
 
     def session_rng() -> np.random.Generator:
         return ensure_rng(int(session_seed_rng.integers(2**63 - 1)))
 
-    if name == "EA":
-        agent = train_ea(
+    if key in ("ea", "aa"):
+        if train_utilities is None:
+            train_utilities = sample_training_utilities(
+                dataset.dimension, scale.train_episodes, rng=train_rng
+            )
+        agent = make_trainer(key)(
             dataset,
             train_utilities,
-            config=EAConfig(epsilon=epsilon),
+            config=make_config(key, epsilon=epsilon),
             rng=train_rng,
             updates_per_episode=scale.updates_per_episode,
         )
-        return lambda: agent.new_session(rng=session_rng())
-    if name == "AA":
-        agent = train_aa(
-            dataset,
-            train_utilities,
-            config=AAConfig(epsilon=epsilon),
-            rng=train_rng,
-            updates_per_episode=scale.updates_per_episode,
+        return lambda: make_session(
+            key, dataset, epsilon, rng=session_rng(), agent=agent
         )
-        return lambda: agent.new_session(rng=session_rng())
-    if name == "UH-Random":
-        return lambda: UHRandomSession(dataset, epsilon=epsilon, rng=session_rng())
-    if name == "UH-Simplex":
-        return lambda: UHSimplexSession(dataset, epsilon=epsilon, rng=session_rng())
-    if name == "SinglePass":
-        return lambda: SinglePassSession(dataset, epsilon=epsilon, rng=session_rng())
-    if name == "UtilityApprox":
-        return lambda: UtilityApproxSession(dataset, epsilon=epsilon)
-    raise ValueError(f"unknown method {name!r}; expected one of {ALL_METHODS}")
+    return lambda: make_session(key, dataset, epsilon, rng=session_rng())
 
 
 def compare_methods(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -17,6 +18,9 @@ from repro.core.session import InteractiveAlgorithm, SessionResult, run_session
 from repro.data.datasets import Dataset
 from repro.eval.metrics import session_regret
 from repro.users.oracle import OracleUser
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.engine import SessionEngine
 
 #: A fresh algorithm instance per user session.
 AlgorithmFactory = Callable[[], InteractiveAlgorithm]
@@ -47,6 +51,7 @@ def evaluate_algorithm(
     utilities: np.ndarray,
     name: str = "",
     max_rounds: int = 2_000,
+    engine: "SessionEngine | None" = None,
 ) -> EvaluationSummary:
     """Run one session per hidden utility vector and aggregate.
 
@@ -61,18 +66,30 @@ def evaluate_algorithm(
     name:
         Label used in reports.
     max_rounds:
-        Per-session safety cap.
+        Per-session safety cap (ignored when ``engine`` is given: the
+        engine's own ``max_rounds`` applies).
+    engine:
+        Optional :class:`~repro.serve.engine.SessionEngine`.  When given,
+        all user sessions are driven concurrently through it (batched
+        Q-scoring, LP memoisation) instead of sequentially; results are
+        bit-identical to the sequential path.
     """
-    sessions: list[SessionResult] = []
-    regrets: list[float] = []
-    truncated = 0
-    for utility in np.atleast_2d(np.asarray(utilities, dtype=float)):
-        user = OracleUser(utility)
-        algorithm = factory()
-        result = run_session(algorithm, user, max_rounds=max_rounds)
-        sessions.append(result)
-        regrets.append(session_regret(dataset, result, user))
-        truncated += int(result.truncated)
+    users = [
+        OracleUser(utility)
+        for utility in np.atleast_2d(np.asarray(utilities, dtype=float))
+    ]
+    if engine is not None:
+        sessions = engine.run([(factory, user) for user in users])
+    else:
+        sessions = [
+            run_session(factory(), user, max_rounds=max_rounds)
+            for user in users
+        ]
+    regrets = [
+        session_regret(dataset, result, user)
+        for result, user in zip(sessions, users)
+    ]
+    truncated = sum(int(result.truncated) for result in sessions)
     rounds = np.array([s.rounds for s in sessions], dtype=float)
     seconds = np.array([s.elapsed_seconds for s in sessions])
     regret_array = np.array(regrets)

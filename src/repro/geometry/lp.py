@@ -13,11 +13,23 @@ Two families of helpers live here:
 
 All solves go through :func:`solve`, which normalises scipy statuses into
 the package exception hierarchy.
+
+Memoisation: identical constraint systems recur heavily when many
+interactive sessions run over one dataset (every fresh session starts
+from the same simplex, and popular questions re-derive the same
+feasibility and inner-sphere LPs).  :class:`LPCache` memoises solves
+keyed on a canonical hash of the full constraint system; installing one
+with :func:`use_cache` routes every :func:`solve` inside the ``with``
+block through it.  Cache hits return the *exact* result of the original
+solve (failures included), so caching never perturbs downstream
+decisions — it only skips redundant solver work.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import hashlib
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager
 from dataclasses import dataclass
 
 import numpy as np
@@ -48,6 +60,135 @@ class UnboundedLP(LPError):
     """The LP objective is unbounded over the constraint set."""
 
 
+def _array_bytes(array: np.ndarray | None) -> bytes:
+    """Shape-prefixed raw bytes of ``array`` (``-`` for absent blocks)."""
+    if array is None:
+        return b"-"
+    contiguous = np.ascontiguousarray(np.asarray(array, dtype=float))
+    return repr(contiguous.shape).encode() + contiguous.tobytes()
+
+
+def _bounds_bytes(
+    bounds: Sequence[tuple[float | None, float | None]] | tuple | None,
+) -> bytes:
+    """Canonical byte form of a ``linprog`` bounds specification."""
+    if bounds is None:
+        return b"none"
+    if bounds == _FREE:
+        return b"free"
+    return repr(tuple(tuple(pair) for pair in bounds)).encode()
+
+
+def constraint_system_key(
+    c: np.ndarray,
+    a_ub: np.ndarray | None = None,
+    b_ub: np.ndarray | None = None,
+    a_eq: np.ndarray | None = None,
+    b_eq: np.ndarray | None = None,
+    bounds: Sequence[tuple[float | None, float | None]] | tuple | None = _FREE,
+) -> bytes:
+    """Canonical hash of an LP: objective, constraint blocks and bounds.
+
+    Two calls produce the same key iff every array is byte-for-byte equal
+    (same shapes, same floats), so a cache hit is guaranteed to stand in
+    for an actual re-solve of the *identical* system.
+    """
+    digest = hashlib.sha256()
+    digest.update(_array_bytes(c))
+    for block in (a_ub, b_ub, a_eq, b_eq):
+        digest.update(b"|")
+        digest.update(_array_bytes(block))
+    digest.update(b"|")
+    digest.update(_bounds_bytes(bounds))
+    return digest.digest()
+
+
+class LPCache:
+    """Memoises LP solves keyed on :func:`constraint_system_key`.
+
+    Entries store either the successful :class:`LPResult` or the exception
+    class + message of a failed solve, so infeasibility checks are cached
+    as effectively as optimisations.  Counters expose the solver work
+    saved: ``solves`` is the total number of :func:`solve` calls routed
+    through the cache, split into ``hits`` and ``misses``.
+
+    The cache has no invalidation protocol: keys bind the *entire*
+    constraint system, so a stored result can never go stale.  Bound the
+    footprint with ``max_entries`` (oldest entries are evicted first).
+    """
+
+    def __init__(self, max_entries: int = 100_000) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = int(max_entries)
+        self._store: dict[bytes, LPResult | tuple[type[LPError], str]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def solves(self) -> int:
+        """Total solve() calls routed through this cache."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of routed solves answered from the cache."""
+        total = self.solves
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # -- internals used by solve() -------------------------------------------
+
+    def _fetch(self, key: bytes) -> LPResult:
+        """Return the cached outcome for ``key``, re-raising cached failures."""
+        entry = self._store[key]
+        if isinstance(entry, LPResult):
+            return LPResult(x=entry.x.copy(), value=entry.value)
+        error_type, message = entry
+        raise error_type(message)
+
+    def _record(
+        self, key: bytes, entry: LPResult | tuple[type[LPError], str]
+    ) -> None:
+        if key not in self._store and len(self._store) >= self.max_entries:
+            self._store.pop(next(iter(self._store)))
+        self._store[key] = entry
+
+
+_active_cache: LPCache | None = None
+
+
+def active_cache() -> LPCache | None:
+    """The cache currently installed by :func:`use_cache`, if any."""
+    return _active_cache
+
+
+@contextmanager
+def use_cache(cache: LPCache) -> Iterator[LPCache]:
+    """Route every :func:`solve` inside the block through ``cache``.
+
+    Nesting is allowed; the innermost cache wins and the previous one is
+    restored on exit.  The cache is process-global for the duration of
+    the block (the engine and all algorithms it drives share it), which
+    is exactly what amortising identical solves across sessions needs.
+    """
+    global _active_cache
+    previous = _active_cache
+    _active_cache = cache
+    try:
+        yield cache
+    finally:
+        _active_cache = previous
+
+
 def solve(
     c: np.ndarray,
     a_ub: np.ndarray | None = None,
@@ -65,6 +206,32 @@ def solve(
     ------
     InfeasibleLP, UnboundedLP, LPError
     """
+    cache = _active_cache
+    if cache is None:
+        return _solve_uncached(c, a_ub, b_ub, a_eq, b_eq, bounds)
+    key = constraint_system_key(c, a_ub, b_ub, a_eq, b_eq, bounds)
+    if key in cache._store:
+        cache.hits += 1
+        return cache._fetch(key)
+    cache.misses += 1
+    try:
+        result = _solve_uncached(c, a_ub, b_ub, a_eq, b_eq, bounds)
+    except LPError as error:
+        cache._record(key, (type(error), str(error)))
+        raise
+    cache._record(key, result)
+    return LPResult(x=result.x.copy(), value=result.value)
+
+
+def _solve_uncached(
+    c: np.ndarray,
+    a_ub: np.ndarray | None,
+    b_ub: np.ndarray | None,
+    a_eq: np.ndarray | None,
+    b_eq: np.ndarray | None,
+    bounds: Sequence[tuple[float | None, float | None]] | tuple | None,
+) -> LPResult:
+    """One raw ``linprog`` call with statuses normalised to exceptions."""
     result = linprog(
         c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
         method="highs",

@@ -1,0 +1,221 @@
+"""One construction surface for the seven interactive algorithm families.
+
+Historically every call site (CLI, experiment harness, benchmarks) kept
+its own if/elif ladder mapping method names to bespoke constructor
+signatures.  This module centralises that mapping:
+
+* :func:`make_session` — build a fresh session from a registry name;
+* :func:`make_trainer` / :func:`make_config` — the training entry point
+  and config class for the RL families;
+* :func:`register_session` — extension hook for new algorithms.
+
+Registry names are short kebab-case strings; :func:`canonical_session_name`
+also accepts the historical display names (``"EA"``, ``"UH-Random"``,
+``"SinglePass"``, ...), so existing method tuples keep working.
+
+The original constructors remain public — the registry is a front door,
+not a replacement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.baselines import (
+    AdaptiveSession,
+    SinglePassSession,
+    UHRandomSession,
+    UHSimplexSession,
+    UtilityApproxSession,
+)
+from repro.core import AAConfig, EAConfig, train_aa, train_ea
+from repro.core.session import InteractiveAlgorithm, validate_epsilon
+from repro.data.datasets import Dataset
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngLike
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """How to build sessions of one registered algorithm family.
+
+    ``factory`` is called as ``factory(dataset, epsilon=..., rng=...,
+    **kwargs)`` (``rng`` omitted when ``takes_rng`` is false).  Families
+    with ``needs_agent`` set are RL policies: their factory is the
+    agent's ``new_session`` and ``make_session`` requires an ``agent=``
+    keyword argument.
+    """
+
+    name: str
+    factory: Callable[..., InteractiveAlgorithm]
+    needs_agent: bool = False
+    takes_rng: bool = True
+
+
+_REGISTRY: dict[str, SessionSpec] = {}
+
+#: Historical display names (and their squashed forms) -> registry names.
+_ALIASES = {
+    "uhrandom": "uh-random",
+    "uhsimplex": "uh-simplex",
+    "singlepass": "single-pass",
+    "single": "single-pass",
+    "utilityapprox": "utility-approx",
+}
+
+
+def register_session(
+    name: str,
+    factory: Callable[..., InteractiveAlgorithm],
+    needs_agent: bool = False,
+    takes_rng: bool = True,
+) -> SessionSpec:
+    """Register a session family under ``name`` (kebab-case).
+
+    Returns the stored :class:`SessionSpec`.  Registering an existing
+    name replaces it, which is how tests stub families out.
+    """
+    spec = SessionSpec(
+        name=name,
+        factory=factory,
+        needs_agent=needs_agent,
+        takes_rng=takes_rng,
+    )
+    _REGISTRY[name] = spec
+    return spec
+
+
+def session_names() -> tuple[str, ...]:
+    """All registered session-family names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def canonical_session_name(name: str) -> str:
+    """Normalise ``name`` to its registry form.
+
+    Accepts registry names (``"uh-random"``), the historical display
+    names (``"UH-Random"``, ``"SinglePass"``) and common separator
+    variants (``"uh_random"``, ``"single pass"``).
+
+    Raises
+    ------
+    ConfigurationError
+        If the name resolves to no registered family.
+    """
+    key = str(name).strip().lower().replace("_", "-").replace(" ", "-")
+    key = _ALIASES.get(key.replace("-", ""), key)
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown session name {name!r}; "
+            f"expected one of {', '.join(session_names())}"
+        )
+    return key
+
+
+def make_session(
+    name: str,
+    dataset: Dataset,
+    epsilon: float,
+    rng: RngLike = None,
+    **kwargs: object,
+) -> InteractiveAlgorithm:
+    """Build a fresh interactive session of family ``name``.
+
+    Parameters
+    ----------
+    name:
+        ``"ea" | "aa" | "uh-random" | "uh-simplex" | "single-pass" |
+        "utility-approx" | "adaptive"`` (display-name aliases accepted).
+    dataset:
+        The dataset to search.
+    epsilon:
+        Regret-ratio threshold, validated to ``(0, 1)``.
+    rng:
+        Seed/generator for the session's own randomness; ignored by the
+        deterministic ``"utility-approx"`` family.
+    kwargs:
+        Family-specific extras.  The RL families (``"ea"``, ``"aa"``)
+        require ``agent=<trained EAAgent/AAAgent>`` — training is a
+        separate, much heavier step (:func:`make_trainer`); the session
+        is then ``agent.new_session(rng=rng, epsilon=epsilon)``.
+    """
+    key = canonical_session_name(name)
+    spec = _REGISTRY[key]
+    epsilon = validate_epsilon(epsilon)
+    if spec.needs_agent:
+        agent = kwargs.pop("agent", None)
+        if agent is None:
+            raise ConfigurationError(
+                f"session family {key!r} is an RL policy and needs a "
+                f"trained agent: make_session({key!r}, ..., agent=agent)"
+            )
+        agent_dataset = agent.dataset
+        if (
+            dataset is not None
+            and (
+                agent_dataset.n != dataset.n
+                or agent_dataset.dimension != dataset.dimension
+            )
+        ):
+            raise ConfigurationError(
+                f"agent was trained on {agent_dataset.name!r} "
+                f"({agent_dataset.n} x {agent_dataset.dimension}), which "
+                f"does not match the requested dataset {dataset.name!r} "
+                f"({dataset.n} x {dataset.dimension})"
+            )
+        return spec.factory(agent, rng=rng, epsilon=epsilon, **kwargs)
+    if not spec.takes_rng:
+        return spec.factory(dataset, epsilon=epsilon, **kwargs)
+    return spec.factory(dataset, epsilon=epsilon, rng=rng, **kwargs)
+
+
+def make_trainer(name: str) -> Callable[..., object]:
+    """The training entry point for RL family ``name``.
+
+    Returns :func:`repro.core.ea.train_ea` or
+    :func:`repro.core.aa.train_aa`; baselines need no training and raise
+    :class:`~repro.errors.ConfigurationError`.
+    """
+    key = canonical_session_name(name)
+    if key == "ea":
+        return train_ea
+    if key == "aa":
+        return train_aa
+    raise ConfigurationError(
+        f"session family {key!r} needs no training; "
+        "only 'ea' and 'aa' have trainers"
+    )
+
+
+def make_config(name: str, **kwargs: object) -> EAConfig | AAConfig:
+    """The hyper-parameter config for RL family ``name``.
+
+    ``make_config("ea", epsilon=0.05)`` is ``EAConfig(epsilon=0.05)``;
+    likewise for ``"aa"``.  Raises for families without a config.
+    """
+    key = canonical_session_name(name)
+    if key == "ea":
+        return EAConfig(**kwargs)
+    if key == "aa":
+        return AAConfig(**kwargs)
+    raise ConfigurationError(
+        f"session family {key!r} has no trainer config; "
+        "only 'ea' and 'aa' do"
+    )
+
+
+def _rl_factory(
+    agent: object, rng: RngLike = None, epsilon: float | None = None
+) -> InteractiveAlgorithm:
+    """Adapter: build an RL session from a trained agent."""
+    return agent.new_session(rng=rng, epsilon=epsilon)
+
+
+register_session("ea", _rl_factory, needs_agent=True)
+register_session("aa", _rl_factory, needs_agent=True)
+register_session("uh-random", UHRandomSession)
+register_session("uh-simplex", UHSimplexSession)
+register_session("single-pass", SinglePassSession)
+register_session("utility-approx", UtilityApproxSession, takes_rng=False)
+register_session("adaptive", AdaptiveSession)

@@ -13,6 +13,7 @@ discount 0.8, exploration rate 0.9, target-network sync every 20 updates.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -108,6 +109,12 @@ class DQNAgent:
         use_target:
             Evaluate the target network instead of the main network.
         """
+        inputs = self._score_inputs(state, actions)
+        net = self.target_network if use_target else self.network
+        return net.forward(inputs).ravel()
+
+    def _score_inputs(self, state: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        """``(m, state_dim + action_dim)`` rows for one candidate set."""
         state = np.asarray(state, dtype=float)
         actions = np.atleast_2d(np.asarray(actions, dtype=float))
         if actions.shape[1] != self.action_dim:
@@ -115,11 +122,27 @@ class DQNAgent:
                 f"expected action dimension {self.action_dim}, "
                 f"got {actions.shape[1]}"
             )
-        inputs = np.hstack(
+        return np.hstack(
             [np.tile(state, (actions.shape[0], 1)), actions]
         )
-        net = self.target_network if use_target else self.network
-        return net.forward(inputs).ravel()
+
+    def q_values_many(
+        self, items: Sequence[tuple[np.ndarray, np.ndarray]]
+    ) -> list[np.ndarray]:
+        """Q-values for many ``(state, actions)`` candidate sets at once.
+
+        All candidate sets are scored through one stacked network forward
+        (:meth:`MLP.forward_segments`), amortising the matmul cost across
+        concurrent sessions.  Each returned array is bit-identical to the
+        corresponding :meth:`q_values` call, so batching is safe for
+        deterministic replay.
+        """
+        segments = [
+            self._score_inputs(state, actions) for state, actions in items
+        ]
+        return [
+            out.ravel() for out in self.network.forward_segments(segments)
+        ]
 
     def select_action(
         self, state: np.ndarray, actions: np.ndarray, explore: bool = False

@@ -129,6 +129,28 @@ class MLP:
     def __call__(self, inputs: np.ndarray) -> np.ndarray:
         return self.forward(inputs)
 
+    def forward_segments(
+        self, segments: Sequence[np.ndarray]
+    ) -> list[np.ndarray]:
+        """One stacked forward pass over several ``(m_i, in_dim)`` blocks.
+
+        The blocks are vertically concatenated, pushed through the network
+        in a single matmul chain, and split back into per-segment outputs.
+        Dense layers are row-independent, so each returned block is
+        bit-identical to ``forward(segment)`` on its own — callers (the
+        serving engine) can batch scoring across many sessions without
+        perturbing any individual session's decisions.
+        """
+        blocks = [
+            np.atleast_2d(np.asarray(segment, dtype=float))
+            for segment in segments
+        ]
+        if not blocks:
+            return []
+        outputs = self.forward(np.vstack(blocks))
+        offsets = np.cumsum([block.shape[0] for block in blocks[:-1]])
+        return np.vsplit(outputs, offsets)
+
     # -- training ------------------------------------------------------------
 
     def backward(self, grad_output: np.ndarray) -> list[np.ndarray]:

@@ -1,0 +1,28 @@
+"""Concurrent serving of interactive sessions (the ROADMAP's scale step).
+
+The paper's harness answers one user at a time through
+:func:`~repro.core.session.run_session`; a production deployment serves
+many users against one trained agent.  This subsystem provides that
+layer:
+
+* :class:`SessionEngine` — multiplexes sessions in lock-step waves,
+  batching Q-network scoring across sessions and memoising LP solves
+  through a per-engine :class:`~repro.geometry.lp.LPCache`, with a
+  bit-for-bit determinism guarantee w.r.t. sequential ``run_session``;
+* :class:`EngineMetrics` / :class:`SessionMetrics` — lightweight
+  instrumentation of the whole path;
+* :func:`run_serve_bench` — the end-to-end many-users benchmark behind
+  ``python -m repro serve-bench``.
+"""
+
+from repro.serve.bench import ServeBenchReport, run_serve_bench
+from repro.serve.engine import SessionEngine
+from repro.serve.metrics import EngineMetrics, SessionMetrics
+
+__all__ = [
+    "EngineMetrics",
+    "ServeBenchReport",
+    "SessionEngine",
+    "SessionMetrics",
+    "run_serve_bench",
+]

@@ -1,0 +1,121 @@
+"""The ``serve-bench`` workload: many concurrent users, one agent.
+
+Trains a small RL agent on a dataset, fans out ``--sessions`` simulated
+users with independent hidden utilities and seeds, drives them all
+through one :class:`~repro.serve.engine.SessionEngine`, and reports the
+aggregate metrics (throughput, LP cache hit rate, batch occupancy).
+This is the smallest end-to-end demonstration of the serving path the
+ROADMAP's production north star needs; the CLI command ``python -m
+repro serve-bench`` is a thin wrapper around :func:`run_serve_bench`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.session import DEFAULT_MAX_ROUNDS, SessionResult, validate_epsilon
+from repro.data.datasets import Dataset
+from repro.data.utility import sample_training_utilities
+from repro.errors import ConfigurationError
+from repro.registry import make_config, make_session, make_trainer
+from repro.serve.engine import SessionEngine
+from repro.serve.metrics import EngineMetrics
+from repro.users import OracleUser
+from repro.utils.rng import RngLike, spawn_rngs
+
+
+@dataclass
+class ServeBenchReport:
+    """Outcome of one serve-bench run."""
+
+    algorithm: str
+    dataset: str
+    sessions: int
+    epsilon: float
+    train_seconds: float
+    metrics: EngineMetrics
+    results: list[SessionResult]
+
+    def lines(self) -> list[str]:
+        """Report lines printed by the CLI command."""
+        header = (
+            f"serve-bench: {self.sessions} x {self.algorithm} sessions "
+            f"on {self.dataset} (eps={self.epsilon}, "
+            f"train {self.train_seconds:.1f}s)"
+        )
+        return [header, *self.metrics.summary_lines()]
+
+
+def run_serve_bench(
+    dataset: Dataset,
+    sessions: int = 64,
+    algorithm: str = "aa",
+    epsilon: float = 0.1,
+    episodes: int = 8,
+    seed: RngLike = 0,
+    max_rounds: int = DEFAULT_MAX_ROUNDS,
+) -> ServeBenchReport:
+    """Train one agent, serve ``sessions`` concurrent users, measure.
+
+    Parameters
+    ----------
+    dataset:
+        The (skyline-preprocessed) dataset to search.
+    sessions:
+        Number of concurrent simulated users.
+    algorithm:
+        ``"ea"`` or ``"aa"`` (registry names; display aliases accepted).
+    epsilon:
+        Regret-ratio threshold served to every user.
+    episodes:
+        Training episodes for the shared agent — kept small by default;
+        the bench measures serving, not learning.
+    seed:
+        Master seed; training, hidden users and per-session streams are
+        spawned independently from it.
+    max_rounds:
+        Per-session safety cap.
+    """
+    if sessions < 1:
+        raise ConfigurationError(f"sessions must be >= 1, got {sessions}")
+    epsilon = validate_epsilon(epsilon)
+    trainer = make_trainer(algorithm)
+    train_rng, user_rng, session_rng = spawn_rngs(seed, 3)
+    utilities = sample_training_utilities(
+        dataset.dimension, episodes, rng=train_rng
+    )
+    train_started = time.perf_counter()
+    agent = trainer(
+        dataset,
+        utilities,
+        config=make_config(algorithm, epsilon=epsilon),
+        rng=train_rng,
+    )
+    train_seconds = time.perf_counter() - train_started
+    hidden = sample_training_utilities(dataset.dimension, sessions, rng=user_rng)
+    seeds = [int(session_rng.integers(2**62)) for _ in range(sessions)]
+
+    def session_factory(seed: int):
+        """A deferred constructor, invoked inside the engine's LP cache."""
+        return lambda: make_session(
+            algorithm, dataset, epsilon, rng=seed, agent=agent
+        )
+
+    pairs = [
+        (session_factory(seeds[i]), OracleUser(hidden[i]))
+        for i in range(sessions)
+    ]
+    engine = SessionEngine(max_rounds=max_rounds)
+    results = engine.run(pairs)
+    metrics = engine.last_metrics
+    assert metrics is not None
+    return ServeBenchReport(
+        algorithm=algorithm,
+        dataset=dataset.name,
+        sessions=sessions,
+        epsilon=epsilon,
+        train_seconds=train_seconds,
+        metrics=metrics,
+        results=results,
+    )

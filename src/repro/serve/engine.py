@@ -1,0 +1,296 @@
+"""A lock-step engine multiplexing many interactive sessions.
+
+:class:`SessionEngine` drives a set of ``(algorithm, user)`` pairs the
+way :func:`repro.core.session.run_session` drives one, but in *waves*:
+every wave advances each active session by exactly one round.  Stepping
+in lock-step is what makes cross-session amortisation possible:
+
+* **Batched Q-scoring** — all RL-policy sessions sharing one
+  :class:`~repro.rl.dqn.DQNAgent` have their candidate sets scored in a
+  single stacked network pass per wave
+  (:meth:`~repro.rl.dqn.DQNAgent.q_values_many`), one matmul chain
+  instead of one per session.
+* **LP memoisation** — the engine installs a per-engine
+  :class:`~repro.geometry.lp.LPCache`, so identical feasibility,
+  bounds and inner-sphere solves recurring across sessions and rounds
+  (every fresh session starts from the same simplex) are paid once.
+
+Determinism guarantee: an engine-driven session produces the same
+recommendation, round count, per-round trace and truncation flag as a
+sequential ``run_session`` over the same algorithm/user/seed.  The
+batched scoring path is bit-identical per candidate set (dense layers
+are row-independent), argmax tie-breaking is unchanged, and LP cache
+hits replay the exact result of the original solve — so nothing the
+engine shares across sessions can perturb any one of them.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.session import (
+    DEFAULT_MAX_ROUNDS,
+    CandidateBatch,
+    InteractiveAlgorithm,
+    Question,
+    RoundRecord,
+    SessionResult,
+)
+from repro.errors import InteractionError
+from repro.geometry.lp import LPCache, use_cache
+from repro.serve.metrics import EngineMetrics, SessionMetrics
+from repro.users.oracle import User
+from repro.utils.timing import Stopwatch
+
+
+@dataclass
+class _Slot:
+    """Book-keeping for one session admitted to an engine run."""
+
+    index: int
+    algorithm: InteractiveAlgorithm
+    user: User
+    metrics: SessionMetrics
+    watch: Stopwatch = field(default_factory=Stopwatch)
+    shared_seconds: float = 0.0
+    records: list[RoundRecord] = field(default_factory=list)
+    question: Question | None = None
+    batch: CandidateBatch | None = None
+
+    @property
+    def agent_seconds(self) -> float:
+        """Own agent time plus this session's share of batched scoring."""
+        return self.watch.elapsed + self.shared_seconds
+
+
+class SessionEngine:
+    """Run many interactive sessions concurrently over one dataset/agent.
+
+    Parameters
+    ----------
+    max_rounds:
+        Per-session safety cap, as in ``run_session``.
+    lp_cache:
+        ``True`` (default) installs a fresh per-engine
+        :class:`~repro.geometry.lp.LPCache` shared by every session the
+        engine drives; pass an existing cache to share it across engines,
+        or ``False``/``None`` to disable memoisation.  The cache needs no
+        invalidation: entries are keyed on the full constraint system, so
+        they can never go stale; it lives as long as the engine does.
+
+    Examples
+    --------
+    >>> from repro.serve import SessionEngine
+    >>> engine = SessionEngine()          # doctest: +SKIP
+    >>> results = engine.run([(agent.new_session(rng=s), user)
+    ...                       for s, user in enumerate(users)])  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        lp_cache: LPCache | bool | None = True,
+    ) -> None:
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        self.max_rounds = int(max_rounds)
+        if isinstance(lp_cache, LPCache):
+            self.lp_cache: LPCache | None = lp_cache
+        elif lp_cache:
+            self.lp_cache = LPCache()
+        else:
+            self.lp_cache = None
+        self.last_metrics: EngineMetrics | None = None
+
+    def run(
+        self,
+        sessions: Sequence[
+            tuple[
+                InteractiveAlgorithm | Callable[[], InteractiveAlgorithm],
+                User,
+            ]
+        ],
+        trace: bool = False,
+    ) -> list[SessionResult]:
+        """Drive every ``(algorithm, user)`` pair to completion.
+
+        Each pair's first element is either a fresh algorithm or a
+        zero-argument factory producing one.  Prefer factories: they are
+        invoked *inside* the engine's LP-cache context, so the heavy
+        constraint solves of session start-up (identical across sessions
+        that share a dataset) are memoised too — sessions constructed
+        eagerly pay that cost before the cache is installed.
+
+        Results are returned in input order; each carries a populated
+        ``metrics`` field, and the aggregate :class:`EngineMetrics` is
+        stored on ``self.last_metrics``.  With ``trace=True`` per-round
+        records are collected into each result's ``trace`` exactly as
+        ``run_session(..., trace=True)`` would.
+        """
+        cache = self.lp_cache
+        hits_before = cache.hits if cache else 0
+        misses_before = cache.misses if cache else 0
+        started = time.perf_counter()
+        context = use_cache(cache) if cache is not None else nullcontext()
+        with context:
+            slots = []
+            for index, (source, user) in enumerate(sessions):
+                algorithm = source() if callable(source) else source
+                if algorithm.rounds != 0:
+                    raise InteractionError(
+                        "SessionEngine.run() requires fresh algorithms; "
+                        f"session {index} has already been driven"
+                    )
+                slots.append(
+                    _Slot(
+                        index=index,
+                        algorithm=algorithm,
+                        user=user,
+                        metrics=SessionMetrics(session_id=index),
+                    )
+                )
+            metrics = EngineMetrics(sessions=len(slots))
+            results: list[SessionResult | None] = [None] * len(slots)
+            active = slots
+            while active:
+                metrics.waves += 1
+                active = self._wave(active, results, metrics, trace, started)
+        metrics.wall_seconds = time.perf_counter() - started
+        if cache is not None:
+            metrics.lp_cache_hits = cache.hits - hits_before
+            metrics.lp_solves = (
+                cache.hits + cache.misses - hits_before - misses_before
+            )
+        metrics.per_session = [
+            result.metrics for result in results if result is not None
+        ]
+        self.last_metrics = metrics
+        return [result for result in results if result is not None]
+
+    # -- internals -----------------------------------------------------------
+
+    def _wave(
+        self,
+        active: list[_Slot],
+        results: list[SessionResult | None],
+        metrics: EngineMetrics,
+        trace: bool,
+        started: float,
+    ) -> list[_Slot]:
+        """Advance every active session by one round; return the survivors."""
+        survivors: list[_Slot] = []
+        batchable: list[_Slot] = []
+        for slot in active:
+            algorithm = slot.algorithm
+            slot.watch.start()
+            if algorithm.finished:
+                slot.watch.stop()
+                self._finalize(slot, results, metrics, False, started)
+                continue
+            if algorithm.rounds >= self.max_rounds:
+                slot.watch.stop()
+                self._finalize(slot, results, metrics, True, started)
+                continue
+            batch = algorithm.candidate_batch()
+            if batch is None:
+                slot.question = algorithm.next_question()
+                slot.watch.stop()
+            else:
+                slot.watch.stop()
+                slot.batch = batch
+                batchable.append(slot)
+            survivors.append(slot)
+        self._score(batchable, metrics)
+        for slot in survivors:
+            question = slot.question
+            assert question is not None
+            answer = slot.user.prefers(question.p_i, question.p_j)
+            slot.watch.start()
+            slot.algorithm.observe(answer)
+            slot.watch.stop()
+            slot.question = None
+            slot.metrics.rounds = slot.algorithm.rounds
+            metrics.rounds_total += 1
+            if trace:
+                slot.records.append(
+                    RoundRecord(
+                        round_number=slot.algorithm.rounds,
+                        elapsed_seconds=slot.agent_seconds,
+                        recommendation_index=slot.algorithm.recommend(),
+                    )
+                )
+        return survivors
+
+    def _score(self, batchable: list[_Slot], metrics: EngineMetrics) -> None:
+        """Resolve pending candidate batches, shared per scorer.
+
+        Sessions whose algorithm exposes a ``dqn`` with ``q_values_many``
+        (the RL policies) are grouped by scorer identity and scored in one
+        stacked pass; anything else falls back to the algorithm's own
+        sequential selection.
+        """
+        groups: dict[int, tuple[object, list[_Slot]]] = {}
+        singles: list[_Slot] = []
+        for slot in batchable:
+            scorer = getattr(slot.algorithm, "dqn", None)
+            if scorer is None or not hasattr(scorer, "q_values_many"):
+                singles.append(slot)
+                continue
+            groups.setdefault(id(scorer), (scorer, []))[1].append(slot)
+        for scorer, group in groups.values():
+            batch_started = time.perf_counter()
+            scores_per_slot = scorer.q_values_many(
+                [(slot.batch.state, slot.batch.actions) for slot in group]
+            )
+            share = (time.perf_counter() - batch_started) / len(group)
+            metrics.batches += 1
+            metrics.batched_rows += len(group)
+            metrics.peak_batch = max(metrics.peak_batch, len(group))
+            for slot, scores in zip(group, scores_per_slot):
+                slot.shared_seconds += share
+                slot.watch.start()
+                slot.question = slot.algorithm.next_question_from(
+                    int(np.argmax(scores))
+                )
+                slot.watch.stop()
+                slot.metrics.batched_rounds += 1
+                slot.batch = None
+        for slot in singles:
+            slot.watch.start()
+            slot.question = slot.algorithm.next_question()
+            slot.watch.stop()
+            slot.batch = None
+
+    def _finalize(
+        self,
+        slot: _Slot,
+        results: list[SessionResult | None],
+        metrics: EngineMetrics,
+        truncated: bool,
+        started: float,
+    ) -> None:
+        """Record the finished (or truncated) session's result."""
+        slot.watch.start()
+        index = slot.algorithm.recommend()
+        slot.watch.stop()
+        slot.metrics.rounds = slot.algorithm.rounds
+        slot.metrics.wall_seconds = time.perf_counter() - started
+        slot.metrics.agent_seconds = slot.agent_seconds
+        if truncated:
+            metrics.truncated += 1
+        else:
+            metrics.completed += 1
+        results[slot.index] = SessionResult(
+            recommendation_index=index,
+            recommendation=slot.algorithm.dataset.points[index].copy(),
+            rounds=slot.algorithm.rounds,
+            elapsed_seconds=slot.agent_seconds,
+            truncated=truncated,
+            trace=slot.records,
+            metrics=slot.metrics,
+        )

@@ -1,0 +1,150 @@
+"""Lightweight metrics for the concurrent session engine.
+
+Two layers of measurement, both cheap enough to stay on by default:
+
+* :class:`SessionMetrics` — one per served session, attached to the
+  session's :class:`~repro.core.session.SessionResult` (``.metrics``):
+  rounds, completion latency, agent-side compute seconds and how many of
+  the session's rounds were scored through a shared network batch.
+* :class:`EngineMetrics` — one per :meth:`SessionEngine.run
+  <repro.serve.engine.SessionEngine.run>` call: wave counts, batched-
+  scoring occupancy, aggregate LP solver work and cache effectiveness,
+  and end-to-end throughput.
+
+This module is deliberately dependency-free (no imports from
+:mod:`repro.core`) so result types can reference it without cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SessionMetrics:
+    """Per-session measurements recorded by the engine.
+
+    Attributes
+    ----------
+    session_id:
+        Position of the session in the engine's input sequence.
+    rounds:
+        Questions answered before the session stopped.
+    wall_seconds:
+        Latency from engine start to this session's completion (what an
+        interactive user would experience, minus answer time which is
+        simulated instantaneously).
+    agent_seconds:
+        Agent-side compute attributed to this session: its own candidate
+        generation and updates, plus an equal share of every shared
+        scoring batch it participated in.
+    batched_rounds:
+        Rounds whose question was selected through a shared scoring batch
+        rather than a per-session network pass.
+    """
+
+    session_id: int
+    rounds: int = 0
+    wall_seconds: float = 0.0
+    agent_seconds: float = 0.0
+    batched_rounds: int = 0
+
+
+@dataclass
+class EngineMetrics:
+    """Aggregate measurements for one engine run.
+
+    Attributes
+    ----------
+    sessions:
+        Sessions admitted to the run.
+    completed:
+        Sessions that reached their stopping condition.
+    truncated:
+        Sessions cut off at the round cap.
+    waves:
+        Lock-step iterations executed (each wave advances every active
+        session by at most one round).
+    rounds_total:
+        Questions answered across all sessions.
+    batches:
+        Shared scoring batches issued (one per scorer per wave).
+    batched_rows:
+        Candidate sets scored through shared batches, summed over waves.
+    peak_batch:
+        Largest number of candidate sets in any single batch.
+    lp_solves:
+        LP solves routed through the engine's cache (0 with caching off).
+    lp_cache_hits:
+        Routed solves answered from the cache.
+    wall_seconds:
+        End-to-end duration of the run.
+    """
+
+    sessions: int = 0
+    completed: int = 0
+    truncated: int = 0
+    waves: int = 0
+    rounds_total: int = 0
+    batches: int = 0
+    batched_rows: int = 0
+    peak_batch: int = 0
+    lp_solves: int = 0
+    lp_cache_hits: int = 0
+    wall_seconds: float = 0.0
+    per_session: list[SessionMetrics] = field(default_factory=list)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average candidate sets per shared scoring batch."""
+        return self.batched_rows / self.batches if self.batches else 0.0
+
+    @property
+    def batch_occupancy(self) -> float:
+        """Mean batch size relative to the admitted session count.
+
+        1.0 means every session was scored together in every wave; the
+        value decays as sessions finish and waves thin out.  0.0 when no
+        shared batches ran (e.g. a run of baseline-only sessions).
+        """
+        if not self.sessions or not self.batches:
+            return 0.0
+        return self.mean_batch_size / self.sessions
+
+    @property
+    def lp_hit_rate(self) -> float:
+        """Fraction of routed LP solves answered from the cache."""
+        return self.lp_cache_hits / self.lp_solves if self.lp_solves else 0.0
+
+    @property
+    def sessions_per_second(self) -> float:
+        """Completed-or-truncated sessions per wall-clock second."""
+        done = self.completed + self.truncated
+        return done / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def rounds_per_second(self) -> float:
+        """Answered questions per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.rounds_total / self.wall_seconds
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable report lines (used by ``serve-bench``)."""
+        return [
+            f"sessions: {self.sessions} "
+            f"({self.completed} completed, {self.truncated} truncated)",
+            f"waves: {self.waves}; rounds: {self.rounds_total} "
+            f"(mean {self.rounds_total / self.sessions:.1f}/session)"
+            if self.sessions
+            else f"waves: {self.waves}; rounds: {self.rounds_total}",
+            f"throughput: {self.sessions_per_second:.2f} sessions/s, "
+            f"{self.rounds_per_second:.1f} rounds/s "
+            f"({self.wall_seconds:.2f}s wall)",
+            f"batched scoring: {self.batches} batches, "
+            f"mean size {self.mean_batch_size:.1f}, "
+            f"peak {self.peak_batch}, "
+            f"occupancy {self.batch_occupancy:.2f}",
+            f"LP solves: {self.lp_solves}, cache hits: {self.lp_cache_hits} "
+            f"(hit rate {self.lp_hit_rate:.1%})",
+        ]

@@ -7,7 +7,6 @@ import pytest
 
 from repro.core import AAConfig, run_session, train_aa
 from repro.core.aa import AAEnvironment
-from repro.data import synthetic_dataset
 from repro.errors import ConfigurationError
 from repro.eval.metrics import session_regret
 from repro.users import OracleUser
@@ -49,7 +48,6 @@ class TestAAEnvironment:
     def test_candidate_pairs_split_range(self, small_anti_3d):
         """Lemma 8: every candidate pair strictly narrows R."""
         from repro.geometry import lp
-        from repro.geometry.hyperplane import preference_halfspace
 
         env = AAEnvironment(small_anti_3d, AAConfig(), rng=1)
         obs = env.reset()

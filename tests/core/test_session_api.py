@@ -1,0 +1,79 @@
+"""The unified run_session surface: trace sugar, metrics, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import SinglePassSession, UHRandomSession
+from repro.core.session import run_session, validate_epsilon
+from repro.data.utility import sample_training_utilities
+from repro.errors import ConfigurationError
+from repro.users import OracleUser
+
+
+def _user(dimension: int) -> OracleUser:
+    return OracleUser(sample_training_utilities(dimension, 1, rng=99)[0])
+
+
+def _stable(records):
+    """The deterministic part of round records (times are wall-clock)."""
+    return [(r.round_number, r.recommendation_index) for r in records]
+
+
+class TestTraceUnification:
+    """trace=True is sugar over the on_round callback path."""
+
+    def test_trace_equals_callback_records(self, small_anti_3d):
+        user = _user(3)
+        traced = run_session(
+            UHRandomSession(small_anti_3d, epsilon=0.1, rng=3), user, trace=True
+        )
+        seen = []
+        run_session(
+            UHRandomSession(small_anti_3d, epsilon=0.1, rng=3),
+            user,
+            on_round=seen.append,
+        )
+        assert _stable(traced.trace) == _stable(seen)
+        assert len(seen) == traced.rounds
+
+    def test_trace_and_callback_together(self, small_anti_3d):
+        user = _user(3)
+        seen = []
+        result = run_session(
+            UHRandomSession(small_anti_3d, epsilon=0.1, rng=3),
+            user,
+            trace=True,
+            on_round=seen.append,
+        )
+        assert result.trace == seen
+
+    def test_no_trace_by_default(self, small_anti_3d):
+        result = run_session(
+            UHRandomSession(small_anti_3d, epsilon=0.1, rng=3), _user(3)
+        )
+        assert result.trace == []
+        assert result.metrics is None
+
+
+class TestEpsilonValidation:
+    """Epsilon outside (0, 1) raises ConfigurationError everywhere."""
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.1, 2.0])
+    def test_validate_epsilon_rejects(self, epsilon):
+        with pytest.raises(ConfigurationError, match="epsilon"):
+            validate_epsilon(epsilon)
+
+    def test_validate_epsilon_accepts(self):
+        assert validate_epsilon(0.25) == 0.25
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0])
+    def test_new_session_rejects(self, trained_ea_3d, trained_aa_3d, epsilon):
+        with pytest.raises(ConfigurationError):
+            trained_ea_3d.new_session(rng=0, epsilon=epsilon)
+        with pytest.raises(ConfigurationError):
+            trained_aa_3d.new_session(rng=0, epsilon=epsilon)
+
+    def test_baseline_constructor_rejects(self, small_anti_3d):
+        with pytest.raises(ConfigurationError):
+            SinglePassSession(small_anti_3d, epsilon=1.0, rng=0)

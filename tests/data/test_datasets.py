@@ -9,7 +9,6 @@ from repro.data.datasets import (
     Dataset,
     NORMALIZATION_FLOOR,
     normalize_columns,
-    toy_database,
 )
 from repro.errors import DataError
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.data import synthetic_dataset, toy_database
+from repro.data import synthetic_dataset
 from repro.data.summary import DatasetSummary, summarize
 
 

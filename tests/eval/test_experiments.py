@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.data import synthetic_dataset
+from repro.errors import ConfigurationError
 from repro.eval.experiments import (
     ALL_METHODS,
     LOW_DIMENSIONAL_METHODS,
@@ -79,7 +80,9 @@ class TestBuildMethod:
         assert session.dataset is tiny_dataset
 
     def test_unknown_method(self, tiny_dataset):
-        with pytest.raises(ValueError):
+        # build_method resolves names through the session registry now,
+        # so unknown names raise its ConfigurationError.
+        with pytest.raises(ConfigurationError):
             build_method("Oracle", tiny_dataset, 0.1)
 
     def test_factories_produce_fresh_sessions(self, tiny_dataset, tiny_scale):

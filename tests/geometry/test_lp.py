@@ -182,3 +182,85 @@ class TestAmbientHighDimensions:
                 spaces.pop()
         _, radius = lp.ambient_inner_sphere(spaces, 20)
         assert radius >= 0
+
+
+class TestLPCache:
+    """Memoisation of solve() through an installed LPCache."""
+
+    def test_identical_solve_is_cached(self):
+        a, b = square_constraints()
+        c = np.array([1.0, 1.0])
+        cache = lp.LPCache()
+        with lp.use_cache(cache):
+            first = lp.solve(c, a_ub=a, b_ub=b)
+            second = lp.solve(c, a_ub=a, b_ub=b)
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.solves == 2
+        assert cache.hit_rate == pytest.approx(0.5)
+        assert len(cache) == 1
+        assert second.value == first.value
+        np.testing.assert_array_equal(second.x, first.x)
+
+    def test_cached_result_is_a_copy(self):
+        a, b = square_constraints()
+        c = np.array([1.0, 1.0])
+        cache = lp.LPCache()
+        with lp.use_cache(cache):
+            first = lp.solve(c, a_ub=a, b_ub=b)
+            first.x[:] = 99.0  # a caller scribbling on its result
+            second = lp.solve(c, a_ub=a, b_ub=b)
+        assert not np.array_equal(second.x, first.x)
+
+    def test_different_systems_miss(self):
+        a, b = square_constraints()
+        cache = lp.LPCache()
+        with lp.use_cache(cache):
+            lp.solve(np.array([1.0, 1.0]), a_ub=a, b_ub=b)
+            lp.solve(np.array([1.0, 2.0]), a_ub=a, b_ub=b)
+        assert cache.hits == 0
+        assert cache.misses == 2
+
+    def test_failures_are_cached(self):
+        a = np.array([[1.0], [-1.0]])
+        b = np.array([-1.0, -1.0])  # infeasible: x <= -1 and x >= 1
+        cache = lp.LPCache()
+        with lp.use_cache(cache):
+            with pytest.raises(lp.InfeasibleLP):
+                lp.solve(np.array([1.0]), a_ub=a, b_ub=b)
+            with pytest.raises(lp.InfeasibleLP):
+                lp.solve(np.array([1.0]), a_ub=a, b_ub=b)
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_no_cache_without_context(self):
+        a, b = square_constraints()
+        cache = lp.LPCache()
+        lp.solve(np.array([1.0, 1.0]), a_ub=a, b_ub=b)
+        assert cache.solves == 0
+        assert lp.active_cache() is None
+
+    def test_nesting_restores_previous_cache(self):
+        outer, inner = lp.LPCache(), lp.LPCache()
+        with lp.use_cache(outer):
+            with lp.use_cache(inner):
+                assert lp.active_cache() is inner
+            assert lp.active_cache() is outer
+        assert lp.active_cache() is None
+
+    def test_key_distinguishes_bounds(self):
+        c = np.array([1.0])
+        key_free = lp.constraint_system_key(c, None, None, None, None, None)
+        key_box = lp.constraint_system_key(
+            c, None, None, None, None, [(0.0, 1.0)]
+        )
+        assert key_free != key_box
+
+    def test_eviction_caps_entries(self):
+        a, b = square_constraints()
+        cache = lp.LPCache(max_entries=2)
+        with lp.use_cache(cache):
+            for k in range(4):
+                lp.solve(np.array([1.0, float(k)]), a_ub=a, b_ub=b)
+        assert len(cache) == 2
+        assert cache.misses == 4

@@ -7,7 +7,6 @@ geometric core of the reproduction against the paper's formal claims.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

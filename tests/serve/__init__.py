@@ -1,0 +1,1 @@
+"""Tests for the concurrent session-serving subsystem."""

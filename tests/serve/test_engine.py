@@ -1,0 +1,193 @@
+"""SessionEngine: determinism vs the sequential path, plus metrics.
+
+The engine's contract is that sharing work across sessions (batched
+Q-scoring, LP memoisation) must not perturb any individual session:
+engine-driven sessions are bit-identical to sequential ``run_session``
+runs over the same algorithm/user/seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import UHRandomSession
+from repro.core.session import run_session
+from repro.data.utility import sample_training_utilities
+from repro.errors import InteractionError
+from repro.geometry.lp import LPCache
+from repro.serve import EngineMetrics, SessionEngine, run_serve_bench
+from repro.users import OracleUser
+
+N_USERS = 4
+
+
+def _hidden_users(dimension: int):
+    utilities = sample_training_utilities(dimension, N_USERS, rng=2_024)
+    return [OracleUser(u) for u in utilities]
+
+
+def _assert_identical(sequential, engine_results):
+    """Engine results must match sequential ones field for field."""
+    assert len(sequential) == len(engine_results)
+    for seq, eng in zip(sequential, engine_results):
+        assert seq.recommendation_index == eng.recommendation_index
+        np.testing.assert_array_equal(seq.recommendation, eng.recommendation)
+        assert seq.rounds == eng.rounds
+        assert seq.truncated == eng.truncated
+
+
+class TestDeterminism:
+    """Engine-driven sessions replay the sequential path bit for bit."""
+
+    def _run_both(self, make_algorithm, dataset):
+        users = _hidden_users(dataset.dimension)
+        sequential = [
+            run_session(make_algorithm(seed), user)
+            for seed, user in enumerate(users)
+        ]
+        engine = SessionEngine()
+        engine_results = engine.run(
+            [(make_algorithm(seed), user) for seed, user in enumerate(users)]
+        )
+        _assert_identical(sequential, engine_results)
+        return engine
+
+    def test_ea_sessions_identical(self, trained_ea_3d, small_anti_3d):
+        engine = self._run_both(
+            lambda seed: trained_ea_3d.new_session(rng=seed), small_anti_3d
+        )
+        metrics = engine.last_metrics
+        assert metrics.batches > 0
+        assert metrics.lp_solves > 0
+
+    def test_aa_sessions_identical(self, trained_aa_3d, small_anti_3d):
+        engine = self._run_both(
+            lambda seed: trained_aa_3d.new_session(rng=seed), small_anti_3d
+        )
+        metrics = engine.last_metrics
+        assert metrics.batches > 0
+        assert metrics.lp_cache_hits > 0
+
+    def test_baseline_sessions_identical(self, small_anti_3d):
+        engine = self._run_both(
+            lambda seed: UHRandomSession(small_anti_3d, epsilon=0.1, rng=seed),
+            small_anti_3d,
+        )
+        # Baselines have no batched scorer: every round goes the
+        # sequential next_question() route.
+        assert engine.last_metrics.batches == 0
+
+    def test_trace_matches_sequential(self, trained_ea_3d, small_anti_3d):
+        users = _hidden_users(small_anti_3d.dimension)
+        sequential = [
+            run_session(trained_ea_3d.new_session(rng=seed), user, trace=True)
+            for seed, user in enumerate(users)
+        ]
+        engine = SessionEngine()
+        engine_results = engine.run(
+            [
+                (trained_ea_3d.new_session(rng=seed), user)
+                for seed, user in enumerate(users)
+            ],
+            trace=True,
+        )
+        for seq, eng in zip(sequential, engine_results):
+            assert [r.round_number for r in seq.trace] == [
+                r.round_number for r in eng.trace
+            ]
+            assert [r.recommendation_index for r in seq.trace] == [
+                r.recommendation_index for r in eng.trace
+            ]
+
+    def test_cache_disabled_still_identical(self, trained_aa_3d, small_anti_3d):
+        users = _hidden_users(small_anti_3d.dimension)
+        sequential = [
+            run_session(trained_aa_3d.new_session(rng=seed), user)
+            for seed, user in enumerate(users)
+        ]
+        engine = SessionEngine(lp_cache=False)
+        engine_results = engine.run(
+            [
+                (trained_aa_3d.new_session(rng=seed), user)
+                for seed, user in enumerate(users)
+            ]
+        )
+        _assert_identical(sequential, engine_results)
+        assert engine.lp_cache is None
+        assert engine.last_metrics.lp_solves == 0
+
+
+class TestMetrics:
+    """Engine and per-session metrics are populated and consistent."""
+
+    def test_session_results_carry_metrics(self, trained_ea_3d, small_anti_3d):
+        users = _hidden_users(small_anti_3d.dimension)
+        engine = SessionEngine()
+        results = engine.run(
+            [
+                (trained_ea_3d.new_session(rng=seed), user)
+                for seed, user in enumerate(users)
+            ]
+        )
+        metrics = engine.last_metrics
+        assert isinstance(metrics, EngineMetrics)
+        assert metrics.sessions == len(users)
+        assert metrics.completed + metrics.truncated == len(users)
+        assert metrics.rounds_total == sum(r.rounds for r in results)
+        assert 0.0 < metrics.batch_occupancy <= 1.0
+        assert metrics.per_session == [r.metrics for r in results]
+        for result in results:
+            assert result.metrics is not None
+            assert result.metrics.rounds == result.rounds
+            assert result.metrics.batched_rounds > 0
+
+    def test_shared_cache_accumulates(self, trained_aa_3d, small_anti_3d):
+        cache = LPCache()
+        users = _hidden_users(small_anti_3d.dimension)
+        for _ in range(2):
+            engine = SessionEngine(lp_cache=cache)
+            engine.run(
+                [
+                    (trained_aa_3d.new_session(rng=seed), user)
+                    for seed, user in enumerate(users)
+                ]
+            )
+        # Second run replays the first run's LP systems from the shared
+        # cache: (nearly) every solve is a hit.
+        assert engine.last_metrics.lp_hit_rate > 0.9
+
+    def test_rejects_used_sessions(self, trained_ea_3d, small_anti_3d):
+        session = trained_ea_3d.new_session(rng=0)
+        user = _hidden_users(small_anti_3d.dimension)[0]
+        run_session(session, user)
+        with pytest.raises(InteractionError):
+            SessionEngine().run([(session, user)])
+
+    def test_max_rounds_truncates(self, trained_ea_3d, small_anti_3d):
+        users = _hidden_users(small_anti_3d.dimension)
+        engine = SessionEngine(max_rounds=1)
+        results = engine.run(
+            [
+                (trained_ea_3d.new_session(rng=seed), user)
+                for seed, user in enumerate(users)
+            ]
+        )
+        assert all(r.truncated for r in results)
+        assert all(r.rounds == 1 for r in results)
+        assert engine.last_metrics.truncated == len(users)
+
+
+class TestServeBench:
+    """The end-to-end serve-bench workload."""
+
+    def test_reports_cache_hits_and_occupancy(self, small_anti_3d):
+        report = run_serve_bench(
+            small_anti_3d, sessions=6, algorithm="aa", episodes=2, seed=5
+        )
+        assert len(report.results) == 6
+        metrics = report.metrics
+        assert metrics.lp_hit_rate > 0
+        assert metrics.batch_occupancy > 0
+        assert metrics.sessions_per_second > 0
+        assert any("occupancy" in line for line in report.lines())

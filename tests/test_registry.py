@@ -1,0 +1,104 @@
+"""The session registry: one construction surface for all families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    AdaptiveSession,
+    SinglePassSession,
+    UHRandomSession,
+    UHSimplexSession,
+    UtilityApproxSession,
+)
+from repro.core import AAConfig, AASession, EAConfig, EASession, train_aa, train_ea
+from repro.errors import ConfigurationError
+from repro.registry import (
+    canonical_session_name,
+    make_config,
+    make_session,
+    make_trainer,
+    session_names,
+)
+
+BASELINE_TYPES = {
+    "uh-random": UHRandomSession,
+    "uh-simplex": UHSimplexSession,
+    "single-pass": SinglePassSession,
+    "utility-approx": UtilityApproxSession,
+    "adaptive": AdaptiveSession,
+}
+
+
+class TestNames:
+    def test_all_families_registered(self):
+        assert set(session_names()) == {
+            "ea", "aa", "uh-random", "uh-simplex",
+            "single-pass", "utility-approx", "adaptive",
+        }
+
+    @pytest.mark.parametrize(
+        ("alias", "expected"),
+        [
+            ("EA", "ea"),
+            ("AA", "aa"),
+            ("UH-Random", "uh-random"),
+            ("UH-Simplex", "uh-simplex"),
+            ("SinglePass", "single-pass"),
+            ("UtilityApprox", "utility-approx"),
+            ("uh_random", "uh-random"),
+            ("single pass", "single-pass"),
+            ("adaptive", "adaptive"),
+        ],
+    )
+    def test_display_aliases(self, alias, expected):
+        assert canonical_session_name(alias) == expected
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown session"):
+            canonical_session_name("gradient-descent")
+
+
+class TestMakeSession:
+    @pytest.mark.parametrize("name", sorted(BASELINE_TYPES))
+    def test_builds_baselines(self, name, small_anti_3d):
+        session = make_session(name, small_anti_3d, 0.1, rng=7)
+        assert isinstance(session, BASELINE_TYPES[name])
+        assert not session.finished or name == "utility-approx"
+
+    def test_builds_rl_sessions(self, trained_ea_3d, trained_aa_3d, small_anti_3d):
+        ea = make_session("ea", small_anti_3d, 0.2, rng=1, agent=trained_ea_3d)
+        aa = make_session("AA", small_anti_3d, 0.2, rng=1, agent=trained_aa_3d)
+        assert isinstance(ea, EASession)
+        assert isinstance(aa, AASession)
+
+    def test_rl_without_agent_raises(self, small_anti_3d):
+        with pytest.raises(ConfigurationError, match="agent"):
+            make_session("ea", small_anti_3d, 0.1, rng=0)
+
+    def test_agent_dataset_mismatch_raises(self, trained_ea_3d, small_anti_4d):
+        with pytest.raises(ConfigurationError, match="does not match"):
+            make_session("ea", small_anti_4d, 0.1, rng=0, agent=trained_ea_3d)
+
+    @pytest.mark.parametrize("epsilon", [0.0, 1.0, -0.3, 1.5])
+    def test_invalid_epsilon_raises(self, epsilon, small_anti_3d):
+        with pytest.raises(ConfigurationError, match="epsilon"):
+            make_session("uh-random", small_anti_3d, epsilon, rng=0)
+
+
+class TestTrainerAndConfig:
+    def test_trainers(self):
+        assert make_trainer("EA") is train_ea
+        assert make_trainer("aa") is train_aa
+
+    def test_baseline_has_no_trainer(self):
+        with pytest.raises(ConfigurationError, match="needs no training"):
+            make_trainer("uh-random")
+
+    def test_configs(self):
+        assert make_config("ea", epsilon=0.05) == EAConfig(epsilon=0.05)
+        assert make_config("AA") == AAConfig()
+
+    def test_baseline_has_no_config(self):
+        with pytest.raises(ConfigurationError, match="no trainer config"):
+            make_config("single-pass")
