@@ -72,7 +72,7 @@ from repro.registry import (
 from repro.rl.serialization import load_agent, save_agent
 from repro.eval import evaluate_algorithm, max_regret_ratio
 from repro.geometry.vectors import regret_ratio
-from repro.serve import SessionEngine, run_serve_bench
+from repro.serve import RecoveryPolicy, SessionEngine, run_serve_bench
 from repro.users import NoisyUser, OracleUser
 
 __version__ = "1.0.0"
@@ -98,6 +98,7 @@ __all__ = [
     "UHRandomSession",
     "UHSimplexSession",
     "UtilityApproxSession",
+    "RecoveryPolicy",
     "SessionEngine",
     "evaluate_algorithm",
     "load_agent",

@@ -167,6 +167,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         epsilon=args.epsilon,
         episodes=args.episodes,
         seed=args.seed,
+        noise=args.noise,
+        recover=args.recover,
     )
     for line in report.lines():
         print(line)
@@ -226,6 +228,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--epsilon", type=float, default=0.1)
     serve.add_argument("--episodes", type=int, default=8)
     serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--noise",
+        type=float,
+        default=0.0,
+        help="serve NoisyUser fleets with this error rate (default 0: truthful)",
+    )
+    serve.add_argument(
+        "--recover",
+        action="store_true",
+        help="retry EmptyRegionError sessions once under majority voting",
+    )
     serve.set_defaults(handler=_cmd_serve_bench)
     return parser
 

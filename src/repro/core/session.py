@@ -19,7 +19,11 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from repro.data.datasets import Dataset
-from repro.errors import ConfigurationError, InteractionError
+from repro.errors import (
+    ConfigurationError,
+    InteractionError,
+    SessionFailedError,
+)
 from repro.users.oracle import User
 from repro.utils.timing import Stopwatch
 
@@ -97,6 +101,10 @@ class CandidateBatch:
             )
 
 
+#: ``SessionResult.status`` values, in outcome order.
+SESSION_STATUSES = ("completed", "truncated", "recovered", "failed")
+
+
 @dataclass
 class SessionResult:
     """Outcome of one full interactive session.
@@ -104,6 +112,15 @@ class SessionResult:
     ``metrics`` is populated only by engine-driven sessions
     (:class:`repro.serve.SessionEngine`); plain :func:`run_session` calls
     leave it ``None``, and old pickles without the field load unchanged.
+
+    ``status`` is one of :data:`SESSION_STATUSES`: ``"completed"``
+    (stopping condition reached), ``"truncated"`` (round cap hit),
+    ``"recovered"`` (completed, but only after at least one engine
+    recovery retry) or ``"failed"`` (the session raised and was not
+    recovered; ``error`` then carries ``"ErrorType: message"`` and the
+    recommendation fields hold the best effort available — the last
+    consistent recommendation, or index ``-1`` with an empty point when
+    none exists).  The defaults keep old pickles and callers working.
     """
 
     recommendation_index: int
@@ -113,6 +130,21 @@ class SessionResult:
     truncated: bool = False
     trace: list[RoundRecord] = field(default_factory=list)
     metrics: "SessionMetrics | None" = None
+    status: str = "completed"
+    error: str | None = None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the session died (``status == "failed"``)."""
+        return self.status == "failed"
+
+    def raise_for_status(self) -> "SessionResult":
+        """Return ``self``, raising :class:`SessionFailedError` if failed."""
+        if self.failed:
+            raise SessionFailedError(
+                f"session failed after {self.rounds} rounds: {self.error}"
+            )
+        return self
 
 
 class InteractiveAlgorithm(abc.ABC):
@@ -232,12 +264,47 @@ class InteractiveAlgorithm(abc.ABC):
         )
 
 
+def failed_session_result(
+    algorithm: InteractiveAlgorithm,
+    error: BaseException,
+    elapsed_seconds: float,
+    trace: list[RoundRecord] | None = None,
+) -> SessionResult:
+    """A ``status == "failed"`` result for a session that raised.
+
+    The recommendation fields are filled best-effort: algorithms in this
+    package keep a last-consistent fallback recommendation, which is
+    still useful to a caller serving degraded traffic.  If even
+    :meth:`~InteractiveAlgorithm.recommend` raises, index ``-1`` and an
+    empty point are returned.  Shared by sequential
+    :func:`run_session` and :class:`repro.serve.SessionEngine` so both
+    paths fail identically.
+    """
+    try:
+        index = algorithm.recommend()
+        recommendation = algorithm.dataset.points[index].copy()
+    except Exception:  # noqa: BLE001 -- best-effort only
+        index = -1
+        recommendation = np.empty(0)
+    return SessionResult(
+        recommendation_index=index,
+        recommendation=recommendation,
+        rounds=algorithm.rounds,
+        elapsed_seconds=elapsed_seconds,
+        truncated=False,
+        trace=trace if trace is not None else [],
+        status="failed",
+        error=f"{type(error).__name__}: {error}",
+    )
+
+
 def run_session(
     algorithm: InteractiveAlgorithm,
     user: User,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
     trace: bool = False,
     on_round: Callable[[RoundRecord], None] | None = None,
+    on_error: str = "raise",
 ) -> SessionResult:
     """Drive ``algorithm`` against ``user`` until it stops.
 
@@ -259,12 +326,23 @@ def run_session(
         compose freely.  Round records call
         :meth:`InteractiveAlgorithm.recommend` each round, which may cost
         extra time; the stopwatch excludes that bookkeeping.
+    on_error:
+        ``"raise"`` (default) propagates any exception the round loop
+        raises, exactly as before.  ``"capture"`` gives the sequential
+        path the same failure semantics as the serving engine: the
+        exception is swallowed and a ``status == "failed"`` result with
+        the error text and a best-effort recommendation is returned
+        instead.
 
     Returns
     -------
     SessionResult
         Rounds, agent-side wall time, and the recommended point.
     """
+    if on_error not in ("raise", "capture"):
+        raise ConfigurationError(
+            f"on_error must be 'raise' or 'capture', got {on_error!r}"
+        )
     if algorithm.rounds != 0:
         raise InteractionError("run_session() requires a fresh algorithm")
     watch = Stopwatch()
@@ -275,32 +353,40 @@ def run_session(
     if on_round is not None:
         callbacks.append(on_round)
     truncated = False
-    while True:
-        watch.start()
-        if algorithm.finished:
+    try:
+        while True:
+            watch.start()
+            if algorithm.finished:
+                watch.stop()
+                break
+            if algorithm.rounds >= max_rounds:
+                watch.stop()
+                truncated = True
+                break
+            question = algorithm.next_question()
             watch.stop()
-            break
-        if algorithm.rounds >= max_rounds:
+            answer = user.prefers(question.p_i, question.p_j)
+            watch.start()
+            algorithm.observe(answer)
             watch.stop()
-            truncated = True
-            break
-        question = algorithm.next_question()
-        watch.stop()
-        answer = user.prefers(question.p_i, question.p_j)
+            if callbacks:
+                record = RoundRecord(
+                    round_number=algorithm.rounds,
+                    elapsed_seconds=watch.elapsed,
+                    recommendation_index=algorithm.recommend(),
+                )
+                for callback in callbacks:
+                    callback(record)
         watch.start()
-        algorithm.observe(answer)
+        index = algorithm.recommend()
         watch.stop()
-        if callbacks:
-            record = RoundRecord(
-                round_number=algorithm.rounds,
-                elapsed_seconds=watch.elapsed,
-                recommendation_index=algorithm.recommend(),
-            )
-            for callback in callbacks:
-                callback(record)
-    watch.start()
-    index = algorithm.recommend()
-    watch.stop()
+    except Exception as error:  # noqa: BLE001 -- session fault boundary
+        watch.stop()
+        if on_error == "raise":
+            raise
+        return failed_session_result(
+            algorithm, error, watch.elapsed, trace=records
+        )
     return SessionResult(
         recommendation_index=index,
         recommendation=algorithm.dataset.points[index].copy(),
@@ -308,4 +394,5 @@ def run_session(
         elapsed_seconds=watch.elapsed,
         truncated=truncated,
         trace=records,
+        status="truncated" if truncated else "completed",
     )

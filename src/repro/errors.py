@@ -51,3 +51,12 @@ class InteractionError(ReproError):
 
 class ConfigurationError(ReproError):
     """An algorithm or experiment was configured with invalid parameters."""
+
+
+class SessionFailedError(ReproError):
+    """A served session ended with ``status == "failed"``.
+
+    Raised by :meth:`repro.core.session.SessionResult.raise_for_status`
+    for callers that prefer an exception over inspecting the ``status``
+    field; the message carries the original error's type and text.
+    """

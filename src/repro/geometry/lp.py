@@ -28,8 +28,10 @@ decisions — it only skips redundant solver work.
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 
 import numpy as np
@@ -114,14 +116,19 @@ class LPCache:
 
     The cache has no invalidation protocol: keys bind the *entire*
     constraint system, so a stored result can never go stale.  Bound the
-    footprint with ``max_entries`` (oldest entries are evicted first).
+    footprint with ``max_entries``; eviction is least-recently-*used*
+    (a hit refreshes an entry's recency), so the hot simplex-startup
+    systems every fresh session re-derives stay resident under
+    sustained load instead of being the first insertions evicted.
     """
 
     def __init__(self, max_entries: int = 100_000) -> None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
-        self._store: dict[bytes, LPResult | tuple[type[LPError], str]] = {}
+        self._store: OrderedDict[
+            bytes, LPResult | tuple[type[LPError], str]
+        ] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -148,7 +155,12 @@ class LPCache:
     # -- internals used by solve() -------------------------------------------
 
     def _fetch(self, key: bytes) -> LPResult:
-        """Return the cached outcome for ``key``, re-raising cached failures."""
+        """Return the cached outcome for ``key``, re-raising cached failures.
+
+        A fetch counts as a *use*: the entry moves to the recent end of
+        the LRU order, so frequently replayed systems survive eviction.
+        """
+        self._store.move_to_end(key)
         entry = self._store[key]
         if isinstance(entry, LPResult):
             return LPResult(x=entry.x.copy(), value=entry.value)
@@ -158,17 +170,25 @@ class LPCache:
     def _record(
         self, key: bytes, entry: LPResult | tuple[type[LPError], str]
     ) -> None:
-        if key not in self._store and len(self._store) >= self.max_entries:
-            self._store.pop(next(iter(self._store)))
+        if key in self._store:
+            self._store.move_to_end(key)
+        elif len(self._store) >= self.max_entries:
+            self._store.popitem(last=False)
         self._store[key] = entry
 
 
-_active_cache: LPCache | None = None
+#: The installed cache is context-local, not a module global: two engines
+#: running on different threads (or asyncio tasks) each see only their own
+#: installation, and exiting one ``use_cache`` block can never restore a
+#: cache that a concurrent thread installed.
+_active_cache: ContextVar[LPCache | None] = ContextVar(
+    "repro_lp_active_cache", default=None
+)
 
 
 def active_cache() -> LPCache | None:
     """The cache currently installed by :func:`use_cache`, if any."""
-    return _active_cache
+    return _active_cache.get()
 
 
 @contextmanager
@@ -176,17 +196,16 @@ def use_cache(cache: LPCache) -> Iterator[LPCache]:
     """Route every :func:`solve` inside the block through ``cache``.
 
     Nesting is allowed; the innermost cache wins and the previous one is
-    restored on exit.  The cache is process-global for the duration of
-    the block (the engine and all algorithms it drives share it), which
-    is exactly what amortising identical solves across sessions needs.
+    restored on exit.  Installation is *context-local* (``contextvars``):
+    the engine and every algorithm it drives share the cache, while
+    concurrent engines on other threads or tasks are unaffected — each
+    context's ``finally`` restores its own previous cache.
     """
-    global _active_cache
-    previous = _active_cache
-    _active_cache = cache
+    token = _active_cache.set(cache)
     try:
         yield cache
     finally:
-        _active_cache = previous
+        _active_cache.reset(token)
 
 
 def solve(
@@ -206,7 +225,7 @@ def solve(
     ------
     InfeasibleLP, UnboundedLP, LPError
     """
-    cache = _active_cache
+    cache = _active_cache.get()
     if cache is None:
         return _solve_uncached(c, a_ub, b_ub, a_eq, b_eq, bounds)
     key = constraint_system_key(c, a_ub, b_ub, a_eq, b_eq, bounds)

@@ -8,21 +8,28 @@ layer:
 * :class:`SessionEngine` — multiplexes sessions in lock-step waves,
   batching Q-network scoring across sessions and memoising LP solves
   through a per-engine :class:`~repro.geometry.lp.LPCache`, with a
-  bit-for-bit determinism guarantee w.r.t. sequential ``run_session``;
-* :class:`EngineMetrics` / :class:`SessionMetrics` — lightweight
-  instrumentation of the whole path;
+  bit-for-bit determinism guarantee w.r.t. sequential ``run_session``
+  and per-slot fault isolation (one dying session cannot abort the
+  run);
+* :class:`RecoveryPolicy` — optional retry of failed sessions under
+  :class:`~repro.core.robust.MajorityVoteSession`;
+* :class:`EngineMetrics` / :class:`SessionMetrics` /
+  :class:`SessionError` — lightweight instrumentation of the whole
+  path, failures included;
 * :func:`run_serve_bench` — the end-to-end many-users benchmark behind
   ``python -m repro serve-bench``.
 """
 
 from repro.serve.bench import ServeBenchReport, run_serve_bench
-from repro.serve.engine import SessionEngine
-from repro.serve.metrics import EngineMetrics, SessionMetrics
+from repro.serve.engine import RecoveryPolicy, SessionEngine
+from repro.serve.metrics import EngineMetrics, SessionError, SessionMetrics
 
 __all__ = [
     "EngineMetrics",
+    "RecoveryPolicy",
     "ServeBenchReport",
     "SessionEngine",
+    "SessionError",
     "SessionMetrics",
     "run_serve_bench",
 ]

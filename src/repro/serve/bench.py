@@ -3,10 +3,14 @@
 Trains a small RL agent on a dataset, fans out ``--sessions`` simulated
 users with independent hidden utilities and seeds, drives them all
 through one :class:`~repro.serve.engine.SessionEngine`, and reports the
-aggregate metrics (throughput, LP cache hit rate, batch occupancy).
-This is the smallest end-to-end demonstration of the serving path the
-ROADMAP's production north star needs; the CLI command ``python -m
-repro serve-bench`` is a thin wrapper around :func:`run_serve_bench`.
+aggregate metrics (throughput, LP cache hit rate, batch occupancy, and
+— when sessions die — failure/retry counts).  With ``noise > 0`` the
+users are :class:`~repro.users.NoisyUser` instances, the workload the
+fault-isolation and recovery machinery exists for; ``recover=True``
+retries failed sessions under majority voting.  This is the smallest
+end-to-end demonstration of the serving path the ROADMAP's production
+north star needs; the CLI command ``python -m repro serve-bench`` is a
+thin wrapper around :func:`run_serve_bench`.
 """
 
 from __future__ import annotations
@@ -19,9 +23,9 @@ from repro.data.datasets import Dataset
 from repro.data.utility import sample_training_utilities
 from repro.errors import ConfigurationError
 from repro.registry import make_config, make_session, make_trainer
-from repro.serve.engine import SessionEngine
+from repro.serve.engine import RecoveryPolicy, SessionEngine
 from repro.serve.metrics import EngineMetrics
-from repro.users import OracleUser
+from repro.users import NoisyUser, OracleUser
 from repro.utils.rng import RngLike, spawn_rngs
 
 
@@ -36,15 +40,24 @@ class ServeBenchReport:
     train_seconds: float
     metrics: EngineMetrics
     results: list[SessionResult]
+    noise: float = 0.0
 
     def lines(self) -> list[str]:
         """Report lines printed by the CLI command."""
+        noise_note = f", noise={self.noise}" if self.noise else ""
         header = (
             f"serve-bench: {self.sessions} x {self.algorithm} sessions "
-            f"on {self.dataset} (eps={self.epsilon}, "
+            f"on {self.dataset} (eps={self.epsilon}{noise_note}, "
             f"train {self.train_seconds:.1f}s)"
         )
-        return [header, *self.metrics.summary_lines()]
+        lines = [header, *self.metrics.summary_lines()]
+        for record in self.metrics.errors:
+            lines.append(
+                f"  session {record.session_id} attempt {record.attempt}: "
+                f"{record.error_type}: {record.message}"
+                + (" (retried)" if record.retried else "")
+            )
+        return lines
 
 
 def run_serve_bench(
@@ -55,6 +68,9 @@ def run_serve_bench(
     episodes: int = 8,
     seed: RngLike = 0,
     max_rounds: int = DEFAULT_MAX_ROUNDS,
+    noise: float = 0.0,
+    recover: bool = False,
+    recovery: RecoveryPolicy | None = None,
 ) -> ServeBenchReport:
     """Train one agent, serve ``sessions`` concurrent users, measure.
 
@@ -76,10 +92,26 @@ def run_serve_bench(
         spawned independently from it.
     max_rounds:
         Per-session safety cap.
+    noise:
+        Error rate of the simulated users: 0 (default) serves truthful
+        :class:`~repro.users.OracleUser` instances, anything greater
+        serves :class:`~repro.users.NoisyUser` fleets whose mistakes can
+        drive individual sessions into failure.
+    recover:
+        Enable the default :class:`~repro.serve.engine.RecoveryPolicy`
+        (retry :class:`~repro.errors.EmptyRegionError` failures once
+        under majority voting).
+    recovery:
+        An explicit policy; overrides ``recover``.
     """
     if sessions < 1:
         raise ConfigurationError(f"sessions must be >= 1, got {sessions}")
+    if not 0.0 <= noise < 1.0:
+        raise ConfigurationError(f"noise must be in [0, 1), got {noise}")
     epsilon = validate_epsilon(epsilon)
+    policy = recovery if recovery is not None else (
+        RecoveryPolicy() if recover else None
+    )
     trainer = make_trainer(algorithm)
     train_rng, user_rng, session_rng = spawn_rngs(seed, 3)
     utilities = sample_training_utilities(
@@ -102,14 +134,23 @@ def run_serve_bench(
             algorithm, dataset, epsilon, rng=seed, agent=agent
         )
 
+    def make_user(index: int):
+        if noise > 0.0:
+            return NoisyUser(
+                hidden[index],
+                error_rate=noise,
+                rng=int(user_rng.integers(2**62)),
+            )
+        return OracleUser(hidden[index])
+
     pairs = [
-        (session_factory(seeds[i]), OracleUser(hidden[i]))
-        for i in range(sessions)
+        (session_factory(seeds[i]), make_user(i)) for i in range(sessions)
     ]
-    engine = SessionEngine(max_rounds=max_rounds)
+    engine = SessionEngine(max_rounds=max_rounds, recovery=policy)
     results = engine.run(pairs)
     metrics = engine.last_metrics
-    assert metrics is not None
+    if metrics is None:
+        raise ConfigurationError("engine.run() did not populate last_metrics")
     return ServeBenchReport(
         algorithm=algorithm,
         dataset=dataset.name,
@@ -118,4 +159,5 @@ def run_serve_bench(
         train_seconds=train_seconds,
         metrics=metrics,
         results=results,
+        noise=noise,
     )

@@ -22,6 +22,19 @@ batched scoring path is bit-identical per candidate set (dense layers
 are row-independent), argmax tie-breaking is unchanged, and LP cache
 hits replay the exact result of the original solve — so nothing the
 engine shares across sessions can perturb any one of them.
+
+Fault isolation: every per-slot interaction (question selection,
+``user.prefers``, ``observe``, ``recommend``) runs inside a failure
+boundary.  An exception — an :class:`~repro.errors.EmptyRegionError`
+from a noisy user's inconsistent answers, a crashing user callback,
+anything — marks only that slot ``"failed"``; every other session runs
+to completion, ``run()`` still returns one result per input pair in
+input order, and ``last_metrics`` records what went wrong
+(:class:`~repro.serve.metrics.SessionError`).  A
+:class:`RecoveryPolicy` can additionally retry failed sessions wrapped
+in :class:`~repro.core.robust.MajorityVoteSession`, the repetition
+defence against exactly the inconsistent-answer failures noisy users
+cause.
 """
 
 from __future__ import annotations
@@ -33,6 +46,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.robust import MajorityVoteSession
 from repro.core.session import (
     DEFAULT_MAX_ROUNDS,
     CandidateBatch,
@@ -40,12 +54,55 @@ from repro.core.session import (
     Question,
     RoundRecord,
     SessionResult,
+    failed_session_result,
 )
-from repro.errors import InteractionError
+from repro.errors import ConfigurationError, EmptyRegionError, InteractionError
 from repro.geometry.lp import LPCache, use_cache
-from repro.serve.metrics import EngineMetrics, SessionMetrics
+from repro.serve.metrics import EngineMetrics, SessionError, SessionMetrics
 from repro.users.oracle import User
 from repro.utils.timing import Stopwatch
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """What the engine does when a session dies mid-run.
+
+    A failed slot whose error is an instance of one of ``retry_on`` is
+    rebuilt from its session *factory* (retries are only possible for
+    pairs submitted as zero-argument factories — an already-constructed
+    algorithm holds poisoned state and cannot be replayed) and re-driven
+    from round zero, wrapped in
+    :class:`~repro.core.robust.MajorityVoteSession` with
+    ``majority_repeats`` votes per question.  Repetition is the
+    provably-helpful defence against the inconsistent answers that raise
+    :class:`~repro.errors.EmptyRegionError` in the first place;
+    ``majority_repeats=1`` degenerates to a plain re-run (useful when
+    the factory draws a fresh seed).  After ``max_retries`` failed
+    attempts the session is returned as ``"failed"``.
+    """
+
+    retry_on: tuple[type[BaseException], ...] = (EmptyRegionError,)
+    max_retries: int = 1
+    majority_repeats: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 1:
+            raise ConfigurationError(
+                f"max_retries must be >= 1, got {self.max_retries}"
+            )
+        if self.majority_repeats < 1 or self.majority_repeats % 2 == 0:
+            raise ConfigurationError(
+                "majority_repeats must be a positive odd number, "
+                f"got {self.majority_repeats}"
+            )
+        if not self.retry_on:
+            raise ConfigurationError("retry_on must name at least one error")
+
+    def should_retry(self, error: BaseException, attempt: int) -> bool:
+        """Whether ``error`` on attempt number ``attempt`` warrants a retry."""
+        return attempt < self.max_retries and isinstance(
+            error, tuple(self.retry_on)
+        )
 
 
 @dataclass
@@ -56,6 +113,9 @@ class _Slot:
     algorithm: InteractiveAlgorithm
     user: User
     metrics: SessionMetrics
+    source: Callable[[], InteractiveAlgorithm] | None = None
+    attempt: int = 0
+    dead: bool = False
     watch: Stopwatch = field(default_factory=Stopwatch)
     shared_seconds: float = 0.0
     records: list[RoundRecord] = field(default_factory=list)
@@ -82,6 +142,11 @@ class SessionEngine:
         or ``False``/``None`` to disable memoisation.  The cache needs no
         invalidation: entries are keyed on the full constraint system, so
         they can never go stale; it lives as long as the engine does.
+    recovery:
+        ``None`` (default) returns failed sessions as ``"failed"``
+        without retrying.  Pass a :class:`RecoveryPolicy` to re-drive
+        matching failures wrapped in
+        :class:`~repro.core.robust.MajorityVoteSession`.
 
     Examples
     --------
@@ -95,6 +160,7 @@ class SessionEngine:
         self,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         lp_cache: LPCache | bool | None = True,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         if max_rounds < 1:
             raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
@@ -105,6 +171,7 @@ class SessionEngine:
             self.lp_cache = LPCache()
         else:
             self.lp_cache = None
+        self.recovery = recovery
         self.last_metrics: EngineMetrics | None = None
 
     def run(
@@ -124,52 +191,63 @@ class SessionEngine:
         invoked *inside* the engine's LP-cache context, so the heavy
         constraint solves of session start-up (identical across sessions
         that share a dataset) are memoised too — sessions constructed
-        eagerly pay that cost before the cache is installed.
+        eagerly pay that cost before the cache is installed — and only
+        factory-built sessions can be retried by a :class:`RecoveryPolicy`.
 
-        Results are returned in input order; each carries a populated
-        ``metrics`` field, and the aggregate :class:`EngineMetrics` is
-        stored on ``self.last_metrics``.  With ``trace=True`` per-round
-        records are collected into each result's ``trace`` exactly as
-        ``run_session(..., trace=True)`` would.
+        Exactly one result per input pair is returned, in input order,
+        even when sessions die: a slot whose interaction raises is
+        returned with ``status == "failed"`` (and the error text) while
+        every other session runs to completion.  Each result carries a
+        populated ``metrics`` field, and the aggregate
+        :class:`EngineMetrics` — including failure and retry counts and
+        per-session :class:`~repro.serve.metrics.SessionError` records —
+        is stored on ``self.last_metrics``.  With ``trace=True``
+        per-round records are collected into each result's ``trace``
+        exactly as ``run_session(..., trace=True)`` would.
         """
         cache = self.lp_cache
         hits_before = cache.hits if cache else 0
         misses_before = cache.misses if cache else 0
         started = time.perf_counter()
         context = use_cache(cache) if cache is not None else nullcontext()
-        with context:
-            slots = []
-            for index, (source, user) in enumerate(sessions):
-                algorithm = source() if callable(source) else source
-                if algorithm.rounds != 0:
-                    raise InteractionError(
-                        "SessionEngine.run() requires fresh algorithms; "
-                        f"session {index} has already been driven"
+        metrics = EngineMetrics()
+        results: list[SessionResult | None] = []
+        try:
+            with context:
+                slots = []
+                for index, (source, user) in enumerate(sessions):
+                    algorithm = source() if callable(source) else source
+                    if algorithm.rounds != 0:
+                        raise InteractionError(
+                            "SessionEngine.run() requires fresh algorithms; "
+                            f"session {index} has already been driven"
+                        )
+                    slots.append(
+                        _Slot(
+                            index=index,
+                            algorithm=algorithm,
+                            user=user,
+                            metrics=SessionMetrics(session_id=index),
+                            source=source if callable(source) else None,
+                        )
                     )
-                slots.append(
-                    _Slot(
-                        index=index,
-                        algorithm=algorithm,
-                        user=user,
-                        metrics=SessionMetrics(session_id=index),
-                    )
+                metrics.sessions = len(slots)
+                results.extend([None] * len(slots))
+                active = slots
+                while active:
+                    metrics.waves += 1
+                    active = self._wave(active, results, metrics, trace, started)
+        finally:
+            metrics.wall_seconds = time.perf_counter() - started
+            if cache is not None:
+                metrics.lp_cache_hits = cache.hits - hits_before
+                metrics.lp_solves = (
+                    cache.hits + cache.misses - hits_before - misses_before
                 )
-            metrics = EngineMetrics(sessions=len(slots))
-            results: list[SessionResult | None] = [None] * len(slots)
-            active = slots
-            while active:
-                metrics.waves += 1
-                active = self._wave(active, results, metrics, trace, started)
-        metrics.wall_seconds = time.perf_counter() - started
-        if cache is not None:
-            metrics.lp_cache_hits = cache.hits - hits_before
-            metrics.lp_solves = (
-                cache.hits + cache.misses - hits_before - misses_before
-            )
-        metrics.per_session = [
-            result.metrics for result in results if result is not None
-        ]
-        self.last_metrics = metrics
+            metrics.per_session = [
+                result.metrics for result in results if result is not None
+            ]
+            self.last_metrics = metrics
         return [result for result in results if result is not None]
 
     # -- internals -----------------------------------------------------------
@@ -183,56 +261,91 @@ class SessionEngine:
         started: float,
     ) -> list[_Slot]:
         """Advance every active session by one round; return the survivors."""
-        survivors: list[_Slot] = []
+        advancing: list[_Slot] = []
         batchable: list[_Slot] = []
+        replacements: list[_Slot] = []
         for slot in active:
-            algorithm = slot.algorithm
-            slot.watch.start()
-            if algorithm.finished:
-                slot.watch.stop()
-                self._finalize(slot, results, metrics, False, started)
+            try:
+                algorithm = slot.algorithm
+                slot.watch.start()
+                if algorithm.finished:
+                    slot.watch.stop()
+                    self._finalize(slot, results, metrics, False, started)
+                    continue
+                if algorithm.rounds >= self.max_rounds:
+                    slot.watch.stop()
+                    self._finalize(slot, results, metrics, True, started)
+                    continue
+                batch = algorithm.candidate_batch()
+                if batch is None:
+                    slot.question = algorithm.next_question()
+                    slot.watch.stop()
+                else:
+                    slot.watch.stop()
+                    slot.batch = batch
+                    batchable.append(slot)
+                advancing.append(slot)
+            except Exception as error:  # noqa: BLE001 -- slot fault boundary
+                self._fail(slot, error, results, metrics, started, replacements)
+        self._score(batchable, metrics, results, started, replacements)
+        survivors: list[_Slot] = []
+        for slot in advancing:
+            if slot.dead:
                 continue
-            if algorithm.rounds >= self.max_rounds:
-                slot.watch.stop()
-                self._finalize(slot, results, metrics, True, started)
-                continue
-            batch = algorithm.candidate_batch()
-            if batch is None:
-                slot.question = algorithm.next_question()
-                slot.watch.stop()
-            else:
-                slot.watch.stop()
-                slot.batch = batch
-                batchable.append(slot)
-            survivors.append(slot)
-        self._score(batchable, metrics)
-        for slot in survivors:
-            question = slot.question
-            assert question is not None
-            answer = slot.user.prefers(question.p_i, question.p_j)
-            slot.watch.start()
-            slot.algorithm.observe(answer)
-            slot.watch.stop()
-            slot.question = None
-            slot.metrics.rounds = slot.algorithm.rounds
-            metrics.rounds_total += 1
-            if trace:
-                slot.records.append(
-                    RoundRecord(
-                        round_number=slot.algorithm.rounds,
-                        elapsed_seconds=slot.agent_seconds,
-                        recommendation_index=slot.algorithm.recommend(),
+            try:
+                question = slot.question
+                if question is None:
+                    raise InteractionError(
+                        f"session {slot.index} entered a wave without a "
+                        "selected question (scoring produced no choice)"
                     )
-                )
+                answer = slot.user.prefers(question.p_i, question.p_j)
+                slot.watch.start()
+                slot.algorithm.observe(answer)
+                slot.watch.stop()
+                slot.question = None
+                slot.metrics.rounds = slot.algorithm.rounds
+                metrics.rounds_total += 1
+                if trace:
+                    slot.records.append(
+                        RoundRecord(
+                            round_number=slot.algorithm.rounds,
+                            elapsed_seconds=slot.agent_seconds,
+                            recommendation_index=slot.algorithm.recommend(),
+                        )
+                    )
+                # Detect completion in the *same* wave: waiting for the
+                # next wave's top-of-loop check would charge this session
+                # a full extra wave of other sessions' work in
+                # wall_seconds.
+                if slot.algorithm.finished:
+                    self._finalize(slot, results, metrics, False, started)
+                    continue
+                if slot.algorithm.rounds >= self.max_rounds:
+                    self._finalize(slot, results, metrics, True, started)
+                    continue
+                survivors.append(slot)
+            except Exception as error:  # noqa: BLE001 -- slot fault boundary
+                self._fail(slot, error, results, metrics, started, replacements)
+        survivors.extend(replacements)
         return survivors
 
-    def _score(self, batchable: list[_Slot], metrics: EngineMetrics) -> None:
+    def _score(
+        self,
+        batchable: list[_Slot],
+        metrics: EngineMetrics,
+        results: list[SessionResult | None],
+        started: float,
+        replacements: list[_Slot],
+    ) -> None:
         """Resolve pending candidate batches, shared per scorer.
 
         Sessions whose algorithm exposes a ``dqn`` with ``q_values_many``
         (the RL policies) are grouped by scorer identity and scored in one
         stacked pass; anything else falls back to the algorithm's own
-        sequential selection.
+        sequential selection.  A scorer that raises (or violates the
+        one-score-row-per-session contract) fails every slot in its
+        group; a slot whose own question resolution raises fails alone.
         """
         groups: dict[int, tuple[object, list[_Slot]]] = {}
         singles: list[_Slot] = []
@@ -244,27 +357,106 @@ class SessionEngine:
             groups.setdefault(id(scorer), (scorer, []))[1].append(slot)
         for scorer, group in groups.values():
             batch_started = time.perf_counter()
-            scores_per_slot = scorer.q_values_many(
-                [(slot.batch.state, slot.batch.actions) for slot in group]
-            )
+            try:
+                scores_per_slot = scorer.q_values_many(
+                    [(slot.batch.state, slot.batch.actions) for slot in group]
+                )
+                if len(scores_per_slot) != len(group):
+                    raise InteractionError(
+                        f"scorer {type(scorer).__name__} (id={id(scorer):#x}) "
+                        f"returned {len(scores_per_slot)} score rows for "
+                        f"{len(group)} sessions"
+                    )
+            except Exception as error:  # noqa: BLE001 -- scorer fault boundary
+                for slot in group:
+                    self._fail(
+                        slot, error, results, metrics, started, replacements
+                    )
+                continue
             share = (time.perf_counter() - batch_started) / len(group)
             metrics.batches += 1
             metrics.batched_rows += len(group)
             metrics.peak_batch = max(metrics.peak_batch, len(group))
-            for slot, scores in zip(group, scores_per_slot):
-                slot.shared_seconds += share
-                slot.watch.start()
-                slot.question = slot.algorithm.next_question_from(
-                    int(np.argmax(scores))
-                )
-                slot.watch.stop()
-                slot.metrics.batched_rounds += 1
-                slot.batch = None
+            for slot, scores in zip(group, scores_per_slot, strict=True):
+                try:
+                    slot.shared_seconds += share
+                    slot.watch.start()
+                    slot.question = slot.algorithm.next_question_from(
+                        int(np.argmax(scores))
+                    )
+                    slot.watch.stop()
+                    slot.metrics.batched_rounds += 1
+                    slot.batch = None
+                except Exception as error:  # noqa: BLE001 -- slot boundary
+                    self._fail(
+                        slot, error, results, metrics, started, replacements
+                    )
         for slot in singles:
-            slot.watch.start()
-            slot.question = slot.algorithm.next_question()
-            slot.watch.stop()
-            slot.batch = None
+            try:
+                slot.watch.start()
+                slot.question = slot.algorithm.next_question()
+                slot.watch.stop()
+                slot.batch = None
+            except Exception as error:  # noqa: BLE001 -- slot fault boundary
+                self._fail(slot, error, results, metrics, started, replacements)
+
+    def _fail(
+        self,
+        slot: _Slot,
+        error: Exception,
+        results: list[SessionResult | None],
+        metrics: EngineMetrics,
+        started: float,
+        replacements: list[_Slot],
+    ) -> None:
+        """Mark ``slot`` failed; schedule a recovery retry if policy allows."""
+        slot.watch.stop()
+        slot.dead = True
+        recovery = self.recovery
+        retryable = (
+            recovery is not None
+            and recovery.should_retry(error, slot.attempt)
+            and slot.source is not None
+        )
+        metrics.errors.append(
+            SessionError(
+                session_id=slot.index,
+                round=slot.algorithm.rounds,
+                error_type=type(error).__name__,
+                message=str(error),
+                attempt=slot.attempt,
+                retried=retryable,
+            )
+        )
+        if retryable:
+            metrics.retries += 1
+            replacements.append(self._retry_slot(slot))
+            return
+        metrics.failed += 1
+        slot.metrics.rounds = slot.algorithm.rounds
+        slot.metrics.wall_seconds = time.perf_counter() - started
+        slot.metrics.agent_seconds = slot.agent_seconds
+        result = failed_session_result(
+            slot.algorithm, error, slot.agent_seconds, trace=slot.records
+        )
+        result.metrics = slot.metrics
+        results[slot.index] = result
+
+    def _retry_slot(self, slot: _Slot) -> _Slot:
+        """A fresh slot re-running ``slot``'s session under majority voting."""
+        assert self.recovery is not None and slot.source is not None
+        attempt = slot.attempt + 1
+        algorithm = MajorityVoteSession(
+            slot.source(), repeats=self.recovery.majority_repeats
+        )
+        return _Slot(
+            index=slot.index,
+            algorithm=algorithm,
+            user=slot.user,
+            metrics=SessionMetrics(session_id=slot.index, retries=attempt),
+            source=slot.source,
+            attempt=attempt,
+        )
 
     def _finalize(
         self,
@@ -278,13 +470,19 @@ class SessionEngine:
         slot.watch.start()
         index = slot.algorithm.recommend()
         slot.watch.stop()
+        slot.dead = True
         slot.metrics.rounds = slot.algorithm.rounds
         slot.metrics.wall_seconds = time.perf_counter() - started
         slot.metrics.agent_seconds = slot.agent_seconds
         if truncated:
             metrics.truncated += 1
+            status = "truncated"
         else:
             metrics.completed += 1
+            status = "completed"
+        if slot.attempt > 0 and not truncated:
+            metrics.recovered += 1
+            status = "recovered"
         results[slot.index] = SessionResult(
             recommendation_index=index,
             recommendation=slot.algorithm.dataset.points[index].copy(),
@@ -293,4 +491,5 @@ class SessionEngine:
             truncated=truncated,
             trace=slot.records,
             metrics=slot.metrics,
+            status=status,
         )

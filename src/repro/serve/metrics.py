@@ -41,6 +41,9 @@ class SessionMetrics:
     batched_rounds:
         Rounds whose question was selected through a shared scoring batch
         rather than a per-session network pass.
+    retries:
+        Recovery attempts consumed before this session's final outcome
+        (0 for sessions that never failed).
     """
 
     session_id: int
@@ -48,6 +51,36 @@ class SessionMetrics:
     wall_seconds: float = 0.0
     agent_seconds: float = 0.0
     batched_rounds: int = 0
+    retries: int = 0
+
+
+@dataclass
+class SessionError:
+    """One session failure observed by the engine.
+
+    Attributes
+    ----------
+    session_id:
+        Position of the failed session in the engine's input sequence.
+    round:
+        Rounds the session had answered when the error surfaced.
+    error_type:
+        Class name of the raised exception (e.g. ``"EmptyRegionError"``).
+    message:
+        The exception's message text.
+    attempt:
+        Which attempt failed: 0 for the original session, ``n`` for its
+        ``n``-th recovery retry.
+    retried:
+        Whether the engine scheduled another attempt after this failure.
+    """
+
+    session_id: int
+    round: int
+    error_type: str
+    message: str
+    attempt: int = 0
+    retried: bool = False
 
 
 @dataclass
@@ -62,6 +95,16 @@ class EngineMetrics:
         Sessions that reached their stopping condition.
     truncated:
         Sessions cut off at the round cap.
+    failed:
+        Sessions that died (exhausting any recovery retries) and were
+        returned with ``status == "failed"``.
+    retries:
+        Recovery attempts scheduled across the run.
+    recovered:
+        Sessions that failed at least once but completed on a retry.
+    errors:
+        One :class:`SessionError` record per observed failure (a session
+        retried ``n`` times contributes up to ``n + 1`` records).
     waves:
         Lock-step iterations executed (each wave advances every active
         session by at most one round).
@@ -84,6 +127,10 @@ class EngineMetrics:
     sessions: int = 0
     completed: int = 0
     truncated: int = 0
+    failed: int = 0
+    retries: int = 0
+    recovered: int = 0
+    errors: list[SessionError] = field(default_factory=list)
     waves: int = 0
     rounds_total: int = 0
     batches: int = 0
@@ -131,9 +178,10 @@ class EngineMetrics:
 
     def summary_lines(self) -> list[str]:
         """Human-readable report lines (used by ``serve-bench``)."""
-        return [
+        lines = [
             f"sessions: {self.sessions} "
-            f"({self.completed} completed, {self.truncated} truncated)",
+            f"({self.completed} completed, {self.truncated} truncated, "
+            f"{self.failed} failed)",
             f"waves: {self.waves}; rounds: {self.rounds_total} "
             f"(mean {self.rounds_total / self.sessions:.1f}/session)"
             if self.sessions
@@ -148,3 +196,10 @@ class EngineMetrics:
             f"LP solves: {self.lp_solves}, cache hits: {self.lp_cache_hits} "
             f"(hit rate {self.lp_hit_rate:.1%})",
         ]
+        if self.failed or self.retries or self.recovered:
+            lines.append(
+                f"faults: {len(self.errors)} errors, "
+                f"{self.retries} retries, {self.recovered} recovered, "
+                f"{self.failed} failed"
+            )
+        return lines

@@ -1,0 +1,149 @@
+"""Failure semantics of ``SessionResult`` and sequential ``run_session``.
+
+``run_session(..., on_error="capture")`` mirrors the serving engine's
+fault boundary: the session's exception becomes a ``status == "failed"``
+result instead of an abort, with a best-effort recommendation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.session import (
+    SESSION_STATUSES,
+    InteractiveAlgorithm,
+    Question,
+    SessionResult,
+    failed_session_result,
+    run_session,
+)
+from repro.errors import (
+    ConfigurationError,
+    EmptyRegionError,
+    SessionFailedError,
+)
+
+
+class _Scripted(InteractiveAlgorithm):
+    def __init__(self, dataset, total=3, fail_at=None, break_recommend=False):
+        super().__init__(dataset)
+        self.total = total
+        self.fail_at = fail_at
+        self.break_recommend = break_recommend
+
+    def _propose(self) -> Question:
+        return self.question_for(0, 1)
+
+    def _update(self, question, prefers_first) -> None:
+        if self.fail_at is not None and self.rounds >= self.fail_at:
+            raise EmptyRegionError("scripted inconsistency")
+
+    def _finished(self) -> bool:
+        return self.rounds >= self.total
+
+    def recommend(self) -> int:
+        if self.break_recommend:
+            raise EmptyRegionError("no recommendation")
+        return 1
+
+
+class _TrueUser:
+    def prefers(self, p_i, p_j) -> bool:
+        return True
+
+
+class TestSessionResultStatus:
+    def test_defaults_are_backward_compatible(self):
+        result = SessionResult(
+            recommendation_index=0,
+            recommendation=np.zeros(2),
+            rounds=1,
+            elapsed_seconds=0.0,
+        )
+        assert result.status == "completed"
+        assert result.error is None
+        assert not result.failed
+        assert result.raise_for_status() is result
+
+    def test_statuses_enumerated(self):
+        assert SESSION_STATUSES == (
+            "completed", "truncated", "recovered", "failed",
+        )
+
+    def test_raise_for_status_on_failure(self):
+        result = SessionResult(
+            recommendation_index=-1,
+            recommendation=np.empty(0),
+            rounds=4,
+            elapsed_seconds=0.0,
+            status="failed",
+            error="EmptyRegionError: boom",
+        )
+        assert result.failed
+        with pytest.raises(SessionFailedError, match="boom"):
+            result.raise_for_status()
+
+
+class TestRunSessionOnError:
+    def test_default_raises(self, toy):
+        with pytest.raises(EmptyRegionError):
+            run_session(_Scripted(toy, fail_at=2), _TrueUser())
+
+    def test_capture_returns_failed_result(self, toy):
+        result = run_session(
+            _Scripted(toy, fail_at=2), _TrueUser(), on_error="capture"
+        )
+        assert result.failed
+        assert result.status == "failed"
+        assert result.error.startswith("EmptyRegionError")
+        assert result.rounds == 2
+        # Best-effort recommendation: the algorithm's fallback still works.
+        assert result.recommendation_index == 1
+        np.testing.assert_array_equal(result.recommendation, toy.points[1])
+
+    def test_capture_with_broken_recommend(self, toy):
+        result = run_session(
+            _Scripted(toy, fail_at=1, break_recommend=True),
+            _TrueUser(),
+            on_error="capture",
+        )
+        assert result.failed
+        assert result.recommendation_index == -1
+        assert result.recommendation.size == 0
+
+    def test_capture_keeps_partial_trace(self, toy):
+        result = run_session(
+            _Scripted(toy, fail_at=3),
+            _TrueUser(),
+            on_error="capture",
+            trace=True,
+        )
+        assert result.failed
+        assert [r.round_number for r in result.trace] == [1, 2]
+
+    def test_invalid_mode_rejected(self, toy):
+        with pytest.raises(ConfigurationError):
+            run_session(_Scripted(toy), _TrueUser(), on_error="ignore")
+
+    def test_healthy_session_status_completed(self, toy):
+        result = run_session(_Scripted(toy, total=2), _TrueUser())
+        assert result.status == "completed"
+        assert not result.failed
+
+    def test_truncated_session_status(self, toy):
+        result = run_session(_Scripted(toy, total=50), _TrueUser(), max_rounds=3)
+        assert result.truncated
+        assert result.status == "truncated"
+
+
+class TestFailedSessionResult:
+    def test_builds_from_algorithm_state(self, toy):
+        algorithm = _Scripted(toy)
+        result = failed_session_result(
+            algorithm, EmptyRegionError("boom"), 1.5
+        )
+        assert result.failed
+        assert result.error == "EmptyRegionError: boom"
+        assert result.elapsed_seconds == 1.5
+        assert result.recommendation_index == 1

@@ -264,3 +264,99 @@ class TestLPCache:
                 lp.solve(np.array([1.0, float(k)]), a_ub=a, b_ub=b)
         assert len(cache) == 2
         assert cache.misses == 4
+
+    def test_eviction_is_lru_not_fifo(self):
+        # A hit refreshes recency: after inserting A and B, touching A
+        # and inserting C must evict B (the least recently *used*), not
+        # A (the oldest insertion).  FIFO eviction would throw away the
+        # hot simplex-startup entries every fresh session replays.
+        a, b = square_constraints()
+        c_a = np.array([1.0, 0.0])
+        c_b = np.array([0.0, 1.0])
+        c_c = np.array([1.0, 1.0])
+        cache = lp.LPCache(max_entries=2)
+        with lp.use_cache(cache):
+            lp.solve(c_a, a_ub=a, b_ub=b)  # insert A
+            lp.solve(c_b, a_ub=a, b_ub=b)  # insert B
+            lp.solve(c_a, a_ub=a, b_ub=b)  # hit A -> A most recent
+            lp.solve(c_c, a_ub=a, b_ub=b)  # insert C -> evicts B, keeps A
+            assert cache.hits == 1
+            lp.solve(c_a, a_ub=a, b_ub=b)  # still resident
+            assert cache.hits == 2
+            lp.solve(c_b, a_ub=a, b_ub=b)  # evicted -> miss
+        assert cache.hits == 2
+        assert cache.misses == 4
+        assert len(cache) == 2
+
+    def test_eviction_order_pinned(self):
+        # The same scenario observed through the store itself.
+        a, b = square_constraints()
+        systems = {
+            name: np.array(coefficients)
+            for name, coefficients in (
+                ("A", [1.0, 0.0]), ("B", [0.0, 1.0]), ("C", [1.0, 1.0]),
+            )
+        }
+        keys = {
+            name: lp.constraint_system_key(c, a, b, None, None, lp._FREE)
+            for name, c in systems.items()
+        }
+        cache = lp.LPCache(max_entries=2)
+        with lp.use_cache(cache):
+            lp.solve(systems["A"], a_ub=a, b_ub=b)
+            lp.solve(systems["B"], a_ub=a, b_ub=b)
+            lp.solve(systems["A"], a_ub=a, b_ub=b)
+            lp.solve(systems["C"], a_ub=a, b_ub=b)
+        assert set(cache._store) == {keys["A"], keys["C"]}
+
+    def test_record_existing_key_refreshes_recency(self):
+        cache = lp.LPCache(max_entries=2)
+        result = lp.LPResult(x=np.zeros(1), value=0.0)
+        cache._record(b"k1", result)
+        cache._record(b"k2", result)
+        cache._record(b"k1", result)  # rewrite -> k1 most recent
+        cache._record(b"k3", result)  # evicts k2
+        assert set(cache._store) == {b"k1", b"k3"}
+
+
+class TestCacheContextIsolation:
+    """use_cache installation is context-local, not process-global."""
+
+    def test_threads_do_not_stomp_each_other(self):
+        import threading
+
+        a, b = square_constraints()
+        caches = [lp.LPCache(), lp.LPCache()]
+        barrier = threading.Barrier(2)
+        errors: list[Exception] = []
+
+        def worker(i: int) -> None:
+            try:
+                with lp.use_cache(caches[i]):
+                    barrier.wait(timeout=10)
+                    # Both threads are inside use_cache now; each must
+                    # still see only its own cache.
+                    assert lp.active_cache() is caches[i]
+                    objective = np.array([1.0, float(i)])
+                    lp.solve(objective, a_ub=a, b_ub=b)
+                    lp.solve(objective, a_ub=a, b_ub=b)
+                    barrier.wait(timeout=10)
+                    assert lp.active_cache() is caches[i]
+                assert lp.active_cache() is None
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        for cache in caches:
+            # Each thread's two identical solves landed in its own cache:
+            # one miss, one hit, no cross-thread contamination.
+            assert cache.misses == 1
+            assert cache.hits == 1
+        assert lp.active_cache() is None

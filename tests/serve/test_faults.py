@@ -1,0 +1,434 @@
+"""Fault isolation and recovery in the session engine.
+
+One bad session must never kill an engine run: a slot whose question
+selection, user callback, update or recommendation raises is returned
+as ``status == "failed"`` while every other session runs to completion,
+bit-identical to its sequential ``run_session`` replay.  A
+``RecoveryPolicy`` additionally retries ``EmptyRegionError`` failures
+under ``MajorityVoteSession``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.robust import MajorityVoteSession
+from repro.core.session import (
+    CandidateBatch,
+    InteractiveAlgorithm,
+    Question,
+    run_session,
+)
+from repro.errors import ConfigurationError, EmptyRegionError
+from repro.serve import RecoveryPolicy, SessionEngine
+from repro.users import NoisyUser, OracleUser
+
+
+# -- deterministic test doubles -------------------------------------------------
+
+
+class ScriptedSession(InteractiveAlgorithm):
+    """Asks the pair (0, 1) every round and finishes after ``total`` rounds."""
+
+    def __init__(self, dataset, total: int = 3) -> None:
+        super().__init__(dataset)
+        self.total = total
+
+    def _propose(self) -> Question:
+        return self.question_for(0, 1)
+
+    def _update(self, question: Question, prefers_first: bool) -> None:
+        pass
+
+    def _finished(self) -> bool:
+        return self.rounds >= self.total
+
+    def recommend(self) -> int:
+        return 0
+
+
+class ExplodingSession(ScriptedSession):
+    """Raises ``error`` inside ``_update`` once ``rounds`` reaches ``fail_at``."""
+
+    def __init__(self, dataset, fail_at: int = 1, error=EmptyRegionError) -> None:
+        super().__init__(dataset, total=fail_at + 10)
+        self.fail_at = fail_at
+        self.error = error
+
+    def _update(self, question: Question, prefers_first: bool) -> None:
+        if self.rounds >= self.fail_at:
+            raise self.error("utility range is empty (scripted)")
+
+
+class NoRecommendSession(ExplodingSession):
+    """A session whose ``recommend`` is as broken as its update."""
+
+    def recommend(self) -> int:
+        raise EmptyRegionError("no recommendation either")
+
+
+class StrictConsistencySession(ScriptedSession):
+    """Raises ``EmptyRegionError`` as soon as two answers disagree.
+
+    The strict reading of inconsistency the ISSUE motivates: unlike the
+    package's graceful EA/AA sessions, this one treats a contradictory
+    answer to the *same* repeated question as an empty utility range.
+    """
+
+    def __init__(self, dataset, total: int = 5) -> None:
+        super().__init__(dataset, total=total)
+        self._first_answer: bool | None = None
+
+    def _update(self, question: Question, prefers_first: bool) -> None:
+        if self._first_answer is None:
+            self._first_answer = prefers_first
+        elif prefers_first != self._first_answer:
+            raise EmptyRegionError(
+                "utility range is empty; user answers are inconsistent"
+            )
+
+
+class SlowSession(ScriptedSession):
+    """Sleeps in question selection so wave timing is observable."""
+
+    def __init__(self, dataset, total: int, delay: float) -> None:
+        super().__init__(dataset, total=total)
+        self.delay = delay
+
+    def _propose(self) -> Question:
+        time.sleep(self.delay)
+        return self.question_for(0, 1)
+
+
+class NoneProposingSession(ScriptedSession):
+    """Violates the protocol by proposing no question at all."""
+
+    def _propose(self):
+        return None
+
+
+class BrokenScorer:
+    """A ``q_values_many`` scorer that drops one session's score rows."""
+
+    def q_values_many(self, items):
+        return [np.zeros(2) for _ in range(len(items) - 1)]
+
+
+class BatchableSession(ScriptedSession):
+    """Exposes a candidate batch routed through ``self.dqn``."""
+
+    def __init__(self, dataset, scorer) -> None:
+        super().__init__(dataset, total=2)
+        self.dqn = scorer
+
+    def candidate_batch(self) -> CandidateBatch:
+        return CandidateBatch(
+            state=np.zeros(2),
+            actions=np.zeros((2, 2)),
+            pairs=((0, 1), (0, 2)),
+        )
+
+    def _resolve_choice(self, choice: int) -> Question:
+        return self.question_for(0, 1)
+
+
+class PeriodicFlipUser:
+    """Answers ``True`` except on every ``period``-th ``prefers`` call."""
+
+    def __init__(self, period: int) -> None:
+        self.period = period
+        self.calls = 0
+
+    def prefers(self, p_i, p_j) -> bool:
+        self.calls += 1
+        return self.calls % self.period != 0
+
+
+class CrashingUser:
+    """A user whose callback itself dies."""
+
+    def prefers(self, p_i, p_j) -> bool:
+        raise RuntimeError("user transport dropped")
+
+
+def _always_true_user():
+    return PeriodicFlipUser(period=10**9)
+
+
+# -- fault isolation ------------------------------------------------------------
+
+
+class TestFaultIsolation:
+    """A dying slot is contained; everything else completes."""
+
+    def test_one_bad_session_does_not_kill_the_run(self, toy):
+        pairs = [
+            (ScriptedSession(toy, total=3), _always_true_user()),
+            (ExplodingSession(toy, fail_at=2), _always_true_user()),
+            (ScriptedSession(toy, total=5), _always_true_user()),
+        ]
+        engine = SessionEngine()
+        results = engine.run(pairs)
+        assert len(results) == 3
+        assert [r.metrics.session_id for r in results] == [0, 1, 2]
+        assert results[0].status == "completed" and results[0].rounds == 3
+        assert results[2].status == "completed" and results[2].rounds == 5
+        bad = results[1]
+        assert bad.failed and bad.status == "failed"
+        assert "EmptyRegionError" in bad.error
+        assert bad.rounds == 2  # the scripted error fires on round 2's update
+        metrics = engine.last_metrics
+        assert metrics.failed == 1
+        assert metrics.completed == 2
+        assert metrics.sessions == 3
+        assert len(metrics.errors) == 1
+        record = metrics.errors[0]
+        assert record.session_id == 1
+        assert record.error_type == "EmptyRegionError"
+        assert not record.retried
+
+    def test_failed_result_keeps_best_effort_recommendation(self, toy):
+        engine = SessionEngine()
+        results = engine.run(
+            [(ExplodingSession(toy, fail_at=1), _always_true_user())]
+        )
+        assert results[0].failed
+        assert results[0].recommendation_index == 0
+        np.testing.assert_array_equal(results[0].recommendation, toy.points[0])
+
+    def test_broken_recommend_degrades_to_sentinel(self, toy):
+        engine = SessionEngine()
+        results = engine.run(
+            [(NoRecommendSession(toy, fail_at=1), _always_true_user())]
+        )
+        assert results[0].failed
+        assert results[0].recommendation_index == -1
+        assert results[0].recommendation.size == 0
+
+    def test_crashing_user_fails_only_its_slot(self, toy):
+        engine = SessionEngine()
+        results = engine.run(
+            [
+                (ScriptedSession(toy, total=2), _always_true_user()),
+                (ScriptedSession(toy, total=2), CrashingUser()),
+            ]
+        )
+        assert results[0].status == "completed"
+        assert results[1].failed
+        assert "RuntimeError" in results[1].error
+
+    def test_none_question_raises_interaction_error_not_assert(self, toy):
+        # Under ``python -O`` a bare assert would vanish and a None
+        # question would reach user.prefers; the guard must be a real
+        # InteractionError that the fault boundary then contains.
+        engine = SessionEngine()
+        results = engine.run(
+            [(NoneProposingSession(toy, total=3), _always_true_user())]
+        )
+        assert results[0].failed
+        assert "InteractionError" in results[0].error
+        assert engine.last_metrics.errors[0].error_type == "InteractionError"
+
+    def test_healthy_sessions_bit_identical_amid_failures(
+        self, trained_ea_3d, small_anti_3d
+    ):
+        from repro.data.utility import sample_training_utilities
+
+        utilities = sample_training_utilities(3, 3, rng=77)
+        users = [OracleUser(u) for u in utilities]
+        sequential = [
+            run_session(trained_ea_3d.new_session(rng=seed), user)
+            for seed, user in enumerate(users)
+        ]
+        engine = SessionEngine()
+        pairs = [
+            (trained_ea_3d.new_session(rng=0), users[0]),
+            (ExplodingSession(small_anti_3d, fail_at=1), _always_true_user()),
+            (trained_ea_3d.new_session(rng=1), users[1]),
+            (trained_ea_3d.new_session(rng=2), users[2]),
+        ]
+        results = engine.run(pairs)
+        assert len(results) == 4
+        assert results[1].failed
+        healthy = [results[0], results[2], results[3]]
+        for seq, eng in zip(sequential, healthy):
+            assert seq.recommendation_index == eng.recommendation_index
+            np.testing.assert_array_equal(seq.recommendation, eng.recommendation)
+            assert seq.rounds == eng.rounds
+            assert seq.status == eng.status
+
+    def test_noisy_fleet_isolates_the_inconsistent_session(
+        self, trained_ea_3d, small_anti_3d
+    ):
+        # The satellite scenario: NoisyUser fleets where one session's
+        # answers turn inconsistent must yield N results, not an abort.
+        from repro.data.utility import sample_training_utilities
+
+        utilities = sample_training_utilities(3, 4, rng=88)
+        pairs = [
+            (
+                trained_ea_3d.new_session(rng=seed),
+                NoisyUser(utilities[seed], error_rate=0.2, rng=seed),
+            )
+            for seed in range(3)
+        ]
+        # The "goes inconsistent" session: a strict algorithm served a
+        # heavily-noisy user over a near-tie question (huge temperature
+        # makes the flip probability the full error rate).
+        bad_user = NoisyUser(
+            utilities[3], error_rate=0.5, temperature=1e9, rng=123
+        )
+        pairs.append((StrictConsistencySession(small_anti_3d, total=64), bad_user))
+        engine = SessionEngine()
+        results = engine.run(pairs)
+        assert len(results) == 4
+        for result in results[:3]:
+            assert result.status in ("completed", "truncated")
+            assert not result.failed
+        assert results[3].failed
+        assert "inconsistent" in results[3].error
+        assert engine.last_metrics.failed == 1
+        assert engine.last_metrics.completed + engine.last_metrics.truncated == 3
+
+    def test_scorer_row_mismatch_fails_group_with_identity(self, toy):
+        scorer = BrokenScorer()
+        engine = SessionEngine()
+        results = engine.run(
+            [
+                (BatchableSession(toy, scorer), _always_true_user()),
+                (BatchableSession(toy, scorer), _always_true_user()),
+            ]
+        )
+        assert all(r.failed for r in results)
+        for result in results:
+            assert "InteractionError" in result.error
+            assert "BrokenScorer" in result.error
+            assert "score rows" in result.error
+        assert engine.last_metrics.failed == 2
+
+
+# -- recovery policy ------------------------------------------------------------
+
+
+class TestRecovery:
+    """EmptyRegionError sessions are re-driven under majority voting."""
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(majority_repeats=2)
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(max_retries=0)
+        with pytest.raises(ConfigurationError):
+            RecoveryPolicy(retry_on=())
+
+    def test_majority_vote_retry_recovers_the_session(self, toy):
+        # Every 4th answer is flipped: the strict session dies on the
+        # plain run, but under 3-vote majority each flip is outvoted.
+        user = PeriodicFlipUser(period=4)
+        engine = SessionEngine(recovery=RecoveryPolicy())
+        results = engine.run(
+            [(lambda: StrictConsistencySession(toy, total=5), user)]
+        )
+        result = results[0]
+        assert result.status == "recovered"
+        assert not result.failed
+        assert result.metrics.retries == 1
+        metrics = engine.last_metrics
+        assert metrics.retries == 1
+        assert metrics.recovered == 1
+        assert metrics.failed == 0
+        assert metrics.completed == 1
+        assert len(metrics.errors) == 1
+        assert metrics.errors[0].retried
+        assert metrics.errors[0].error_type == "EmptyRegionError"
+
+    def test_sequential_majority_vote_control(self, toy):
+        # The recovery mechanism really is MajorityVoteSession: the same
+        # flipping user drives a wrapped session to completion directly.
+        user = PeriodicFlipUser(period=4)
+        with pytest.raises(EmptyRegionError):
+            run_session(StrictConsistencySession(toy, total=5), user)
+        wrapped = MajorityVoteSession(
+            StrictConsistencySession(toy, total=5), repeats=3
+        )
+        result = run_session(wrapped, user)
+        assert result.status == "completed"
+
+    def test_retries_exhaust_to_failed(self, toy):
+        engine = SessionEngine(recovery=RecoveryPolicy(max_retries=1))
+        results = engine.run(
+            [(lambda: ExplodingSession(toy, fail_at=1), _always_true_user())]
+        )
+        assert results[0].failed
+        metrics = engine.last_metrics
+        assert metrics.retries == 1
+        assert metrics.recovered == 0
+        assert metrics.failed == 1
+        assert [e.attempt for e in metrics.errors] == [0, 1]
+        assert metrics.errors[0].retried and not metrics.errors[1].retried
+
+    def test_non_matching_errors_are_not_retried(self, toy):
+        engine = SessionEngine(recovery=RecoveryPolicy())
+        results = engine.run(
+            [
+                (
+                    lambda: ExplodingSession(toy, fail_at=1, error=ValueError),
+                    _always_true_user(),
+                )
+            ]
+        )
+        assert results[0].failed
+        assert engine.last_metrics.retries == 0
+
+    def test_eager_sessions_cannot_be_retried(self, toy):
+        # Only factory-submitted pairs can be rebuilt; an eagerly
+        # constructed session holds poisoned state.
+        engine = SessionEngine(recovery=RecoveryPolicy())
+        results = engine.run(
+            [(ExplodingSession(toy, fail_at=1), _always_true_user())]
+        )
+        assert results[0].failed
+        assert engine.last_metrics.retries == 0
+        assert not engine.last_metrics.errors[0].retried
+
+
+# -- wave-latency regression ----------------------------------------------------
+
+
+class TestWaveLatency:
+    """A finished session is finalized in the wave it finishes in."""
+
+    def test_finalized_in_same_wave(self, toy):
+        delay = 0.1
+        pairs = [
+            (SlowSession(toy, total=3, delay=delay), _always_true_user()),
+            (ScriptedSession(toy, total=1), _always_true_user()),
+        ]
+        engine = SessionEngine()
+        results = engine.run(pairs)
+        # Every session is finalized in the wave its last answer lands
+        # in, so the run needs exactly max(rounds) waves — the old
+        # top-of-next-wave detection needed one more.
+        assert engine.last_metrics.waves == 3
+        fast = results[1]
+        assert fast.status == "completed"
+        # The fast session's completion latency covers wave 1 only
+        # (~one slow question); the regression would charge it a second
+        # slow wave (>= 2 * delay).
+        assert fast.metrics.wall_seconds < 1.7 * delay
+        slow = results[0]
+        assert slow.metrics.wall_seconds >= 3 * delay
+
+    def test_interleaved_finishes_keep_input_order(self, toy):
+        pairs = [
+            (ScriptedSession(toy, total=total), _always_true_user())
+            for total in (4, 1, 3, 2)
+        ]
+        engine = SessionEngine()
+        results = engine.run(pairs)
+        assert [r.rounds for r in results] == [4, 1, 3, 2]
+        assert [r.metrics.session_id for r in results] == [0, 1, 2, 3]
+        assert engine.last_metrics.waves == 4
