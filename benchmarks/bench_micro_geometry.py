@@ -9,6 +9,8 @@ are caught independently of end-to-end session times:
 * hit-and-run sampling (EA's anchor discovery),
 * minimum enclosing sphere (EA's state encoding),
 * ambient inner sphere + bounds (AA: once per round),
+* incremental range clipping vs from-scratch re-enumeration (the
+  :class:`~repro.geometry.range.ExactRange` fast path),
 * skyline preprocessing (dataset construction).
 """
 
@@ -23,6 +25,7 @@ from repro.data.synthetic import anti_correlated
 from repro.geometry import lp
 from repro.geometry.hyperplane import preference_halfspace
 from repro.geometry.polytope import UtilityPolytope
+from repro.geometry.range import ExactRange
 from repro.geometry.sphere import minimum_enclosing_sphere
 
 
@@ -101,6 +104,60 @@ def test_micro_ambient_bounds(benchmark):
     ]
     e_min, e_max = benchmark(lambda: lp.ambient_bounds(spaces, d))
     assert np.all(e_max >= e_min - 1e-9)
+
+
+def _session_halfspaces(d: int, answers: int, seed: int = 0) -> list:
+    """A feasible mid-session answer sequence (shared by both range benches)."""
+    rng = np.random.default_rng(seed)
+    poly = UtilityPolytope.simplex(d)
+    spaces = []
+    for _ in range(answers * 6):
+        if len(spaces) >= answers:
+            break
+        a, b = rng.uniform(0.05, 1.0, size=(2, d))
+        if np.allclose(a, b):
+            continue
+        halfspace = preference_halfspace(a, b)
+        candidate = poly.with_halfspace(halfspace)
+        if not candidate.is_empty():
+            poly = candidate
+            spaces.append(halfspace)
+    return spaces
+
+
+@pytest.mark.parametrize("d", [3, 4, 5])
+def test_micro_range_clip_update(benchmark, d):
+    """One session's vertex maintenance via incremental ExactRange clips."""
+    spaces = _session_halfspaces(d, answers=8, seed=4)
+
+    def clip_session():
+        urange = ExactRange(d)
+        for halfspace in spaces:
+            urange.update(halfspace)
+            urange.vertices()
+        return urange
+
+    urange = benchmark(clip_session)
+    assert urange.stats.clips >= 1
+
+
+@pytest.mark.parametrize("d", [3, 4, 5])
+def test_micro_range_rebuild_update(benchmark, d):
+    """The pre-refactor baseline: re-enumerate vertices from scratch each round."""
+    spaces = _session_halfspaces(d, answers=8, seed=4)
+
+    def rebuild_session():
+        poly = UtilityPolytope.simplex(d)
+        for halfspace in spaces:
+            narrowed = poly.with_halfspace(halfspace)
+            if narrowed.is_empty():
+                continue
+            poly = narrowed
+            poly.vertices()
+        return poly
+
+    poly = benchmark(rebuild_session)
+    assert poly.vertices().shape[1] == d
 
 
 def test_micro_skyline(benchmark):

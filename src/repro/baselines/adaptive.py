@@ -25,8 +25,8 @@ import numpy as np
 from repro.core.session import InteractiveAlgorithm, Question, validate_epsilon
 from repro.data.datasets import Dataset
 from repro.errors import ConfigurationError
-from repro.geometry import lp
-from repro.geometry.hyperplane import PreferenceHalfspace, preference_halfspace
+from repro.geometry.hyperplane import preference_halfspace
+from repro.geometry.range import AmbientRange, RangeConfig
 from repro.geometry.vectors import top_point_index
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -45,7 +45,9 @@ class AdaptiveSession(InteractiveAlgorithm):
         super().__init__(dataset)
         self.epsilon = validate_epsilon(epsilon)
         self._rng = ensure_rng(rng)
-        self._halfspaces: list[PreferenceHalfspace] = []
+        self._range = AmbientRange(
+            dataset.dimension, config=RangeConfig(on_infeasible="drop")
+        )
         self._asked: set[tuple[int, int]] = set()
         d = dataset.dimension
         self._e_min = np.zeros(d)
@@ -72,9 +74,8 @@ class AdaptiveSession(InteractiveAlgorithm):
             winner_index=winner,
             loser_index=loser,
         )
-        candidate = self._halfspaces + [halfspace]
-        if lp.ambient_is_feasible(candidate, self.dataset.dimension):
-            self._halfspaces = candidate
+        # A contradictory answer is dropped; the consistent set stands.
+        self._range.update(halfspace)
         self._asked.add(
             (min(question.index_i, question.index_j),
              max(question.index_i, question.index_j))
@@ -99,21 +100,24 @@ class AdaptiveSession(InteractiveAlgorithm):
         return midpoint / total
 
     @property
+    def utility_range(self) -> AmbientRange:
+        """The incremental range object (counters, LP surrogates)."""
+        return self._range
+
+    @property
     def halfspaces(self) -> tuple:
         """Half-spaces learned so far (read-only view for tests/metrics)."""
-        return tuple(self._halfspaces)
+        return self._range.halfspaces
 
     def _refresh(self) -> None:
-        d = self.dataset.dimension
-        self._e_min, self._e_max = lp.ambient_bounds(self._halfspaces, d)
-        center, _ = lp.ambient_inner_sphere(self._halfspaces, d)
+        self._e_min, self._e_max = self._range.bounds()
+        center, _ = self._range.inner_sphere()
         self._center = center
 
     def _select_pair(self) -> tuple[int, int]:
         """Random-pool pair whose plane bisects the remaining range."""
         points = self.dataset.points
         n = self.dataset.n
-        d = self.dataset.dimension
         best_pair: tuple[int, int] | None = None
         best_distance = np.inf
         for _ in range(_CANDIDATE_POOL):
@@ -128,9 +132,9 @@ class AdaptiveSession(InteractiveAlgorithm):
             distance = abs(float(self._center @ normal)) / norm
             if distance >= best_distance:
                 continue
-            if lp.ambient_split_margin(self._halfspaces, d, normal) <= _SPLIT_TOL:
+            if self._range.split_margin(normal) <= _SPLIT_TOL:
                 continue
-            if lp.ambient_split_margin(self._halfspaces, d, -normal) <= _SPLIT_TOL:
+            if self._range.split_margin(-normal) <= _SPLIT_TOL:
                 continue
             best_distance = distance
             best_pair = (i, j)

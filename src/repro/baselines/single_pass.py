@@ -27,8 +27,8 @@ import numpy as np
 
 from repro.core.session import InteractiveAlgorithm, Question, validate_epsilon
 from repro.data.datasets import Dataset
-from repro.geometry import lp
-from repro.geometry.hyperplane import PreferenceHalfspace, preference_halfspace
+from repro.geometry.hyperplane import preference_halfspace
+from repro.geometry.range import AmbientRange, RangeConfig
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -63,7 +63,15 @@ class SinglePassSession(InteractiveAlgorithm):
         self._champion = int(order[0])
         self._stream = [int(i) for i in order[1:]]
         self._cursor = 0
-        self._halfspaces: list[PreferenceHalfspace] = []
+        # Working-set semantics (cap + drop-on-contradiction) live in the
+        # range config; see _MAX_WORKING_HALFSPACES above.
+        self._range = AmbientRange(
+            dataset.dimension,
+            config=RangeConfig(
+                on_infeasible="drop",
+                max_halfspaces=_MAX_WORKING_HALFSPACES,
+            ),
+        )
         self._questions_asked = 0
         d = dataset.dimension
         self._lo = np.zeros(d)
@@ -88,11 +96,7 @@ class SinglePassSession(InteractiveAlgorithm):
             winner_index=winner,
             loser_index=loser,
         )
-        candidate = self._halfspaces + [halfspace]
-        if len(candidate) > _MAX_WORKING_HALFSPACES:
-            candidate = candidate[-_MAX_WORKING_HALFSPACES:]
-        if lp.ambient_is_feasible(candidate, self.dataset.dimension):
-            self._halfspaces = candidate
+        if self._range.update(halfspace):
             self._questions_asked += 1
             if (
                 self._questions_asked <= _BOX_REFRESH_EAGER
@@ -117,9 +121,14 @@ class SinglePassSession(InteractiveAlgorithm):
         return self._champion
 
     @property
+    def utility_range(self) -> AmbientRange:
+        """The incremental range object (working set + box LPs)."""
+        return self._range
+
+    @property
     def halfspaces(self) -> tuple:
         """Half-spaces learned so far (read-only view for tests/metrics)."""
-        return tuple(self._halfspaces)
+        return self._range.halfspaces
 
     def _advance(self) -> None:
         """Consume stream points whose outcome is already decided."""
@@ -155,6 +164,6 @@ class SinglePassSession(InteractiveAlgorithm):
         available and the box stays monotonically shrinking even when old
         half-spaces rotate out of the working set.
         """
-        lo, hi = lp.ambient_bounds(self._halfspaces, self.dataset.dimension)
+        lo, hi = self._range.bounds()
         self._lo = np.maximum(self._lo, lo)
         self._hi = np.minimum(self._hi, hi)

@@ -20,6 +20,7 @@ overriding :meth:`UHBaseSession._select_pair`.
 from __future__ import annotations
 
 import abc
+from dataclasses import replace
 
 import numpy as np
 
@@ -33,20 +34,23 @@ from repro.errors import (
 )
 from repro.geometry.hyperplane import preference_halfspace
 from repro.geometry.polytope import UtilityPolytope
+from repro.geometry.range import ExactRange, RangeConfig
 from repro.geometry.vectors import top_point_index
 from repro.utils.rng import RngLike, ensure_rng
 
 #: The paper caps polytope-based methods at 10 attributes.
 MAX_UH_DIMENSION = 10
-#: Prune redundant constraints when the H-system grows beyond this.
-_PRUNE_ABOVE = 24
 
 
 class UHBaseSession(InteractiveAlgorithm):
     """Polytope + candidate-set skeleton shared by UH-Random/UH-Simplex."""
 
     def __init__(
-        self, dataset: Dataset, epsilon: float = 0.1, rng: RngLike = None
+        self,
+        dataset: Dataset,
+        epsilon: float = 0.1,
+        rng: RngLike = None,
+        range_config: RangeConfig | None = None,
     ) -> None:
         super().__init__(dataset)
         epsilon = validate_epsilon(epsilon)
@@ -57,7 +61,13 @@ class UHBaseSession(InteractiveAlgorithm):
             )
         self.epsilon = epsilon
         self._rng = ensure_rng(rng)
-        self._polytope = UtilityPolytope.simplex(dataset.dimension)
+        # A contradictory answer stops the session on the last consistent
+        # range, so infeasible updates are dropped, never raised.
+        config = replace(
+            range_config if range_config is not None else RangeConfig(),
+            on_infeasible="drop",
+        )
+        self._range = ExactRange(dataset.dimension, config=config)
         self._candidates = np.arange(dataset.n)
         self._recommendation: int | None = None
         self._refresh()
@@ -80,14 +90,10 @@ class UHBaseSession(InteractiveAlgorithm):
             winner_index=winner,
             loser_index=loser,
         )
-        narrowed = self._polytope.with_halfspace(halfspace)
-        if narrowed.is_empty():
+        if not self._range.update(halfspace):
             # Contradictory (noisy) answer; keep the last consistent range.
             self._recommendation = self._fallback_recommendation()
             return
-        if narrowed.n_constraints > _PRUNE_ABOVE:
-            narrowed = narrowed.pruned()
-        self._polytope = narrowed
         self._refresh()
 
     def _finished(self) -> bool:
@@ -112,19 +118,24 @@ class UHBaseSession(InteractiveAlgorithm):
         return self._candidates.copy()
 
     @property
+    def utility_range(self) -> ExactRange:
+        """The incremental range object (counters, vertices, sampling)."""
+        return self._range
+
+    @property
     def polytope(self) -> UtilityPolytope:
         """The current utility range."""
-        return self._polytope
+        return self._range.polytope
 
     @property
     def halfspaces(self) -> tuple:
         """Half-spaces learned so far (read-only view for tests/metrics)."""
-        return self._polytope.halfspaces
+        return self._range.halfspaces
 
     def _refresh(self) -> None:
         """Recompute vertices, prune candidates, evaluate stopping rule."""
         try:
-            vertices = self._polytope.vertices()
+            vertices = self._range.vertices()
         except (EmptyRegionError, VertexEnumerationError):
             self._recommendation = self._fallback_recommendation()
             return
@@ -164,7 +175,7 @@ class UHBaseSession(InteractiveAlgorithm):
     def _fallback_recommendation(self) -> int:
         """Best point w.r.t. the Chebyshev centre of the current range."""
         try:
-            center, _ = self._polytope.chebyshev_center()
+            center, _ = self._range.chebyshev_center()
         except EmptyRegionError:
             center = np.full(
                 self.dataset.dimension, 1.0 / self.dataset.dimension

@@ -32,7 +32,7 @@ class UHSimplexSession(UHBaseSession):
     name = "UH-Simplex"
 
     def _select_pair(self) -> tuple[int, int]:
-        center, _ = self._polytope.chebyshev_center()
+        center, _ = self._range.chebyshev_center()
         points = self.dataset.points
         candidates = self._candidates
         # Score candidates by utility at the range centre and keep the

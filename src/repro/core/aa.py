@@ -33,13 +33,14 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro.core import state_encoding
 from repro.core.environment import EnvObservation, InteractiveEnvironment, RLPolicy
 from repro.core.session import validate_epsilon
 from repro.core.trainer import TrainingLog, train_agent
 from repro.data.datasets import Dataset
 from repro.errors import ConfigurationError, EmptyRegionError, InteractionError
-from repro.geometry import lp
 from repro.geometry.hyperplane import PreferenceHalfspace, preference_halfspace
+from repro.geometry.range import AmbientRange, RangeConfig
 from repro.geometry.vectors import top_point_index
 from repro.rl.dqn import DQNAgent, DQNConfig
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -98,7 +99,7 @@ class AAEnvironment(InteractiveEnvironment):
         super().__init__(dataset)
         self.config = config
         self._rng = ensure_rng(rng)
-        self._halfspaces: list[PreferenceHalfspace] = []
+        self._range = self._new_range()
         self._pairs: list[tuple[int, int]] = []
         self._asked: set[tuple[int, int]] = set()
         self._midpoint = np.full(dataset.dimension, 1.0 / dataset.dimension)
@@ -115,7 +116,7 @@ class AAEnvironment(InteractiveEnvironment):
         return 2 * self.dataset.dimension
 
     def reset(self) -> EnvObservation:
-        self._halfspaces = []
+        self._range = self._new_range()
         self._asked = set()
         self._pairs = []
         return self._observe()
@@ -132,11 +133,9 @@ class AAEnvironment(InteractiveEnvironment):
             points[winner], points[loser],
             winner_index=winner, loser_index=loser,
         )
-        candidate = self._halfspaces + [halfspace]
-        if lp.ambient_is_feasible(candidate, self.dataset.dimension):
-            self._halfspaces = candidate
         # An infeasible update means the (noisy) answer contradicts earlier
         # ones; AA drops it and keeps the last consistent half-space set.
+        self._range.update(halfspace)
         self._asked.add((min(index_i, index_j), max(index_i, index_j)))
         observation = self._observe()
         if observation.terminal:
@@ -149,24 +148,34 @@ class AAEnvironment(InteractiveEnvironment):
         return top_point_index(self.dataset.points, self._midpoint)
 
     @property
+    def utility_range(self) -> AmbientRange:
+        """The incremental range object (counters, LP surrogates)."""
+        return self._range
+
+    @property
     def halfspaces(self) -> tuple[PreferenceHalfspace, ...]:
         """Learned half-spaces (read-only view for tests/metrics)."""
-        return tuple(self._halfspaces)
+        return self._range.halfspaces
 
     # -- internals ---------------------------------------------------------------
+
+    def _new_range(self) -> AmbientRange:
+        return AmbientRange(
+            self.dataset.dimension,
+            config=RangeConfig(on_infeasible="drop"),
+        )
 
     def _observe(self) -> EnvObservation:
         d = self.dataset.dimension
         config = self.config
         try:
-            center, radius = lp.ambient_inner_sphere(self._halfspaces, d)
-            e_min, e_max = lp.ambient_bounds(self._halfspaces, d)
+            state, e_min, e_max = state_encoding.aa_state_from_range(self._range)
         except EmptyRegionError:
             # Should not happen (step() only keeps feasible sets); degrade
             # to a terminal observation on the last midpoint.
             return self._terminal_observation(self._last_state())
+        center = state[:d]
         self._midpoint = 0.5 * (e_min + e_max)
-        state = np.concatenate([center, [radius], e_min, e_max])
         self._state = state
         width = float(np.linalg.norm(e_max - e_min))
         if width <= 2.0 * np.sqrt(d) * config.epsilon:
@@ -201,13 +210,12 @@ class AAEnvironment(InteractiveEnvironment):
             scored.append((distance, (i, j)))
         scored.sort(key=lambda item: item[0])
         accepted: list[tuple[int, int]] = []
-        d = self.dataset.dimension
         for _, (i, j) in scored:
             normal = points[i] - points[j]
-            positive = lp.ambient_split_margin(self._halfspaces, d, normal)
+            positive = self._range.split_margin(normal)
             if positive <= _SPLIT_TOL:
                 continue
-            negative = lp.ambient_split_margin(self._halfspaces, d, -normal)
+            negative = self._range.split_margin(-normal)
             if negative <= _SPLIT_TOL:
                 continue
             accepted.append((i, j))

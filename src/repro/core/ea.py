@@ -41,6 +41,7 @@ from repro.errors import (
 )
 from repro.geometry.hyperplane import preference_halfspace
 from repro.geometry.polytope import UtilityPolytope
+from repro.geometry.range import ExactRange, RangeConfig
 from repro.geometry.vectors import top_point_index
 from repro.rl.dqn import DQNAgent, DQNConfig
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
@@ -70,9 +71,11 @@ class EAConfig:
         large-volume terminal polyhedra but cost more time).
     reward_constant:
         Terminal reward ``c`` (paper default 100).
-    prune_above:
-        Prune redundant constraints whenever the H-system grows beyond
-        this many rows; keeps per-round geometry cost flat.
+    range_config:
+        Shared utility-range policy (:class:`repro.geometry.range.RangeConfig`):
+        constraint-prune threshold and friends.  The environment always
+        treats an infeasible (contradictory) answer as "stop on the last
+        consistent range", so ``on_infeasible`` is forced to ``"drop"``.
     weighted_actions:
         Draw anchor pairs weighted by sample counts (volume-sensitive,
         the default) instead of uniformly (the paper's plain reading).
@@ -92,7 +95,7 @@ class EAConfig:
     d_eps: float = 0.1
     n_samples: int = 64
     reward_constant: float = 100.0
-    prune_above: int = 24
+    range_config: RangeConfig = RangeConfig()
     weighted_actions: bool = True
     step_penalty: float = 0.0
     sphere_method: str = "iterative"
@@ -129,10 +132,16 @@ class EAEnvironment(InteractiveEnvironment):
             )
         self.config = config
         self._rng = ensure_rng(rng)
-        self._polytope = UtilityPolytope.simplex(dataset.dimension)
+        self._range = self._new_range()
         self._pairs: list[tuple[int, int]] = []
         self._recommendation = 0
         self._terminal = True  # becomes live on reset()
+
+    def _new_range(self) -> ExactRange:
+        # A contradictory answer must not raise: the episode stops on the
+        # last consistent range instead (see the module docstring).
+        config = replace(self.config.range_config, on_infeasible="drop")
+        return ExactRange(self.dataset.dimension, config=config)
 
     # -- InteractiveEnvironment ------------------------------------------------
 
@@ -145,7 +154,7 @@ class EAEnvironment(InteractiveEnvironment):
         return 2 * self.dataset.dimension
 
     def reset(self) -> EnvObservation:
-        self._polytope = UtilityPolytope.simplex(self.dataset.dimension)
+        self._range = self._new_range()
         self._pairs = []
         self._recommendation = 0
         return self._observe()
@@ -162,16 +171,12 @@ class EAEnvironment(InteractiveEnvironment):
             points[winner], points[loser],
             winner_index=winner, loser_index=loser,
         )
-        narrowed = self._polytope.with_halfspace(halfspace)
-        if narrowed.is_empty():
+        if self._range.update(halfspace):
+            observation = self._observe()
+        else:
             # Contradictory (noisy) answer: keep the last consistent range
             # and stop with the best point found so far.
             observation = self._terminal_observation(self._last_state())
-        else:
-            if narrowed.n_constraints > self.config.prune_above:
-                narrowed = narrowed.pruned()
-            self._polytope = narrowed
-            observation = self._observe()
         if observation.terminal:
             reward = self.config.reward_constant
         else:
@@ -182,14 +187,19 @@ class EAEnvironment(InteractiveEnvironment):
         return self._recommendation
 
     @property
+    def utility_range(self) -> ExactRange:
+        """The incremental range object (counters, vertices, sampling)."""
+        return self._range
+
+    @property
     def polytope(self) -> UtilityPolytope:
         """The current utility range (read-only view for tests/metrics)."""
-        return self._polytope
+        return self._range.polytope
 
     @property
     def halfspaces(self) -> tuple:
         """Half-spaces learned so far (read-only view for tests/metrics)."""
-        return self._polytope.halfspaces
+        return self._range.halfspaces
 
     # -- internals ---------------------------------------------------------------
 
@@ -197,7 +207,7 @@ class EAEnvironment(InteractiveEnvironment):
         points = self.dataset.points
         config = self.config
         try:
-            vertices = self._polytope.vertices()
+            vertices = self._range.vertices()
         except (EmptyRegionError, VertexEnumerationError):
             return self._terminal_observation(self._last_state())
         state, _ = state_encoding.ea_state(
@@ -213,10 +223,10 @@ class EAEnvironment(InteractiveEnvironment):
             self._recommendation = anchor
             return self._terminal_observation(state)
         # Track a best-effort recommendation for mid-session traces.
-        center, _ = self._polytope.chebyshev_center()
+        center, _ = self._range.chebyshev_center()
         self._recommendation = top_point_index(points, center)
         vectors = terminal.build_action_vectors(
-            self._polytope, config.n_samples, rng=self._rng
+            self._range, config.n_samples, rng=self._rng
         )
         anchors, counts = terminal.anchor_indices_with_counts(points, vectors)
         if anchors.shape[0] < 2:

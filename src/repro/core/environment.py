@@ -60,6 +60,17 @@ class InteractiveEnvironment(abc.ABC):
         self.dataset = dataset
 
     @property
+    def utility_range(self):
+        """The environment's :class:`~repro.geometry.range.UtilityRange`.
+
+        ``None`` for environments that do not track one; EA and AA
+        override this with their :class:`~repro.geometry.range.ExactRange`
+        / :class:`~repro.geometry.range.AmbientRange` so callers (the
+        serving engine, metrics) can read range-level counters uniformly.
+        """
+        return None
+
+    @property
     @abc.abstractmethod
     def state_dim(self) -> int:
         """Length of the state feature vector."""
@@ -169,3 +180,8 @@ class RLPolicy(InteractiveAlgorithm):
     def halfspaces(self) -> tuple:
         """Half-spaces learned so far (delegates to the environment)."""
         return self.environment.halfspaces
+
+    @property
+    def utility_range(self):
+        """The session's utility range (delegates to the environment)."""
+        return self.environment.utility_range

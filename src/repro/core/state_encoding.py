@@ -100,3 +100,41 @@ def ea_state_dim(d: int, m_e: int) -> int:
     if d < 2 or m_e < 1:
         raise ValueError("need d >= 2 and m_e >= 1")
     return d * m_e + d + 1
+
+
+def ea_state_from_range(
+    urange,
+    m_e: int,
+    d_eps: float,
+    rng: RngLike = None,
+    sphere_method: str = "iterative",
+) -> tuple[np.ndarray, Sphere]:
+    """EA state built straight from an :class:`~repro.geometry.range.ExactRange`.
+
+    Convenience over :func:`ea_state` for range-carrying callers: the
+    vertex set is read off the incrementally maintained range instead of
+    being passed in.  May raise the range's enumeration errors
+    (:class:`~repro.errors.EmptyRegionError`,
+    :class:`~repro.errors.VertexEnumerationError`).
+    """
+    return ea_state(
+        urange.vertices(), m_e, d_eps, rng=rng, sphere_method=sphere_method
+    )
+
+
+def aa_state_from_range(
+    urange,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """AA state ``[B_c, B_r, e_min, e_max]`` plus the rectangle itself.
+
+    Reads the inner sphere and outer rectangle off an
+    :class:`~repro.geometry.range.AmbientRange` (Section IV-C state
+    layout, length ``3d + 1``).  Returns ``(state, e_min, e_max)`` so the
+    caller can evaluate the stopping rule without re-solving the LPs.
+    May raise :class:`~repro.errors.EmptyRegionError` for an inconsistent
+    range.
+    """
+    center, radius = urange.inner_sphere()
+    e_min, e_max = urange.bounds()
+    state = np.concatenate([center, [radius], e_min, e_max])
+    return state, e_min, e_max

@@ -22,11 +22,16 @@ large-volume terminal polyhedra with high probability).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.geometry.polytope import UtilityPolytope
 from repro.utils.rng import RngLike
 from repro.utils.validation import require_matrix
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.geometry.range import ExactRange
 
 #: Numerical slack when testing the epsilon-domination inequalities.
 #: Vertex enumeration rounds coordinates at ~1e-8, so boundary vertices
@@ -111,18 +116,23 @@ def terminal_anchor(
 
 
 def build_action_vectors(
-    polytope: UtilityPolytope, n_samples: int, rng: RngLike = None
+    region: "UtilityPolytope | ExactRange", n_samples: int, rng: RngLike = None
 ) -> np.ndarray:
     """The utility-vector set ``V`` of Section IV-B: samples + vertices.
+
+    ``region`` is anything exposing ``vertices()`` and
+    ``sample(n, rng=...)`` — a :class:`~repro.geometry.polytope.UtilityPolytope`
+    or an :class:`~repro.geometry.range.ExactRange` (EA passes its range so
+    the incrementally maintained vertex set is reused).
 
     The sampled part makes large-volume terminal polyhedra likely to be
     discovered (Lemma 5); the extreme vectors provide the side information
     for the terminal test (Lemma 6).
     """
-    vertices = polytope.vertices()
+    vertices = region.vertices()
     if n_samples <= 0:
         return vertices
-    samples = polytope.sample(n_samples, rng=rng)
+    samples = region.sample(n_samples, rng=rng)
     return np.vstack([samples, vertices])
 
 

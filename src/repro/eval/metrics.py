@@ -17,9 +17,8 @@ import numpy as np
 
 from repro.core.session import SessionResult
 from repro.data.datasets import Dataset
-from repro.errors import EmptyRegionError
 from repro.geometry.hyperplane import PreferenceHalfspace
-from repro.geometry.polytope import UtilityPolytope
+from repro.geometry.range import ExactRange
 from repro.geometry.vectors import regret_ratio, regret_ratios
 from repro.users.oracle import OracleUser
 from repro.utils.rng import RngLike
@@ -56,12 +55,8 @@ def max_regret_ratio(
     EmptyRegionError
         If the learned half-spaces are inconsistent.
     """
-    polytope = UtilityPolytope.simplex(dataset.dimension).with_halfspaces(
-        halfspaces
-    )
-    if polytope.is_empty():
-        raise EmptyRegionError("learned half-spaces are inconsistent")
-    samples = polytope.sample(n_samples, rng=rng)
+    region = ExactRange.from_halfspaces(dataset.dimension, halfspaces)
+    samples = region.sample(n_samples, rng=rng)
     values = regret_ratios(
         dataset.points, dataset.points[recommendation_index], samples
     )

@@ -15,11 +15,28 @@ Public surface:
   ``R`` as an H-polytope with vertex enumeration and sampling.
 * :mod:`~repro.geometry.sphere` — the paper's iterative outer sphere
   (Lemma 3) and the LP inner sphere used by algorithm AA.
-* :mod:`~repro.geometry.lp` — typed wrappers over ``scipy.optimize.linprog``.
+* :mod:`~repro.geometry.range` — the incremental :class:`UtilityRange`
+  abstraction (:class:`ExactRange` / :class:`AmbientRange`) every
+  algorithm maintains its learned information behind.
+* :mod:`~repro.geometry.lp` — typed wrappers over ``scipy.optimize.linprog``
+  plus the pluggable :class:`LPBackend` seam.
 """
 
 from repro.geometry.hyperplane import PreferenceHalfspace, preference_halfspace
+from repro.geometry.lp import (
+    LPBackend,
+    ScipyHighsBackend,
+    active_backend,
+    use_backend,
+)
 from repro.geometry.polytope import UtilityPolytope
+from repro.geometry.range import (
+    AmbientRange,
+    ExactRange,
+    RangeConfig,
+    RangeStats,
+    UtilityRange,
+)
 from repro.geometry.sphere import (
     Sphere,
     inner_sphere,
@@ -32,6 +49,15 @@ __all__ = [
     "PreferenceHalfspace",
     "preference_halfspace",
     "UtilityPolytope",
+    "UtilityRange",
+    "ExactRange",
+    "AmbientRange",
+    "RangeConfig",
+    "RangeStats",
+    "LPBackend",
+    "ScipyHighsBackend",
+    "active_backend",
+    "use_backend",
     "Sphere",
     "inner_sphere",
     "minimum_enclosing_sphere",

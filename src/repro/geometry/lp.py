@@ -23,10 +23,20 @@ with :func:`use_cache` routes every :func:`solve` inside the ``with``
 block through it.  Cache hits return the *exact* result of the original
 solve (failures included), so caching never perturbs downstream
 decisions — it only skips redundant solver work.
+
+Backends: the actual solver behind :func:`solve` is an injectable
+:class:`LPBackend`.  The default is :class:`ScipyHighsBackend`
+(``scipy.optimize.linprog`` with ``method="highs"``); :func:`use_backend`
+installs an alternative for a ``with`` block, and range objects in
+:mod:`repro.geometry.range` accept a per-instance backend.  The seam
+composes with :class:`LPCache`: the cache sits *in front* of the backend
+(hits never reach it), and cache keys are tagged with the backend's
+``name`` so two backends never serve each other's results.
 """
 
 from __future__ import annotations
 
+import abc
 import hashlib
 from collections import OrderedDict
 from collections.abc import Iterator, Sequence
@@ -88,12 +98,14 @@ def constraint_system_key(
     a_eq: np.ndarray | None = None,
     b_eq: np.ndarray | None = None,
     bounds: Sequence[tuple[float | None, float | None]] | tuple | None = _FREE,
+    tag: bytes = b"",
 ) -> bytes:
     """Canonical hash of an LP: objective, constraint blocks and bounds.
 
     Two calls produce the same key iff every array is byte-for-byte equal
-    (same shapes, same floats), so a cache hit is guaranteed to stand in
-    for an actual re-solve of the *identical* system.
+    (same shapes, same floats) and ``tag`` matches, so a cache hit is
+    guaranteed to stand in for an actual re-solve of the *identical*
+    system by the *same* backend (``tag`` carries the backend name).
     """
     digest = hashlib.sha256()
     digest.update(_array_bytes(c))
@@ -102,6 +114,8 @@ def constraint_system_key(
         digest.update(_array_bytes(block))
     digest.update(b"|")
     digest.update(_bounds_bytes(bounds))
+    digest.update(b"|")
+    digest.update(tag)
     return digest.digest()
 
 
@@ -208,6 +222,100 @@ def use_cache(cache: LPCache) -> Iterator[LPCache]:
         _active_cache.reset(token)
 
 
+class LPBackend(abc.ABC):
+    """One injectable LP solver implementation behind :func:`solve`.
+
+    Subclasses implement :meth:`solve_raw` — one uncached solve of the
+    given system, raising the package exception hierarchy on failure.
+    The ``solves`` counter records raw solver invocations (cache hits
+    never reach the backend), so ``cache.hits`` over a run is exactly
+    the solver work the backend was spared.
+
+    ``name`` must be unique per backend implementation: it is mixed into
+    :func:`constraint_system_key`, so results produced by one backend are
+    never replayed as another backend's answer.
+    """
+
+    #: Unique identifier mixed into cache keys.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.solves = 0
+
+    @abc.abstractmethod
+    def solve_raw(
+        self,
+        c: np.ndarray,
+        a_ub: np.ndarray | None,
+        b_ub: np.ndarray | None,
+        a_eq: np.ndarray | None,
+        b_eq: np.ndarray | None,
+        bounds: Sequence[tuple[float | None, float | None]] | tuple | None,
+    ) -> LPResult:
+        """Solve ``min c . x`` over the system; raise ``LPError`` kinds."""
+
+
+class ScipyHighsBackend(LPBackend):
+    """The default backend: ``scipy.optimize.linprog`` with HiGHS."""
+
+    name = "scipy-highs"
+
+    def solve_raw(
+        self,
+        c: np.ndarray,
+        a_ub: np.ndarray | None,
+        b_ub: np.ndarray | None,
+        a_eq: np.ndarray | None,
+        b_eq: np.ndarray | None,
+        bounds: Sequence[tuple[float | None, float | None]] | tuple | None,
+    ) -> LPResult:
+        """One raw ``linprog`` call with statuses normalised to exceptions."""
+        result = linprog(
+            c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
+            method="highs",
+        )
+        if result.status == 2:
+            raise InfeasibleLP("LP constraint set is empty")
+        if result.status == 3:
+            raise UnboundedLP("LP objective is unbounded")
+        if not result.success:
+            raise LPError(f"LP solve failed: {result.message}")
+        return LPResult(
+            x=np.asarray(result.x, dtype=float), value=float(result.fun)
+        )
+
+
+#: Process-wide default backend; :func:`use_backend` overrides it per context.
+_default_backend = ScipyHighsBackend()
+
+#: Installed backend override, context-local for the same reason the cache
+#: is: concurrent engines on other threads/tasks must not see each other's
+#: installations.
+_active_backend: ContextVar[LPBackend | None] = ContextVar(
+    "repro_lp_active_backend", default=None
+)
+
+
+def active_backend() -> LPBackend:
+    """The backend :func:`solve` currently routes raw solves through."""
+    return _active_backend.get() or _default_backend
+
+
+@contextmanager
+def use_backend(backend: LPBackend) -> Iterator[LPBackend]:
+    """Route every :func:`solve` inside the block through ``backend``.
+
+    Nesting is allowed; the innermost backend wins and the previous one
+    is restored on exit.  Composes with :func:`use_cache`: the cache
+    still answers hits, and only misses reach ``backend``.
+    """
+    token = _active_backend.set(backend)
+    try:
+        yield backend
+    finally:
+        _active_backend.reset(token)
+
+
 def solve(
     c: np.ndarray,
     a_ub: np.ndarray | None = None,
@@ -220,48 +328,40 @@ def solve(
 
     Unlike raw ``linprog``, variables are *free* by default (``linprog``
     defaults to ``x >= 0``, which silently corrupts reduced-space geometry).
+    The raw solve is delegated to the active :class:`LPBackend`
+    (scipy-HiGHS unless :func:`use_backend` installed another), behind the
+    active :class:`LPCache` if one is installed.
 
     Raises
     ------
     InfeasibleLP, UnboundedLP, LPError
     """
+    backend = active_backend()
     cache = _active_cache.get()
     if cache is None:
-        return _solve_uncached(c, a_ub, b_ub, a_eq, b_eq, bounds)
-    key = constraint_system_key(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        backend.solves += 1
+        return backend.solve_raw(c, a_ub, b_ub, a_eq, b_eq, bounds)
+    # The default backend keeps the legacy untagged keys (external key
+    # computations and pre-existing caches stay valid); alternative
+    # backends get their own cache partition so results never cross.
+    tag = (
+        b""
+        if backend.name == ScipyHighsBackend.name
+        else backend.name.encode()
+    )
+    key = constraint_system_key(c, a_ub, b_ub, a_eq, b_eq, bounds, tag=tag)
     if key in cache._store:
         cache.hits += 1
         return cache._fetch(key)
     cache.misses += 1
+    backend.solves += 1
     try:
-        result = _solve_uncached(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        result = backend.solve_raw(c, a_ub, b_ub, a_eq, b_eq, bounds)
     except LPError as error:
         cache._record(key, (type(error), str(error)))
         raise
     cache._record(key, result)
     return LPResult(x=result.x.copy(), value=result.value)
-
-
-def _solve_uncached(
-    c: np.ndarray,
-    a_ub: np.ndarray | None,
-    b_ub: np.ndarray | None,
-    a_eq: np.ndarray | None,
-    b_eq: np.ndarray | None,
-    bounds: Sequence[tuple[float | None, float | None]] | tuple | None,
-) -> LPResult:
-    """One raw ``linprog`` call with statuses normalised to exceptions."""
-    result = linprog(
-        c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
-        method="highs",
-    )
-    if result.status == 2:
-        raise InfeasibleLP("LP constraint set is empty")
-    if result.status == 3:
-        raise UnboundedLP("LP objective is unbounded")
-    if not result.success:
-        raise LPError(f"LP solve failed: {result.message}")
-    return LPResult(x=np.asarray(result.x, dtype=float), value=float(result.fun))
 
 
 def maximize(

@@ -220,17 +220,31 @@ class UtilityPolytope:
     # -- vertices ------------------------------------------------------------
 
     @cached_property
-    def _vertices(self) -> np.ndarray:
+    def _vertices_raw(self) -> np.ndarray:
+        """Unrounded reduced vertices, one representative per dedup class.
+
+        Representatives are ordered by their rounded lexicographic key, so
+        rounding them reproduces :attr:`_vertices` exactly.
+        """
         if self.is_empty():
             raise EmptyRegionError("utility range is empty")
         if self.reduced_dimension == 1:
-            reduced = self._vertices_interval()
+            reduced = self._vertices_interval_raw()
         else:
-            reduced = self._vertices_qhull()
+            reduced = self._vertices_qhull_raw()
             if reduced is None:
-                reduced = self._vertices_combinatorial()
+                reduced = self._vertices_combinatorial_raw()
         if reduced.shape[0] == 0:
             raise VertexEnumerationError("no vertices found for polytope")
+        rounded = np.round(reduced, _DEDUP_DECIMALS)
+        _, index = np.unique(rounded, axis=0, return_index=True)
+        return reduced[index]
+
+    @cached_property
+    def _vertices(self) -> np.ndarray:
+        reduced = np.unique(
+            np.round(self._vertices_raw, _DEDUP_DECIMALS), axis=0
+        )
         return simplex.lift_points(reduced)
 
     def vertices(self) -> np.ndarray:
@@ -240,8 +254,23 @@ class UtilityPolytope:
         """
         return self._vertices.copy()
 
+    def raw_vertices(self) -> np.ndarray:
+        """Reduced-space vertex representatives *before* output rounding.
+
+        One unrounded point per :meth:`vertices` row, in the same order.
+        :class:`repro.geometry.range.ExactRange` clips these directly so
+        that floating-point error does not compound across incremental
+        updates; everything user-facing should prefer :meth:`vertices`.
+        """
+        return self._vertices_raw.copy()
+
     def _vertices_interval(self) -> np.ndarray:
-        """1-d special case: the range is an interval."""
+        """1-d special case, rounded: the range is an interval."""
+        points = self._vertices_interval_raw()
+        return np.unique(np.round(points, _DEDUP_DECIMALS), axis=0)
+
+    def _vertices_interval_raw(self) -> np.ndarray:
+        """1-d special case: the range is an interval (unrounded)."""
         lower, upper = -np.inf, np.inf
         for coeff, bound in zip(self._a[:, 0], self._b):
             if coeff > 0:
@@ -252,10 +281,16 @@ class UtilityPolytope:
                 raise EmptyRegionError("utility range is empty")
         if lower > upper + 1e-12:
             raise EmptyRegionError("utility range is empty")
-        points = np.array([[lower], [upper]])
-        return np.unique(np.round(points, _DEDUP_DECIMALS), axis=0)
+        return np.array([[lower], [upper]])
 
     def _vertices_qhull(self) -> np.ndarray | None:
+        """Qhull half-space intersection, rounded; ``None`` if unusable."""
+        points = self._vertices_qhull_raw()
+        if points is None:
+            return None
+        return np.unique(np.round(points, _DEDUP_DECIMALS), axis=0)
+
+    def _vertices_qhull_raw(self) -> np.ndarray | None:
         """Qhull half-space intersection; ``None`` if unusable here."""
         center = self._chebyshev
         if center is None or center[1] < _QHULL_MIN_RADIUS:
@@ -270,9 +305,14 @@ class UtilityPolytope:
         points = points[np.all(np.isfinite(points), axis=1)]
         if points.shape[0] == 0:
             return None
-        return np.unique(np.round(points, _DEDUP_DECIMALS), axis=0)
+        return points
 
     def _vertices_combinatorial(self) -> np.ndarray:
+        """Exact fallback, rounded; see :meth:`_vertices_combinatorial_raw`."""
+        points = self._vertices_combinatorial_raw()
+        return np.unique(np.round(points, _DEDUP_DECIMALS), axis=0)
+
+    def _vertices_combinatorial_raw(self) -> np.ndarray:
         """Exact fallback: intersect every ``k``-subset of facet planes."""
         minimal = self.pruned()
         a, b = minimal._a, minimal._b
@@ -299,8 +339,9 @@ class UtilityPolytope:
             center = self._chebyshev
             if center is not None:
                 found.append(center[0])
-        points = np.array(found)
-        return np.unique(np.round(points, _DEDUP_DECIMALS), axis=0)
+        if not found:
+            return np.empty((0, k))
+        return np.array(found)
 
     # -- volume --------------------------------------------------------------
 

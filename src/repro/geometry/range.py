@@ -1,0 +1,579 @@
+"""Incremental utility-range state behind one :class:`UtilityRange` protocol.
+
+Every interactive algorithm in this package narrows the utility range
+``R`` by one half-space per answered question (Section IV of the paper).
+Historically each consumer kept its own representation — EA re-enumerated
+polytope vertices from scratch every round, AA carried a bare half-space
+list with ad-hoc ambient LPs, and the UH baselines re-implemented the
+same narrow/prune pattern.  This module unifies them:
+
+* :class:`UtilityRange` — the protocol: one documented :meth:`~UtilityRange.update`
+  with an explicit infeasibility policy (:class:`RangeConfig`), plus
+  per-instance :class:`RangeStats` counters.
+* :class:`ExactRange` — vertex-maintaining.  Adding a half-space *clips*
+  the current vertex set against the new plane (keep the satisfied
+  vertices, intersect every kept–cut segment with the plane, take the
+  extreme points of the cut face) instead of re-running Qhull from
+  scratch; the full enumeration of
+  :class:`~repro.geometry.polytope.UtilityPolytope` is kept as a
+  cross-checked fallback for degenerate cuts.  Emptiness is read off the
+  vertex signs — a genuine LP is solved only to *confirm* a suspected
+  empty update, so semantics match the old LP-driven path exactly.
+* :class:`AmbientRange` — half-space list summarised by LP surrogates
+  (inner sphere, outer rectangle, split margins), absorbing the
+  ``lp.ambient_*`` call sites of AA, SinglePass and Adaptive, with an
+  optional working-set cap on the constraint list.
+
+All LP work routes through the active (or per-range injected)
+:class:`~repro.geometry.lp.LPBackend` and therefore composes with the
+engine's :class:`~repro.geometry.lp.LPCache`.  The H-representation kept
+by :class:`ExactRange` evolves exactly as the pre-refactor consumers
+evolved theirs (constraints always appended, redundancy-pruned past
+``prune_above``), so every LP-derived quantity — Chebyshev centres,
+hit-and-run samples — is bit-identical to the from-scratch path.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator, Sequence
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import ConvexHull, QhullError
+
+from repro.errors import ConfigurationError, EmptyRegionError
+from repro.geometry import lp, simplex
+from repro.geometry.hyperplane import PreferenceHalfspace
+from repro.geometry.lp import LPBackend
+from repro.geometry.polytope import _DEDUP_DECIMALS, UtilityPolytope
+from repro.utils.rng import RngLike
+
+#: Sign tolerance classifying vertices against a new cutting plane.
+#: Deliberately tiny (float-noise scale): from-scratch enumeration treats
+#: the new constraint exactly, so a vertex violating it even marginally is
+#: replaced by its edge crossings there — the clip must do the same for
+#: the two paths to round to identical vertex sets.
+_CLIP_TOL = 1e-12
+#: A clip candidate only counts as a cut-face vertex if at least
+#: ``reduced_dim - 1`` of the existing facets are tight at it (an edge
+#: crossing); crossings of non-adjacent vertex pairs fall in the face's
+#: interior and fail this test.
+_TIGHT_TOL = 1e-7
+#: Singular values below this are treated as zero when detecting the
+#: affine rank of a cut face (degenerate faces fall back to a rebuild).
+_RANK_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class RangeConfig:
+    """Shared policy knobs consumed by every :class:`UtilityRange`.
+
+    Attributes
+    ----------
+    prune_above:
+        Prune redundant constraints whenever the H-system kept by
+        :class:`ExactRange` grows beyond this many rows; keeps per-round
+        geometry cost flat.  (Previously duplicated as
+        ``EAConfig.prune_above`` and ``uh_base._PRUNE_ABOVE``.)
+    on_infeasible:
+        What :meth:`UtilityRange.update` does when the new half-space
+        would empty the range (inconsistent, typically noisy, answers):
+        ``"raise"`` raises :class:`~repro.errors.EmptyRegionError`;
+        ``"drop"`` rejects the update, leaves the range unchanged and
+        returns ``False``.
+    max_halfspaces:
+        Working-set cap on the constraint list kept by
+        :class:`AmbientRange` (``None`` = unbounded).  Oldest half-spaces
+        rotate out first; dropping constraints relaxes the region — a
+        superset — so every LP surrogate stays sound.
+    """
+
+    prune_above: int = 24
+    on_infeasible: str = "raise"
+    max_halfspaces: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.prune_above < 1:
+            raise ConfigurationError(
+                f"prune_above must be >= 1, got {self.prune_above}"
+            )
+        if self.on_infeasible not in ("raise", "drop"):
+            raise ConfigurationError(
+                f"on_infeasible must be 'raise' or 'drop', "
+                f"got {self.on_infeasible!r}"
+            )
+        if self.max_halfspaces is not None and self.max_halfspaces < 1:
+            raise ConfigurationError(
+                f"max_halfspaces must be >= 1 or None, "
+                f"got {self.max_halfspaces}"
+            )
+
+
+@dataclass
+class RangeStats:
+    """Counters one range accumulates across its lifetime.
+
+    Attributes
+    ----------
+    updates:
+        :meth:`UtilityRange.update` calls received.
+    clips:
+        Updates :class:`ExactRange` resolved incrementally (vertex clip
+        or redundancy short-circuit) — i.e. without a from-scratch
+        re-enumeration.
+    rebuilds:
+        Full vertex re-enumerations: the initial enumeration plus every
+        degenerate-cut fallback.
+    rejected:
+        Updates refused because they would empty the range.
+    empties_avoided:
+        Feasibility decisions answered from vertex signs alone, where the
+        pre-refactor path solved an emptiness LP.
+    cache_hits:
+        LP solves issued by this range that the active
+        :class:`~repro.geometry.lp.LPCache` answered without solver work.
+    backend_solves:
+        Raw backend solves issued by this range (cache misses).
+    """
+
+    updates: int = 0
+    clips: int = 0
+    rebuilds: int = 0
+    rejected: int = 0
+    empties_avoided: int = 0
+    cache_hits: int = 0
+    backend_solves: int = 0
+
+    @property
+    def solves_avoided(self) -> int:
+        """LP solves this range skipped: cache hits + sign-resolved checks."""
+        return self.empties_avoided + self.cache_hits
+
+
+class UtilityRange(abc.ABC):
+    """The utility range ``R`` narrowed by one half-space per answer.
+
+    One documented update semantics for every consumer (EA previously let
+    the polytope raise while AA silently dropped): :meth:`update`
+    validates the half-space, applies it if the narrowed range stays
+    non-empty, and otherwise follows ``config.on_infeasible`` — raising
+    :class:`~repro.errors.EmptyRegionError` (``"raise"``, the default) or
+    leaving the range unchanged and returning ``False`` (``"drop"``, the
+    choice of the interactive environments, which treat a contradictory
+    answer as "stop on the last consistent range").
+
+    LP work issued by a range routes through the injected
+    :class:`~repro.geometry.lp.LPBackend` when one was given, else the
+    context's active backend; either way it flows through the active
+    :class:`~repro.geometry.lp.LPCache`, and the range's
+    :class:`RangeStats` record the split between raw solves, cache hits
+    and checks answered geometrically.  Counters are advisory: they are
+    exact for the single-threaded engine loop but make no atomicity
+    promises across threads sharing one backend.
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        config: RangeConfig | None = None,
+        backend: LPBackend | None = None,
+    ) -> None:
+        if dimension < 2:
+            raise ConfigurationError(
+                f"utility dimension must be >= 2, got {dimension}"
+            )
+        self._dimension = int(dimension)
+        self.config = config if config is not None else RangeConfig()
+        self._backend = backend
+        self.stats = RangeStats()
+
+    # -- protocol ------------------------------------------------------------
+
+    @property
+    def dimension(self) -> int:
+        """Ambient utility dimension ``d``."""
+        return self._dimension
+
+    @property
+    @abc.abstractmethod
+    def halfspaces(self) -> tuple[PreferenceHalfspace, ...]:
+        """Half-spaces currently constraining the range (provenance)."""
+
+    @abc.abstractmethod
+    def interior_point(self) -> np.ndarray:
+        """A representative utility vector inside the range (ambient)."""
+
+    @abc.abstractmethod
+    def _apply(self, halfspace: PreferenceHalfspace) -> bool:
+        """Intersect with ``halfspace`` if feasible; report success."""
+
+    def update(self, halfspace: PreferenceHalfspace) -> bool:
+        """Narrow the range by one answered question.
+
+        Returns ``True`` when the half-space was applied.  An infeasible
+        update (the intersection would be empty) leaves the range
+        unchanged and either raises
+        :class:`~repro.errors.EmptyRegionError` or returns ``False``,
+        per ``config.on_infeasible``.
+        """
+        if halfspace.dimension != self._dimension:
+            raise ConfigurationError(
+                f"half-space dimension {halfspace.dimension} does not "
+                f"match range dimension {self._dimension}"
+            )
+        self.stats.updates += 1
+        applied = self._apply(halfspace)
+        if not applied:
+            self.stats.rejected += 1
+            if self.config.on_infeasible == "raise":
+                raise EmptyRegionError(
+                    "update would empty the utility range; "
+                    "user answers are inconsistent"
+                )
+        return applied
+
+    # -- internals -----------------------------------------------------------
+
+    @contextmanager
+    def _measured(self) -> Iterator[None]:
+        """Attribute the block's LP work (solves, cache hits) to this range."""
+        context = (
+            lp.use_backend(self._backend)
+            if self._backend is not None
+            else nullcontext()
+        )
+        with context:
+            backend = lp.active_backend()
+            cache = lp.active_cache()
+            solves_before = backend.solves
+            hits_before = cache.hits if cache is not None else 0
+            try:
+                yield
+            finally:
+                self.stats.backend_solves += backend.solves - solves_before
+                if cache is not None:
+                    self.stats.cache_hits += cache.hits - hits_before
+
+
+class ExactRange(UtilityRange):
+    """Vertex-maintaining range: one clip per answer, not one rebuild.
+
+    The H-representation evolves exactly as the pre-refactor consumers
+    evolved theirs — every applied half-space is appended (redundant or
+    not) and the system is redundancy-pruned once it exceeds
+    ``config.prune_above`` rows — so Chebyshev centres and hit-and-run
+    samples are bit-identical to the from-scratch path.  What changes is
+    the vertex set: it is maintained incrementally by clipping, and a
+    full re-enumeration happens only on the first access and when a cut
+    is too degenerate to clip reliably (``stats.rebuilds`` counts both).
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        config: RangeConfig | None = None,
+        backend: LPBackend | None = None,
+    ) -> None:
+        super().__init__(dimension, config, backend)
+        self._polytope = UtilityPolytope.simplex(dimension)
+        self._reduced: np.ndarray | None = None
+        self._ambient: np.ndarray | None = None
+
+    @classmethod
+    def from_halfspaces(
+        cls,
+        dimension: int,
+        halfspaces: Sequence[PreferenceHalfspace],
+        config: RangeConfig | None = None,
+        backend: LPBackend | None = None,
+    ) -> "ExactRange":
+        """A range constrained by ``halfspaces``, without enumeration.
+
+        Vertices stay lazy (first :meth:`vertices` call enumerates), so
+        this stays usable in high dimensions for sampling-only workloads
+        such as :func:`repro.eval.metrics.worst_case_regret`.
+
+        Raises
+        ------
+        EmptyRegionError
+            If the half-spaces are inconsistent (empty intersection),
+            regardless of the ``on_infeasible`` policy: there is no
+            earlier consistent state to fall back to.
+        """
+        urange = cls(dimension, config=config, backend=backend)
+        polytope = UtilityPolytope.simplex(dimension).with_halfspaces(
+            halfspaces
+        )
+        with urange._measured():
+            if polytope.is_empty():
+                raise EmptyRegionError(
+                    "half-spaces are inconsistent: the range is empty"
+                )
+        urange._polytope = polytope
+        return urange
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def polytope(self) -> UtilityPolytope:
+        """The current range as an immutable H-polytope."""
+        return self._polytope
+
+    @property
+    def halfspaces(self) -> tuple[PreferenceHalfspace, ...]:
+        """Half-spaces applied so far (rejected updates excluded)."""
+        return self._polytope.halfspaces
+
+    def vertices(self) -> np.ndarray:
+        """Extreme utility vectors of the range, ambient, ``(m, d)``.
+
+        Maintained incrementally across :meth:`update` calls; the first
+        access triggers the one full enumeration.  Output is rounded and
+        deduplicated exactly like
+        :meth:`~repro.geometry.polytope.UtilityPolytope.vertices` (the
+        range stores unrounded representatives internally so clip error
+        does not compound).
+        """
+        if self._ambient is None:
+            reduced = np.unique(
+                np.round(self._reduced_vertices(), _DEDUP_DECIMALS), axis=0
+            )
+            self._ambient = simplex.lift_points(reduced)
+        return self._ambient.copy()
+
+    def chebyshev_center(self) -> tuple[np.ndarray, float]:
+        """Ambient Chebyshev centre and reduced-space inscribed radius."""
+        with self._measured():
+            return self._polytope.chebyshev_center()
+
+    def interior_point(self) -> np.ndarray:
+        """The Chebyshev centre of the range (ambient coordinates)."""
+        return self.chebyshev_center()[0]
+
+    def sample(self, n: int, rng: RngLike = None) -> np.ndarray:
+        """Draw ``n`` approximately uniform utility vectors from the range."""
+        with self._measured():
+            return self._polytope.sample(n, rng=rng)
+
+    def contains(self, u: np.ndarray, tol: float = 1e-9) -> bool:
+        """Ambient membership test ``u in R`` (up to ``tol``)."""
+        return self._polytope.contains(u, tol=tol)
+
+    # -- update --------------------------------------------------------------
+
+    def _apply(self, halfspace: PreferenceHalfspace) -> bool:
+        with self._measured():
+            narrowed = self._polytope.with_halfspace(halfspace)
+            reduced = self._reduced_vertices()
+            normal, offset = halfspace.reduced()
+            values = reduced @ normal - offset
+            keep = values >= -_CLIP_TOL
+            if bool(keep.all()):
+                # Redundant for the current body: no vertex moves.
+                self.stats.clips += 1
+                self.stats.empties_avoided += 1
+                self._commit(narrowed, reduced)
+                return True
+            if not bool(keep.any()):
+                # Every vertex violates: the clip says empty.  Confirm
+                # with the exact LP the pre-refactor path ran, so
+                # tolerance slivers resolve identically.
+                if narrowed.is_empty():
+                    return False
+                self._commit(narrowed, self._enumerate(narrowed))
+                return True
+            a_rows, b_rows = self._polytope.constraints
+            face = _clip_face(
+                reduced[keep], reduced[~keep], values[keep], values[~keep],
+                a_rows, b_rows,
+            )
+            if face is None:
+                # Degenerate cut: fall back to the cross-checked full
+                # enumeration rather than risk a wrong vertex set.
+                self._commit(narrowed, self._enumerate(narrowed))
+                return True
+            clipped = _unique_raw(np.vstack([reduced[keep], face]))
+            self.stats.clips += 1
+            self.stats.empties_avoided += 1
+            self._commit(narrowed, clipped)
+            return True
+
+    # -- internals -----------------------------------------------------------
+
+    def _commit(self, polytope: UtilityPolytope, reduced: np.ndarray) -> None:
+        if polytope.n_constraints > self.config.prune_above:
+            polytope = polytope.pruned()
+        self._polytope = polytope
+        self._reduced = reduced
+        self._ambient = None
+
+    def _enumerate(self, polytope: UtilityPolytope) -> np.ndarray:
+        self.stats.rebuilds += 1
+        return polytope.raw_vertices()
+
+    def _reduced_vertices(self) -> np.ndarray:
+        if self._reduced is None:
+            with self._measured():
+                self._reduced = self._enumerate(self._polytope)
+        return self._reduced
+
+    def __repr__(self) -> str:
+        return (
+            f"ExactRange(d={self._dimension}, "
+            f"answers={len(self.halfspaces)}, "
+            f"clips={self.stats.clips}, rebuilds={self.stats.rebuilds})"
+        )
+
+
+class AmbientRange(UtilityRange):
+    """Half-space-list range summarised by LP surrogates (Section IV-C).
+
+    Never materialises the polytope: the range is the intersection of the
+    utility simplex with the stored half-spaces, and everything consumers
+    need is computed by small LPs — the inner sphere, the outer
+    rectangle, and split margins certifying that a candidate plane cuts
+    the range.  This absorbs the ``lp.ambient_*`` call sites of AA,
+    SinglePass and Adaptive; with ``config.max_halfspaces`` set, the
+    constraint list becomes a working set (oldest answers rotate out,
+    soundly relaxing the region).
+    """
+
+    def __init__(
+        self,
+        dimension: int,
+        config: RangeConfig | None = None,
+        backend: LPBackend | None = None,
+    ) -> None:
+        super().__init__(dimension, config, backend)
+        self._halfspaces: list[PreferenceHalfspace] = []
+
+    @property
+    def halfspaces(self) -> tuple[PreferenceHalfspace, ...]:
+        """The current working set of half-spaces."""
+        return tuple(self._halfspaces)
+
+    def _apply(self, halfspace: PreferenceHalfspace) -> bool:
+        trial = self._halfspaces + [halfspace]
+        cap = self.config.max_halfspaces
+        if cap is not None and len(trial) > cap:
+            trial = trial[-cap:]
+        with self._measured():
+            feasible = lp.ambient_is_feasible(trial, self._dimension)
+        if not feasible:
+            return False
+        self._halfspaces = trial
+        return True
+
+    def inner_sphere(self) -> tuple[np.ndarray, float]:
+        """Inner sphere ``(B_c, B_r)`` of the range (one LP)."""
+        with self._measured():
+            return lp.ambient_inner_sphere(self._halfspaces, self._dimension)
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Outer rectangle ``(e_min, e_max)`` of the range (``2d`` LPs)."""
+        with self._measured():
+            return lp.ambient_bounds(self._halfspaces, self._dimension)
+
+    def split_margin(self, normal: np.ndarray) -> float:
+        """``max {u . normal : u in R}`` — how far ``R`` crosses the plane."""
+        with self._measured():
+            return lp.ambient_split_margin(
+                self._halfspaces, self._dimension, normal
+            )
+
+    def interior_point(self) -> np.ndarray:
+        """The inner-sphere centre of the range (ambient coordinates)."""
+        return self.inner_sphere()[0]
+
+    def __repr__(self) -> str:
+        return (
+            f"AmbientRange(d={self._dimension}, "
+            f"answers={len(self._halfspaces)})"
+        )
+
+
+def _unique_raw(points: np.ndarray) -> np.ndarray:
+    """One unrounded representative per rounded-dedup class, key-sorted.
+
+    Mirrors the ``round``/``unique`` dedup of
+    :class:`~repro.geometry.polytope.UtilityPolytope` while preserving the
+    unrounded coordinates, so repeated clipping does not accumulate grid
+    error.
+    """
+    rounded = np.round(points, _DEDUP_DECIMALS)
+    _, index = np.unique(rounded, axis=0, return_index=True)
+    return points[index]
+
+
+def _clip_face(
+    kept: np.ndarray,
+    cut: np.ndarray,
+    kept_values: np.ndarray,
+    cut_values: np.ndarray,
+    a_rows: np.ndarray,
+    b_rows: np.ndarray,
+) -> np.ndarray | None:
+    """Vertices of the cut face ``conv(V) ∩ plane``, or ``None`` if unclear.
+
+    Every kept–cut segment crosses the plane inside the body (convexity),
+    and every genuine cut-face vertex lies on a polytope edge between a
+    kept and a cut vertex — so intersecting *all* kept–cut segments with
+    the plane yields a superset of the face's vertices.  Two pruning
+    passes recover exactly the face: an edge test (a true crossing has
+    ``>= dim-1`` existing facets tight, a non-adjacent pair's crossing
+    falls in the face's interior and does not) and an extreme-point
+    extraction discarding whatever interior candidates remain.
+    """
+    t = kept_values[:, None] / (kept_values[:, None] - cut_values[None, :])
+    segments = (
+        kept[:, None, :] * (1.0 - t[..., None]) + cut[None, :, :] * t[..., None]
+    )
+    dim = kept.shape[1]
+    candidates = _unique_raw(segments.reshape(-1, dim))
+    if dim > 1:
+        tight = np.abs(candidates @ a_rows.T - b_rows[None, :]) <= _TIGHT_TOL
+        candidates = candidates[tight.sum(axis=1) >= dim - 1]
+        if candidates.shape[0] == 0:
+            return None
+    return _extreme_points(candidates)
+
+
+def _extreme_points(points: np.ndarray) -> np.ndarray | None:
+    """Extreme points of a point set lying on an affine flat.
+
+    Projects onto the flat's principal directions (SVD) so flats of any
+    dimension — cut faces, edges, single points — are handled uniformly.
+    Returns ``None`` when Qhull cannot certify the hull (degenerate
+    spans); callers fall back to a full enumeration.
+    """
+    if points.shape[0] <= 2:
+        return points
+    centered = points - points.mean(axis=0)
+    _, singular, directions = np.linalg.svd(centered, full_matrices=False)
+    span = directions[singular > _RANK_TOL]
+    rank = span.shape[0]
+    if rank == 0:
+        return points[:1]
+    coordinates = centered @ span.T
+    if rank == 1:
+        line = coordinates[:, 0]
+        ends = np.unique([int(np.argmin(line)), int(np.argmax(line))])
+        return points[ends]
+    try:
+        hull = ConvexHull(coordinates)
+    except QhullError:
+        return None
+    return points[np.sort(hull.vertices)]
+
+
+#: Re-export so range consumers need only this module for the seam.
+__all__ = [
+    "RangeConfig",
+    "RangeStats",
+    "UtilityRange",
+    "ExactRange",
+    "AmbientRange",
+    "LPBackend",
+]

@@ -87,6 +87,7 @@ def load_agent(path: str | Path) -> "EAAgent | AAAgent":
     """Load an agent previously written by :func:`save_agent`."""
     from repro.core.aa import AAAgent, AAConfig
     from repro.core.ea import EAAgent, EAConfig
+    from repro.geometry.range import RangeConfig
 
     path = Path(path)
     with np.load(path, allow_pickle=False) as archive:
@@ -121,9 +122,11 @@ def load_agent(path: str | Path) -> "EAAgent | AAAgent":
     _install_parameters(dqn.network, weights, biases)
     dqn.sync_target()
     if meta["algorithm"] == "EA":
-        return EAAgent(
-            dataset=dataset, config=EAConfig(**meta["config"]), dqn=dqn
-        )
+        fields = dict(meta["config"])
+        # Nested dataclasses flatten to dicts in the JSON header.
+        if isinstance(fields.get("range_config"), dict):
+            fields["range_config"] = RangeConfig(**fields["range_config"])
+        return EAAgent(dataset=dataset, config=EAConfig(**fields), dqn=dqn)
     if meta["algorithm"] == "AA":
         return AAAgent(
             dataset=dataset, config=AAConfig(**meta["config"]), dqn=dqn

@@ -436,11 +436,35 @@ class SessionEngine:
         slot.metrics.rounds = slot.algorithm.rounds
         slot.metrics.wall_seconds = time.perf_counter() - started
         slot.metrics.agent_seconds = slot.agent_seconds
+        self._record_range(slot, metrics)
         result = failed_session_result(
             slot.algorithm, error, slot.agent_seconds, trace=slot.records
         )
         result.metrics = slot.metrics
         results[slot.index] = result
+
+    @staticmethod
+    def _record_range(slot: _Slot, metrics: EngineMetrics) -> None:
+        """Copy the slot's utility-range counters into its metrics.
+
+        Algorithms exposing a ``utility_range`` (EA, AA, the UH variants,
+        SinglePass, Adaptive — directly or through :class:`RLPolicy`)
+        contribute their :class:`~repro.geometry.range.RangeStats`;
+        anything else (e.g. a retried session wrapped in
+        :class:`~repro.core.robust.MajorityVoteSession`) is skipped.
+        """
+        urange = getattr(slot.algorithm, "utility_range", None)
+        stats = getattr(urange, "stats", None)
+        if stats is None:
+            return
+        slot.metrics.range_updates = stats.updates
+        slot.metrics.range_clips = stats.clips
+        slot.metrics.range_rebuilds = stats.rebuilds
+        slot.metrics.range_solves_avoided = stats.solves_avoided
+        metrics.range_updates += stats.updates
+        metrics.range_clips += stats.clips
+        metrics.range_rebuilds += stats.rebuilds
+        metrics.range_solves_avoided += stats.solves_avoided
 
     def _retry_slot(self, slot: _Slot) -> _Slot:
         """A fresh slot re-running ``slot``'s session under majority voting."""
@@ -474,6 +498,7 @@ class SessionEngine:
         slot.metrics.rounds = slot.algorithm.rounds
         slot.metrics.wall_seconds = time.perf_counter() - started
         slot.metrics.agent_seconds = slot.agent_seconds
+        self._record_range(slot, metrics)
         if truncated:
             metrics.truncated += 1
             status = "truncated"

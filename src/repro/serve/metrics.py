@@ -44,6 +44,17 @@ class SessionMetrics:
     retries:
         Recovery attempts consumed before this session's final outcome
         (0 for sessions that never failed).
+    range_updates:
+        Half-space updates the session's utility range received (0 for
+        algorithms that do not expose a range).
+    range_clips:
+        Updates the range resolved incrementally — a vertex clip or a
+        redundancy short-circuit instead of a from-scratch enumeration.
+    range_rebuilds:
+        Updates that fell back to a full vertex re-enumeration.
+    range_solves_avoided:
+        LP solves the range skipped (cache hits plus emptiness checks
+        resolved by vertex signs).
     """
 
     session_id: int
@@ -52,6 +63,10 @@ class SessionMetrics:
     agent_seconds: float = 0.0
     batched_rounds: int = 0
     retries: int = 0
+    range_updates: int = 0
+    range_clips: int = 0
+    range_rebuilds: int = 0
+    range_solves_avoided: int = 0
 
 
 @dataclass
@@ -120,6 +135,14 @@ class EngineMetrics:
         LP solves routed through the engine's cache (0 with caching off).
     lp_cache_hits:
         Routed solves answered from the cache.
+    range_updates:
+        Utility-range updates summed over every range-carrying session.
+    range_clips:
+        Range updates resolved incrementally (no re-enumeration).
+    range_rebuilds:
+        Range updates that re-enumerated vertices from scratch.
+    range_solves_avoided:
+        LP solves the ranges skipped, summed over sessions.
     wall_seconds:
         End-to-end duration of the run.
     """
@@ -138,6 +161,10 @@ class EngineMetrics:
     peak_batch: int = 0
     lp_solves: int = 0
     lp_cache_hits: int = 0
+    range_updates: int = 0
+    range_clips: int = 0
+    range_rebuilds: int = 0
+    range_solves_avoided: int = 0
     wall_seconds: float = 0.0
     per_session: list[SessionMetrics] = field(default_factory=list)
 
@@ -162,6 +189,13 @@ class EngineMetrics:
     def lp_hit_rate(self) -> float:
         """Fraction of routed LP solves answered from the cache."""
         return self.lp_cache_hits / self.lp_solves if self.lp_solves else 0.0
+
+    @property
+    def range_clip_rate(self) -> float:
+        """Fraction of range updates resolved without a re-enumeration."""
+        if not self.range_updates:
+            return 0.0
+        return self.range_clips / self.range_updates
 
     @property
     def sessions_per_second(self) -> float:
@@ -196,6 +230,14 @@ class EngineMetrics:
             f"LP solves: {self.lp_solves}, cache hits: {self.lp_cache_hits} "
             f"(hit rate {self.lp_hit_rate:.1%})",
         ]
+        if self.range_updates:
+            lines.append(
+                f"range updates: {self.range_updates} "
+                f"({self.range_clips} clipped, "
+                f"{self.range_rebuilds} rebuilt, "
+                f"clip rate {self.range_clip_rate:.1%}); "
+                f"LP solves avoided: {self.range_solves_avoided}"
+            )
         if self.failed or self.retries or self.recovered:
             lines.append(
                 f"faults: {len(self.errors)} errors, "

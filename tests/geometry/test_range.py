@@ -1,0 +1,359 @@
+"""Tests for the incremental utility-range abstraction.
+
+The load-bearing property is *clip == rebuild*: an
+:class:`~repro.geometry.range.ExactRange` that maintains its vertex set
+incrementally must round to exactly the vertex set a from-scratch
+:class:`~repro.geometry.polytope.UtilityPolytope` enumeration produces
+after the same answer sequence — otherwise the refactor silently changes
+every algorithm built on top of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, EmptyRegionError
+from repro.geometry import lp
+from repro.geometry.hyperplane import preference_halfspace
+from repro.geometry.lp import ScipyHighsBackend
+from repro.geometry.polytope import UtilityPolytope
+from repro.geometry.range import AmbientRange, ExactRange, RangeConfig
+
+
+def random_halfspaces(d: int, count: int, seed: int) -> list:
+    """Deterministic random preference half-spaces in dimension ``d``."""
+    rng = np.random.default_rng(seed)
+    spaces = []
+    for _ in range(count):
+        a, b = rng.uniform(0.01, 1.0, size=(2, d))
+        if not np.allclose(a, b):
+            spaces.append(preference_halfspace(a, b))
+    return spaces
+
+
+def reference_vertices(d: int, halfspaces: list) -> np.ndarray:
+    """The pre-refactor path: feasibility-check + re-enumerate each step."""
+    poly = UtilityPolytope.simplex(d)
+    for halfspace in halfspaces:
+        narrowed = poly.with_halfspace(halfspace)
+        if narrowed.is_empty():
+            continue
+        poly = narrowed
+    return poly.vertices()
+
+
+class TestRangeConfig:
+    def test_defaults(self):
+        config = RangeConfig()
+        assert config.prune_above == 24
+        assert config.on_infeasible == "raise"
+        assert config.max_halfspaces is None
+
+    def test_rejects_bad_prune_above(self):
+        with pytest.raises(ConfigurationError):
+            RangeConfig(prune_above=0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            RangeConfig(on_infeasible="ignore")
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(ConfigurationError):
+            RangeConfig(max_halfspaces=0)
+
+
+class TestExactRangeBasics:
+    def test_starts_at_simplex(self):
+        urange = ExactRange(3)
+        vertices = urange.vertices()
+        assert vertices.shape == (3, 3)
+        np.testing.assert_allclose(vertices.sum(axis=1), np.ones(3), atol=1e-9)
+
+    def test_rejects_low_dimension(self):
+        with pytest.raises(ConfigurationError):
+            ExactRange(1)
+
+    def test_rejects_mismatched_halfspace(self):
+        urange = ExactRange(3)
+        halfspace = random_halfspaces(4, 1, seed=0)[0]
+        with pytest.raises(ConfigurationError):
+            urange.update(halfspace)
+
+    def test_update_narrows_and_counts(self):
+        urange = ExactRange(4, config=RangeConfig(on_infeasible="drop"))
+        urange.vertices()  # trigger the initial enumeration
+        applied = sum(
+            urange.update(halfspace)
+            for halfspace in random_halfspaces(4, 4, seed=1)
+        )
+        stats = urange.stats
+        assert stats.updates == 4
+        assert stats.rejected == 4 - applied
+        assert stats.clips + stats.rebuilds - 1 >= applied
+        assert len(urange.halfspaces) == applied
+
+    def test_interior_point_is_contained(self):
+        urange = ExactRange(3, config=RangeConfig(on_infeasible="drop"))
+        for halfspace in random_halfspaces(3, 3, seed=2):
+            urange.update(halfspace)
+        assert urange.contains(urange.interior_point(), tol=1e-7)
+
+    def test_sample_stays_inside(self):
+        urange = ExactRange(3)
+        for halfspace in random_halfspaces(3, 2, seed=3):
+            urange.update(halfspace)
+        samples = urange.sample(16, rng=0)
+        assert samples.shape == (16, 3)
+        for sample in samples:
+            assert urange.contains(sample, tol=1e-6)
+
+    def test_matches_polytope_sample_bitwise(self):
+        """Hit-and-run through the range equals the from-scratch polytope."""
+        spaces = random_halfspaces(3, 3, seed=4)
+        urange = ExactRange(3)
+        poly = UtilityPolytope.simplex(3)
+        for halfspace in spaces:
+            urange.update(halfspace)
+            poly = poly.with_halfspace(halfspace)
+        assert np.array_equal(urange.sample(8, rng=7), poly.sample(8, rng=7))
+        ours = urange.chebyshev_center()
+        theirs = poly.chebyshev_center()
+        assert np.array_equal(ours[0], theirs[0]) and ours[1] == theirs[1]
+
+
+class TestInfeasiblePolicy:
+    def _contradiction(self, d: int):
+        # ``a`` dominates ``b``, so "b preferred" empties any range; the
+        # forward answer is redundant and always applies.
+        rng = np.random.default_rng(5)
+        b = rng.uniform(0.05, 0.8, size=d)
+        a = b + 0.1
+        forward = preference_halfspace(a, b)
+        backward = preference_halfspace(b, a)
+        return forward, backward
+
+    def test_raise_policy(self):
+        forward, backward = self._contradiction(3)
+        urange = ExactRange(3, config=RangeConfig(on_infeasible="raise"))
+        urange.update(forward)
+        with pytest.raises(EmptyRegionError):
+            urange.update(backward)
+
+    def test_drop_policy_keeps_state(self):
+        forward, backward = self._contradiction(3)
+        urange = ExactRange(3, config=RangeConfig(on_infeasible="drop"))
+        urange.update(forward)
+        before = urange.vertices()
+        assert not urange.update(backward)
+        assert urange.stats.rejected == 1
+        assert np.array_equal(urange.vertices(), before)
+        assert len(urange.halfspaces) == 1
+
+    def test_ambient_drop_policy(self):
+        forward, backward = self._contradiction(4)
+        urange = AmbientRange(4, config=RangeConfig(on_infeasible="drop"))
+        urange.update(forward)
+        assert not urange.update(backward)
+        assert urange.halfspaces == (forward,)
+
+    def test_ambient_raise_policy(self):
+        forward, backward = self._contradiction(4)
+        urange = AmbientRange(4)
+        urange.update(forward)
+        with pytest.raises(EmptyRegionError):
+            urange.update(backward)
+
+
+class TestClipMatchesRebuild:
+    """The tentpole property: incremental clips == from-scratch enumeration."""
+
+    @pytest.mark.parametrize("d", [2, 3, 4, 5, 6])
+    def test_random_sequences(self, d):
+        for seed in range(3):
+            spaces = random_halfspaces(d, 12, seed=100 * d + seed)
+            urange = ExactRange(d, config=RangeConfig(on_infeasible="drop"))
+            for halfspace in spaces:
+                urange.update(halfspace)
+            assert np.array_equal(
+                urange.vertices(), reference_vertices(d, spaces)
+            )
+
+    @pytest.mark.parametrize("d", [3, 4])
+    def test_long_sequence_exercises_prune(self, d):
+        # > prune_above constraints: the H-system must prune identically.
+        spaces = random_halfspaces(d, 30, seed=11 * d)
+        urange = ExactRange(d, config=RangeConfig(on_infeasible="drop"))
+        for halfspace in spaces:
+            urange.update(halfspace)
+        assert np.array_equal(urange.vertices(), reference_vertices(d, spaces))
+
+    def test_contradictory_sequence(self, ):
+        # Opposite answers drive the range to (near) emptiness; the
+        # surviving vertex set must still match the reference path.
+        rng = np.random.default_rng(17)
+        spaces = []
+        for _ in range(6):
+            a, b = rng.uniform(0.05, 1.0, size=(2, 4))
+            spaces.append(preference_halfspace(a, b))
+            spaces.append(preference_halfspace(b, a))
+        urange = ExactRange(4, config=RangeConfig(on_infeasible="drop"))
+        for halfspace in spaces:
+            urange.update(halfspace)
+        assert np.array_equal(urange.vertices(), reference_vertices(4, spaces))
+        assert urange.stats.rejected > 0
+
+    def test_near_parallel_cuts(self):
+        # Nearly parallel planes produce sliver faces — the classic
+        # degenerate-clip case; fallbacks must keep the sets identical.
+        base = np.array([0.9, 0.5, 0.3])
+        spaces = []
+        for k in range(6):
+            other = base + 1e-4 * (k + 1) * np.array([1.0, -1.0, 0.5])
+            spaces.append(preference_halfspace(base, other))
+        urange = ExactRange(3, config=RangeConfig(on_infeasible="drop"))
+        for halfspace in spaces:
+            urange.update(halfspace)
+        assert np.array_equal(urange.vertices(), reference_vertices(3, spaces))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        d=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        count=st.integers(min_value=1, max_value=15),
+    )
+    def test_property_random_clip_equals_rebuild(self, d, seed, count):
+        """Seeded property sweep over dimensions and sequence lengths."""
+        spaces = random_halfspaces(d, count, seed=seed)
+        urange = ExactRange(d, config=RangeConfig(on_infeasible="drop"))
+        for halfspace in spaces:
+            urange.update(halfspace)
+        assert np.array_equal(urange.vertices(), reference_vertices(d, spaces))
+
+
+class TestFromHalfspaces:
+    def test_lazy_construction(self):
+        # Keep only a consistent prefix so the construction is feasible.
+        spaces = []
+        poly = UtilityPolytope.simplex(4)
+        for halfspace in random_halfspaces(4, 8, seed=6):
+            narrowed = poly.with_halfspace(halfspace)
+            if not narrowed.is_empty():
+                poly = narrowed
+                spaces.append(halfspace)
+        urange = ExactRange.from_halfspaces(4, spaces)
+        # Only the feasibility LP ran; no enumeration yet.
+        assert urange.stats.rebuilds == 0
+        reference = UtilityPolytope.simplex(4).with_halfspaces(spaces)
+        assert np.array_equal(urange.vertices(), reference.vertices())
+
+    def test_inconsistent_raises_even_when_dropping(self):
+        # b + 0.1 dominates b, so "b preferred" is infeasible on its own.
+        rng = np.random.default_rng(7)
+        b = rng.uniform(0.05, 0.8, size=3)
+        a = b + 0.1
+        spaces = [preference_halfspace(a, b), preference_halfspace(b, a)]
+        with pytest.raises(EmptyRegionError):
+            ExactRange.from_halfspaces(
+                3, spaces, config=RangeConfig(on_infeasible="drop")
+            )
+
+    def test_high_dimension_sampling(self):
+        # Sampling-only workloads must not enumerate vertices.
+        spaces = random_halfspaces(12, 6, seed=8)
+        urange = ExactRange.from_halfspaces(12, spaces)
+        samples = urange.sample(8, rng=0)
+        assert samples.shape == (8, 12)
+        assert urange.stats.rebuilds == 0
+
+
+class TestAmbientRange:
+    def test_surrogates_match_lp_helpers(self):
+        spaces = random_halfspaces(6, 5, seed=9)
+        urange = AmbientRange(6, config=RangeConfig(on_infeasible="drop"))
+        for halfspace in spaces:
+            urange.update(halfspace)
+        kept = list(urange.halfspaces)
+        center, radius = urange.inner_sphere()
+        ref_center, ref_radius = lp.ambient_inner_sphere(kept, 6)
+        assert np.array_equal(center, ref_center) and radius == ref_radius
+        e_min, e_max = urange.bounds()
+        ref_min, ref_max = lp.ambient_bounds(kept, 6)
+        assert np.array_equal(e_min, ref_min) and np.array_equal(e_max, ref_max)
+        normal = np.arange(6, dtype=float) - 2.5
+        assert urange.split_margin(normal) == lp.ambient_split_margin(
+            kept, 6, normal
+        )
+
+    def test_interior_point_is_sphere_center(self):
+        urange = AmbientRange(4)
+        assert np.array_equal(urange.interior_point(), urange.inner_sphere()[0])
+
+    def test_working_set_cap_rotates_oldest(self):
+        spaces = random_halfspaces(5, 8, seed=10)
+        urange = AmbientRange(
+            5, config=RangeConfig(on_infeasible="drop", max_halfspaces=3)
+        )
+        applied = [h for h in spaces if urange.update(h)]
+        assert len(urange.halfspaces) == 3
+        assert urange.halfspaces == tuple(applied[-3:])
+
+    def test_cap_applied_before_feasibility(self):
+        # With a cap, an answer contradicting only *rotated-out*
+        # constraints is accepted: feasibility is judged on the capped
+        # trial list (matching the old SinglePass working-set semantics).
+        # The strict cycle u1 >= u2 >= u3 >= 1.2 u1 is empty as a whole
+        # but every two-constraint subset has interior.
+        base = np.full(3, 0.5)
+        cycle = [
+            np.array([0.2, -0.2, 0.0]),   # u1 >= u2
+            np.array([0.0, 0.2, -0.2]),   # u2 >= u3
+            np.array([-0.3, 0.0, 0.25]),  # u3 >= 1.2 u1
+        ]
+        spaces = [preference_halfspace(base + n, base) for n in cycle]
+        uncapped = AmbientRange(3, config=RangeConfig(on_infeasible="drop"))
+        for halfspace in spaces[:2]:
+            assert uncapped.update(halfspace)
+        assert not uncapped.update(spaces[2])
+        capped = AmbientRange(3, config=RangeConfig(max_halfspaces=2))
+        for halfspace in spaces:
+            assert capped.update(halfspace)
+        assert capped.halfspaces == tuple(spaces[1:])
+
+
+class TestBackendSeam:
+    def test_per_range_backend_counts_solves(self):
+        backend = ScipyHighsBackend()
+        urange = AmbientRange(4, backend=backend)
+        urange.inner_sphere()
+        assert backend.solves > 0
+        assert urange.stats.backend_solves == backend.solves
+
+    def test_use_backend_context(self):
+        backend = ScipyHighsBackend()
+        with lp.use_backend(backend):
+            urange = ExactRange(3)
+            urange.chebyshev_center()
+        assert backend.solves > 0
+        assert urange.stats.backend_solves == backend.solves
+
+    def test_cache_hits_attributed(self):
+        cache = lp.LPCache()
+        urange = AmbientRange(4)
+        with lp.use_cache(cache):
+            urange.bounds()
+            urange.bounds()
+        assert urange.stats.cache_hits > 0
+        assert urange.stats.solves_avoided >= urange.stats.cache_hits
+
+    def test_clip_avoids_emptiness_solves(self):
+        urange = ExactRange(4)
+        urange.vertices()
+        solved_before = urange.stats.backend_solves
+        for halfspace in random_halfspaces(4, 6, seed=13):
+            urange.update(halfspace)
+        assert urange.stats.empties_avoided > 0
+        # Clip-resolved updates issue no feasibility LPs of their own.
+        assert urange.stats.backend_solves == solved_before

@@ -142,6 +142,30 @@ class TestMetrics:
             assert result.metrics.rounds == result.rounds
             assert result.metrics.batched_rounds > 0
 
+    def test_range_counters_collected(self, trained_ea_3d, small_anti_3d):
+        users = _hidden_users(small_anti_3d.dimension)
+        engine = SessionEngine()
+        results = engine.run(
+            [
+                (trained_ea_3d.new_session(rng=seed), user)
+                for seed, user in enumerate(users)
+            ]
+        )
+        metrics = engine.last_metrics
+        assert metrics.range_updates >= metrics.rounds_total
+        assert metrics.range_clips + metrics.range_rebuilds > 0
+        assert 0.0 <= metrics.range_clip_rate <= 1.0
+        assert metrics.range_updates == sum(
+            r.metrics.range_updates for r in results
+        )
+        assert metrics.range_solves_avoided == sum(
+            r.metrics.range_solves_avoided for r in results
+        )
+        assert any(
+            line.startswith("range updates:")
+            for line in metrics.summary_lines()
+        )
+
     def test_shared_cache_accumulates(self, trained_aa_3d, small_anti_3d):
         cache = LPCache()
         users = _hidden_users(small_anti_3d.dimension)
