@@ -190,15 +190,37 @@ def evaluate_cell(
 # ---------------------------------------------------------------------------
 
 def report(figure: str, headers, rows, notes: str = "") -> None:
-    """Print a figure's table and persist it under benchmarks/results/."""
+    """Print a figure's table and persist it under benchmarks/results/.
+
+    Two artifacts per figure: the human-readable ``<figure>.txt`` table
+    (unchanged) and a versioned machine-readable
+    ``BENCH_<figure>.json`` snapshot (see :mod:`repro.obs.snapshot`)
+    whose ``tables`` section holds the same rows keyed by header, so
+    runs are diffable and scripts never re-parse the text table.
+    """
+    from repro.obs.snapshot import write_snapshot
+
     scale = "paper" if PAPER_SCALE else "reduced"
     table = format_table(headers, rows, title=f"{figure}  [{scale} scale]")
     if notes:
         table = f"{table}\n{notes}"
     print(f"\n{table}")
     RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{figure.split()[0].lower()}.txt"
+    name = figure.split()[0].lower()
+    path = RESULTS_DIR / f"{name}.txt"
     path.write_text(table + "\n")
+    write_snapshot(
+        RESULTS_DIR,
+        name,
+        config={"figure": figure, "scale": scale, "seed": BENCH_SEED},
+        tables={
+            "headers": list(headers),
+            "rows": [
+                dict(zip(headers, row, strict=False)) for row in rows
+            ],
+        },
+        notes=notes,
+    )
 
 
 def one_session_runner(method: str, dataset, dataset_key: str, epsilon: float):

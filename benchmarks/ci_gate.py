@@ -1,0 +1,265 @@
+"""CI performance-regression gate over BENCH snapshots.
+
+Two subcommands, wired into ``.github/workflows/ci.yml``:
+
+``run``
+    Execute the gate workload — a small, fixed-seed EA serve-bench
+    (traced, so the snapshot carries span aggregates) plus the
+    clip-vs-rebuild micro-geometry comparison — and write the result as
+    a versioned ``BENCH_ci.json`` snapshot (see
+    :mod:`repro.obs.snapshot`).
+
+``check``
+    Compare a freshly produced snapshot against the committed baseline
+    ``benchmarks/baselines/ci.json``.  Deterministic counters (LP cache
+    hit rate, range clip rate, rounds, waves) must match the baseline
+    *exactly* — a fixed seed makes them machine-independent, so any
+    drift is a behaviour change, not noise.  Wall-clock timings are
+    only ratio-gated: a wave-latency or end-to-end slowdown beyond
+    ``--max-slowdown`` (default 2.0x) fails, as does the incremental
+    clip path losing more than half of its speedup over from-scratch
+    re-enumeration.
+
+Refreshing the baseline after an intentional perf/behaviour change::
+
+    PYTHONPATH=src python benchmarks/ci_gate.py run \
+        --out benchmarks/baselines/ci.json
+
+The workload is sized to finish in well under a minute so the gate can
+run on every pull request.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+#: Workload parameters; changing any of these requires a baseline refresh.
+GATE_CONFIG = {
+    "algorithm": "ea",
+    "answers": 8,
+    "dataset": "anti:300:3",
+    "dimension": 4,
+    "episodes": 2,
+    "epsilon": 0.1,
+    "micro_repeats": 3,
+    "seed": 0,
+    "sessions": 6,
+}
+
+#: Counters compared exactly against the baseline (seed-deterministic).
+EXACT_COUNTERS = (
+    "lp_hit_rate",
+    "range_clip_rate",
+    "rounds_total",
+    "waves",
+    "lp_solves",
+    "range_clips",
+    "range_rebuilds",
+)
+
+#: Timings gated by ratio only (candidate may be up to ``max_slowdown``
+#: times the baseline).
+RATIO_TIMINGS = ("wave_latency_seconds", "wall_seconds")
+
+
+def _micro_clip_vs_rebuild(d: int, answers: int, repeats: int) -> dict:
+    """Best-of-``repeats`` seconds for incremental clips vs full rebuilds."""
+    import numpy as np
+
+    from repro.geometry.hyperplane import preference_halfspace
+    from repro.geometry.polytope import UtilityPolytope
+    from repro.geometry.range import ExactRange
+
+    rng = np.random.default_rng(4)
+    poly = UtilityPolytope.simplex(d)
+    spaces = []
+    while len(spaces) < answers:
+        a, b = rng.uniform(0.05, 1.0, size=(2, d))
+        if np.allclose(a, b):
+            continue
+        halfspace = preference_halfspace(a, b)
+        candidate = poly.with_halfspace(halfspace)
+        if not candidate.is_empty():
+            poly = candidate
+            spaces.append(halfspace)
+
+    def clip_session() -> None:
+        urange = ExactRange(d)
+        for halfspace in spaces:
+            urange.update(halfspace)
+            urange.vertices()
+
+    def rebuild_session() -> None:
+        fresh = UtilityPolytope.simplex(d)
+        for halfspace in spaces:
+            narrowed = fresh.with_halfspace(halfspace)
+            if narrowed.is_empty():
+                continue
+            fresh = narrowed
+            fresh.vertices()
+
+    def best_of(work) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            work()
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    clip_seconds = best_of(clip_session)
+    rebuild_seconds = best_of(rebuild_session)
+    return {
+        "clip_seconds": clip_seconds,
+        "rebuild_seconds": rebuild_seconds,
+        "clip_speedup": (
+            rebuild_seconds / clip_seconds if clip_seconds > 0 else 0.0
+        ),
+    }
+
+
+def run_gate(out: Path) -> Path:
+    """Run the gate workload and write the snapshot to ``out``."""
+    from repro.cli import _resolve_dataset
+    from repro.obs.export import aggregate_report
+    from repro.obs.snapshot import write_snapshot
+    from repro.obs.tracer import Tracer, use_tracer
+    from repro.serve import run_serve_bench
+
+    dataset = _resolve_dataset(GATE_CONFIG["dataset"])
+    tracer = Tracer()
+    with use_tracer(tracer):
+        report = run_serve_bench(
+            dataset,
+            sessions=GATE_CONFIG["sessions"],
+            algorithm=GATE_CONFIG["algorithm"],
+            epsilon=GATE_CONFIG["epsilon"],
+            episodes=GATE_CONFIG["episodes"],
+            seed=GATE_CONFIG["seed"],
+        )
+        sections = report.snapshot_sections()
+    micro = _micro_clip_vs_rebuild(
+        GATE_CONFIG["dimension"],
+        GATE_CONFIG["answers"],
+        GATE_CONFIG["micro_repeats"],
+    )
+    timings = dict(sections["timings"])
+    timings.update(micro)
+    return write_snapshot(
+        out,
+        "ci",
+        config=GATE_CONFIG,
+        timings=timings,
+        counters=sections["counters"],
+        obs=aggregate_report(tracer),
+        notes="CI perf gate; refresh via benchmarks/ci_gate.py run",
+    )
+
+
+def check_gate(
+    candidate_path: Path, baseline_path: Path, max_slowdown: float
+) -> int:
+    """Gate ``candidate_path`` against ``baseline_path``; 0 when clean."""
+    from repro.obs.snapshot import load_snapshot
+
+    candidate = load_snapshot(candidate_path)
+    baseline = load_snapshot(baseline_path)
+    failures: list[str] = []
+    if candidate.get("config") != baseline.get("config"):
+        failures.append(
+            "gate config drifted from the baseline's — refresh "
+            f"{baseline_path} with `benchmarks/ci_gate.py run`"
+        )
+    got_counters = candidate.get("counters", {})
+    want_counters = baseline.get("counters", {})
+    for key in EXACT_COUNTERS:
+        got, want = got_counters.get(key), want_counters.get(key)
+        status = "ok" if got == want else "FAIL"
+        print(f"  [{status}] counter {key}: {got} (baseline {want})")
+        if got != want:
+            failures.append(
+                f"counter {key} = {got} != baseline {want} "
+                "(deterministic; a real behaviour change)"
+            )
+    got_timings = candidate.get("timings", {})
+    want_timings = baseline.get("timings", {})
+    for key in RATIO_TIMINGS:
+        got, want = got_timings.get(key), want_timings.get(key)
+        if not isinstance(got, (int, float)) or not isinstance(
+            want, (int, float)
+        ):
+            failures.append(f"timing {key} missing from candidate or baseline")
+            continue
+        limit = want * max_slowdown
+        status = "ok" if got <= limit else "FAIL"
+        print(
+            f"  [{status}] timing {key}: {got:.4f}s "
+            f"(baseline {want:.4f}s, limit {limit:.4f}s)"
+        )
+        if got > limit:
+            failures.append(
+                f"timing {key} = {got:.4f}s exceeds "
+                f"{max_slowdown:.1f}x baseline ({want:.4f}s)"
+            )
+    got_speedup = got_timings.get("clip_speedup")
+    want_speedup = want_timings.get("clip_speedup")
+    if isinstance(got_speedup, (int, float)) and isinstance(
+        want_speedup, (int, float)
+    ):
+        floor = want_speedup / max_slowdown
+        status = "ok" if got_speedup >= floor else "FAIL"
+        print(
+            f"  [{status}] clip_speedup: {got_speedup:.2f}x "
+            f"(baseline {want_speedup:.2f}x, floor {floor:.2f}x)"
+        )
+        if got_speedup < floor:
+            failures.append(
+                f"clip-vs-rebuild speedup {got_speedup:.2f}x fell below "
+                f"{floor:.2f}x (baseline {want_speedup:.2f}x)"
+            )
+    else:
+        failures.append("clip_speedup missing from candidate or baseline")
+    if failures:
+        print("\nperf gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point: ``ci_gate.py run|check ...``."""
+    parser = argparse.ArgumentParser(
+        description="CI perf-regression gate over BENCH snapshots"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    run = commands.add_parser("run", help="run the gate workload")
+    run.add_argument(
+        "--out",
+        default="benchmarks/BENCH_ci.json",
+        help="snapshot output (directory or .json path)",
+    )
+    check = commands.add_parser("check", help="compare against the baseline")
+    check.add_argument("--candidate", default="benchmarks/BENCH_ci.json")
+    check.add_argument("--baseline", default="benchmarks/baselines/ci.json")
+    check.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=2.0,
+        help="ratio limit for wall-clock timings (default 2.0)",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        written = run_gate(Path(args.out))
+        print(f"gate snapshot written to {written}")
+        return 0
+    return check_gate(
+        Path(args.candidate), Path(args.baseline), args.max_slowdown
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

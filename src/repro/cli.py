@@ -12,7 +12,14 @@ Commands
               dataset and print the table.
 ``serve-bench``  Drive many concurrent simulated users through one
               trained agent via the session engine and report
-              throughput, LP cache hit rate and batch occupancy.
+              throughput, LP cache hit rate and batch occupancy
+              (``--snapshot`` additionally writes a versioned
+              ``BENCH_*.json`` perf snapshot).
+``profile``   Run the serve-bench workload under a
+              :class:`~repro.obs.tracer.Tracer` and export a Chrome
+              ``trace_event`` file (plus an optional aggregate JSON):
+              per-wave Q-scoring, LP solves split by kind and cache
+              hit/miss, and range clip/rebuild breakdowns.
 
 Examples
 --------
@@ -23,6 +30,7 @@ Examples
     python -m repro search car_ea.npz --seed 7
     python -m repro compare --dataset anti:2000:3 --epsilon 0.1
     python -m repro serve-bench --dataset anti:2000:3 --sessions 64
+    python -m repro profile --dataset anti:500:3 --out trace.json
 """
 
 from __future__ import annotations
@@ -47,6 +55,12 @@ from repro.eval.experiments import (
 )
 from repro.eval.reporting import format_table
 from repro.geometry.vectors import regret_ratio
+from repro.obs.export import (
+    summary_lines,
+    write_aggregate,
+    write_chrome_trace,
+)
+from repro.obs.tracer import Tracer, use_tracer
 from repro.registry import make_config, make_trainer
 from repro.rl.serialization import load_agent, save_agent
 from repro.serve import run_serve_bench
@@ -172,6 +186,44 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     )
     for line in report.lines():
         print(line)
+    if args.snapshot:
+        written = report.write_snapshot(args.snapshot)
+        print(f"snapshot written to {written}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    dataset = _resolve_dataset(args.dataset)
+    print(
+        f"profile: tracing {args.algorithm} train + serve on {dataset.name} "
+        f"({args.episodes} episodes, {args.sessions} sessions) ..."
+    )
+    tracer = Tracer()
+    with use_tracer(tracer):
+        report = run_serve_bench(
+            dataset,
+            sessions=args.sessions,
+            algorithm=args.algorithm,
+            epsilon=args.epsilon,
+            episodes=args.episodes,
+            seed=args.seed,
+        )
+        for line in report.lines():
+            print(line)
+        if args.snapshot:
+            written = report.write_snapshot(args.snapshot, name="profile")
+            print(f"snapshot written to {written}")
+    print()
+    for line in summary_lines(tracer):
+        print(line)
+    trace_path = write_chrome_trace(tracer, args.out)
+    print(
+        f"chrome trace written to {trace_path} "
+        "(load in chrome://tracing or ui.perfetto.dev)"
+    )
+    if args.aggregate:
+        aggregate_path = write_aggregate(tracer, args.aggregate)
+        print(f"aggregate report written to {aggregate_path}")
     return 0
 
 
@@ -239,7 +291,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="retry EmptyRegionError sessions once under majority voting",
     )
+    serve.add_argument(
+        "--snapshot",
+        default=None,
+        help="write a BENCH_*.json perf snapshot (directory or .json path)",
+    )
     serve.set_defaults(handler=_cmd_serve_bench)
+
+    profile = commands.add_parser(
+        "profile", help="trace the serve workload and export a Chrome trace"
+    )
+    profile.add_argument("--dataset", required=True)
+    profile.add_argument("--sessions", type=int, default=8)
+    profile.add_argument("--algorithm", choices=("EA", "AA"), default="EA")
+    profile.add_argument("--epsilon", type=float, default=0.1)
+    profile.add_argument("--episodes", type=int, default=4)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.add_argument(
+        "--out",
+        default="trace.json",
+        help="Chrome trace_event output path (default: trace.json)",
+    )
+    profile.add_argument(
+        "--aggregate",
+        default=None,
+        help="also write the aggregate span report as JSON",
+    )
+    profile.add_argument(
+        "--snapshot",
+        default=None,
+        help="also write a BENCH_profile.json perf snapshot",
+    )
+    profile.set_defaults(handler=_cmd_profile)
     return parser
 
 

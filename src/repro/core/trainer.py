@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.environment import EnvObservation, InteractiveEnvironment
+from repro.obs.tracer import NULL_SPAN, active_tracer
 from repro.rl.dqn import DQNAgent
 from repro.rl.replay import Transition
 
@@ -83,31 +84,40 @@ def train_agent(
         raise ValueError("updates_per_episode must be >= 0")
     log = TrainingLog()
     points = environment.dataset.points
+    tracer = active_tracer()
     for episode, utility in enumerate(utilities):
-        utility = np.asarray(utility, dtype=float)
-        observation = environment.reset()
-        rounds = 0
-        while not observation.terminal:
-            if rounds >= round_cap:
-                log.truncated_episodes += 1
-                break
-            choice = dqn.select_action(
-                observation.state, observation.actions, explore=True
-            )
-            index_i, index_j = observation.pairs[choice]
-            prefers_first = float(utility @ points[index_i]) >= float(
-                utility @ points[index_j]
-            )
-            next_observation, reward = environment.step(choice, prefers_first)
-            dqn.remember(
-                _transition(observation, choice, reward, next_observation)
-            )
-            observation = next_observation
-            rounds += 1
-        log.rounds_per_episode.append(rounds)
-        for _ in range(updates_per_episode):
-            if len(dqn.memory):
-                log.losses.append(dqn.train_step())
+        episode_span = (
+            NULL_SPAN
+            if tracer is None
+            else tracer.span("train.episode", episode=episode)
+        )
+        with episode_span:
+            utility = np.asarray(utility, dtype=float)
+            observation = environment.reset()
+            rounds = 0
+            while not observation.terminal:
+                if rounds >= round_cap:
+                    log.truncated_episodes += 1
+                    break
+                choice = dqn.select_action(
+                    observation.state, observation.actions, explore=True
+                )
+                index_i, index_j = observation.pairs[choice]
+                prefers_first = float(utility @ points[index_i]) >= float(
+                    utility @ points[index_j]
+                )
+                next_observation, reward = environment.step(
+                    choice, prefers_first
+                )
+                dqn.remember(
+                    _transition(observation, choice, reward, next_observation)
+                )
+                observation = next_observation
+                rounds += 1
+            log.rounds_per_episode.append(rounds)
+            for _ in range(updates_per_episode):
+                if len(dqn.memory):
+                    log.losses.append(dqn.train_step())
         if on_episode is not None:
             on_episode(episode, rounds)
     return log

@@ -32,6 +32,14 @@ installs an alternative for a ``with`` block, and range objects in
 composes with :class:`LPCache`: the cache sits *in front* of the backend
 (hits never reach it), and cache keys are tagged with the backend's
 ``name`` so two backends never serve each other's results.
+
+Observability: when a :class:`~repro.obs.tracer.Tracer` is installed
+(:func:`repro.obs.use_tracer`), every :func:`solve` records a span named
+``lp.solve/<kind>/<hit|miss|uncached>`` — ``kind`` identifies the LP
+family (``chebyshev``, ``ambient.sphere``, ...; callers pass it via the
+``kind`` keyword, which never affects cache keys) and the final
+component records whether the cache answered.  With no tracer installed
+the only cost is one ``ContextVar`` read per solve.
 """
 
 from __future__ import annotations
@@ -40,7 +48,7 @@ import abc
 import hashlib
 from collections import OrderedDict
 from collections.abc import Iterator, Sequence
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from contextvars import ContextVar
 from dataclasses import dataclass
 
@@ -49,6 +57,7 @@ from scipy.optimize import linprog
 
 from repro.errors import EmptyRegionError, LPError
 from repro.geometry.hyperplane import PreferenceHalfspace
+from repro.obs.tracer import active_tracer
 
 #: Feasibility slack used when interpreting LP optima as strict inequalities.
 FEASIBILITY_TOL = 1e-9
@@ -323,6 +332,7 @@ def solve(
     a_eq: np.ndarray | None = None,
     b_eq: np.ndarray | None = None,
     bounds: Sequence[tuple[float | None, float | None]] | tuple | None = _FREE,
+    kind: str = "generic",
 ) -> LPResult:
     """Minimise ``c . x`` subject to ``a_ub x <= b_ub`` and ``a_eq x = b_eq``.
 
@@ -332,15 +342,23 @@ def solve(
     (scipy-HiGHS unless :func:`use_backend` installed another), behind the
     active :class:`LPCache` if one is installed.
 
+    ``kind`` labels the LP family for observability spans only — it
+    never enters the cache key, so two kinds naming the identical
+    system still share one cache entry.
+
     Raises
     ------
     InfeasibleLP, UnboundedLP, LPError
     """
     backend = active_backend()
     cache = _active_cache.get()
+    tracer = active_tracer()
     if cache is None:
         backend.solves += 1
-        return backend.solve_raw(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        if tracer is None:
+            return backend.solve_raw(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        with tracer.span(f"lp.solve/{kind}/uncached"):
+            return backend.solve_raw(c, a_ub, b_ub, a_eq, b_eq, bounds)
     # The default backend keeps the legacy untagged keys (external key
     # computations and pre-existing caches stay valid); alternative
     # backends get their own cache partition so results never cross.
@@ -352,14 +370,26 @@ def solve(
     key = constraint_system_key(c, a_ub, b_ub, a_eq, b_eq, bounds, tag=tag)
     if key in cache._store:
         cache.hits += 1
-        return cache._fetch(key)
+        if tracer is None:
+            return cache._fetch(key)
+        tracer.counter("lp.cache.hits")
+        with tracer.span(f"lp.solve/{kind}/hit"):
+            return cache._fetch(key)
     cache.misses += 1
     backend.solves += 1
-    try:
-        result = backend.solve_raw(c, a_ub, b_ub, a_eq, b_eq, bounds)
-    except LPError as error:
-        cache._record(key, (type(error), str(error)))
-        raise
+    span = (
+        nullcontext()
+        if tracer is None
+        else tracer.span(f"lp.solve/{kind}/miss")
+    )
+    if tracer is not None:
+        tracer.counter("lp.cache.misses")
+    with span:
+        try:
+            result = backend.solve_raw(c, a_ub, b_ub, a_eq, b_eq, bounds)
+        except LPError as error:
+            cache._record(key, (type(error), str(error)))
+            raise
     cache._record(key, result)
     return LPResult(x=result.x.copy(), value=result.value)
 
@@ -371,9 +401,12 @@ def maximize(
     a_eq: np.ndarray | None = None,
     b_eq: np.ndarray | None = None,
     bounds: Sequence[tuple[float | None, float | None]] | tuple | None = _FREE,
+    kind: str = "generic",
 ) -> LPResult:
     """Maximise ``c . x``; see :func:`solve` for conventions."""
-    result = solve(-np.asarray(c, dtype=float), a_ub, b_ub, a_eq, b_eq, bounds)
+    result = solve(
+        -np.asarray(c, dtype=float), a_ub, b_ub, a_eq, b_eq, bounds, kind=kind
+    )
     return LPResult(x=result.x, value=-result.value)
 
 
@@ -398,13 +431,13 @@ def chebyshev_center(a: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, float]:
     c = np.zeros(k + 1)
     c[-1] = -1.0
     bounds = [_FREE] * k + [(0.0, None)]
-    result = solve(c, a_ub=a_ext, b_ub=b, bounds=bounds)
+    result = solve(c, a_ub=a_ext, b_ub=b, bounds=bounds, kind="chebyshev")
     return result.x[:k], float(result.x[-1])
 
 
 def support_value(a: np.ndarray, b: np.ndarray, direction: np.ndarray) -> float:
     """Support function ``max {direction . x : A x <= b}``."""
-    return maximize(direction, a_ub=a, b_ub=b).value
+    return maximize(direction, a_ub=a, b_ub=b, kind="support").value
 
 
 def is_feasible(a: np.ndarray, b: np.ndarray) -> bool:
@@ -429,7 +462,9 @@ def constraint_is_redundant(
     mask = np.ones(a.shape[0], dtype=bool)
     mask[index] = False
     try:
-        best = maximize(a[index], a_ub=a[mask], b_ub=b[mask]).value
+        best = maximize(
+            a[index], a_ub=a[mask], b_ub=b[mask], kind="redundancy"
+        ).value
     except UnboundedLP:
         return False
     except InfeasibleLP:
@@ -467,7 +502,10 @@ def ambient_is_feasible(
     """Whether the utility range defined by ``halfspaces`` is non-empty."""
     a_ub, b_ub, a_eq, b_eq = _ambient_system(halfspaces, d)
     try:
-        solve(np.zeros(d), a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq)
+        solve(
+            np.zeros(d), a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
+            kind="ambient.feasible",
+        )
     except InfeasibleLP:
         return False
     return True
@@ -492,8 +530,14 @@ def ambient_bounds(
         c = np.zeros(d)
         c[i] = 1.0
         try:
-            e_min[i] = solve(c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq).value
-            e_max[i] = maximize(c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq).value
+            e_min[i] = solve(
+                c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
+                kind="ambient.bounds",
+            ).value
+            e_max[i] = maximize(
+                c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
+                kind="ambient.bounds",
+            ).value
         except InfeasibleLP as exc:
             raise EmptyRegionError(
                 "utility range is empty; user answers are inconsistent"
@@ -534,7 +578,10 @@ def ambient_inner_sphere(
     c[-1] = -1.0
     bounds = [_FREE] * d + [(0.0, None)]
     try:
-        result = solve(c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq, bounds=bounds)
+        result = solve(
+            c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq, bounds=bounds,
+            kind="ambient.sphere",
+        )
     except InfeasibleLP as exc:
         raise EmptyRegionError(
             "utility range is empty; user answers are inconsistent"
@@ -557,6 +604,7 @@ def ambient_split_margin(
         return maximize(
             np.asarray(normal, dtype=float),
             a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
+            kind="ambient.margin",
         ).value
     except InfeasibleLP:
         return float("-inf")

@@ -48,6 +48,7 @@ from repro.geometry import lp, simplex
 from repro.geometry.hyperplane import PreferenceHalfspace
 from repro.geometry.lp import LPBackend
 from repro.geometry.polytope import _DEDUP_DECIMALS, UtilityPolytope
+from repro.obs.tracer import NULL_SPAN, active_tracer
 from repro.utils.rng import RngLike
 
 #: Sign tolerance classifying vertices against a new cutting plane.
@@ -364,7 +365,11 @@ class ExactRange(UtilityRange):
     # -- update --------------------------------------------------------------
 
     def _apply(self, halfspace: PreferenceHalfspace) -> bool:
-        with self._measured():
+        tracer = active_tracer()
+        update_span = (
+            NULL_SPAN if tracer is None else tracer.span("range.update")
+        )
+        with update_span, self._measured():
             narrowed = self._polytope.with_halfspace(halfspace)
             reduced = self._reduced_vertices()
             normal, offset = halfspace.reduced()
@@ -374,6 +379,8 @@ class ExactRange(UtilityRange):
                 # Redundant for the current body: no vertex moves.
                 self.stats.clips += 1
                 self.stats.empties_avoided += 1
+                if tracer is not None:
+                    tracer.counter("range.clips")
                 self._commit(narrowed, reduced)
                 return True
             if not bool(keep.any()):
@@ -385,10 +392,15 @@ class ExactRange(UtilityRange):
                 self._commit(narrowed, self._enumerate(narrowed))
                 return True
             a_rows, b_rows = self._polytope.constraints
-            face = _clip_face(
-                reduced[keep], reduced[~keep], values[keep], values[~keep],
-                a_rows, b_rows,
+            clip_span = (
+                NULL_SPAN if tracer is None else tracer.span("range.clip")
             )
+            with clip_span:
+                face = _clip_face(
+                    reduced[keep], reduced[~keep],
+                    values[keep], values[~keep],
+                    a_rows, b_rows,
+                )
             if face is None:
                 # Degenerate cut: fall back to the cross-checked full
                 # enumeration rather than risk a wrong vertex set.
@@ -397,6 +409,8 @@ class ExactRange(UtilityRange):
             clipped = _unique_raw(np.vstack([reduced[keep], face]))
             self.stats.clips += 1
             self.stats.empties_avoided += 1
+            if tracer is not None:
+                tracer.counter("range.clips")
             self._commit(narrowed, clipped)
             return True
 
@@ -411,7 +425,12 @@ class ExactRange(UtilityRange):
 
     def _enumerate(self, polytope: UtilityPolytope) -> np.ndarray:
         self.stats.rebuilds += 1
-        return polytope.raw_vertices()
+        tracer = active_tracer()
+        if tracer is None:
+            return polytope.raw_vertices()
+        tracer.counter("range.rebuilds")
+        with tracer.span("range.rebuild"):
+            return polytope.raw_vertices()
 
     def _reduced_vertices(self) -> np.ndarray:
         if self._reduced is None:
@@ -459,7 +478,11 @@ class AmbientRange(UtilityRange):
         cap = self.config.max_halfspaces
         if cap is not None and len(trial) > cap:
             trial = trial[-cap:]
-        with self._measured():
+        tracer = active_tracer()
+        probe_span = (
+            NULL_SPAN if tracer is None else tracer.span("range.feasible")
+        )
+        with probe_span, self._measured():
             feasible = lp.ambient_is_feasible(trial, self._dimension)
         if not feasible:
             return False

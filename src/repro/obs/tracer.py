@@ -1,0 +1,317 @@
+"""Context-local hierarchical tracing: spans, counters, phase totals.
+
+The tracer answers "where does the time go?" inside a wave: Q-scoring
+vs LP solves vs vertex clipping.  Design constraints, in order:
+
+1. **Free when off.**  No tracer is installed by default.  Hot paths
+   fetch the active tracer once (:func:`active_tracer`, one
+   ``ContextVar`` read) and skip all instrumentation when it is
+   ``None``; the module-level :func:`span` helper returns a shared
+   no-op singleton, so a disabled call allocates nothing and records
+   nothing.  The engine's determinism and golden-session bit-identity
+   guarantees are therefore untouched by this module.
+2. **Context-local.**  Installation via :func:`use_tracer` uses a
+   ``ContextVar``, exactly like the LP cache's
+   :func:`repro.geometry.lp.use_cache`: two engines on different
+   threads (or asyncio tasks) each see only their own tracer, and
+   exiting one ``use_tracer`` block can never clobber a concurrent
+   thread's installation.
+3. **Cheap when on.**  Closing a span updates an incremental per-name
+   aggregate (calls, total seconds, self seconds) and a per-phase
+   self-time total, so exporters and the engine's per-phase breakdown
+   never walk the span tree; the tree itself is bounded by
+   ``max_spans`` (aggregates keep counting after the cap).
+
+Span names are dotted-and-slashed paths, e.g.
+``lp.solve/chebyshev/hit``: the first dotted component selects the
+*phase* (see :data:`PHASE_BY_PREFIX`), the slash components split the
+aggregate (LP kind, cache hit/miss) without exploding tag cardinality.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Iterator
+
+#: Maps a span name's first dotted component to the phase charged with
+#: its *self* time (time inside the span minus time inside child spans,
+#: so nested phases never double-count).
+PHASE_BY_PREFIX = {
+    "lp": "lp",
+    "dqn": "score",
+    "range": "range",
+    "engine": "interact",
+    "train": "train",
+}
+
+#: Phase charged when a span's prefix is not listed above.
+OTHER_PHASE = "other"
+
+
+def phase_of(name: str) -> str:
+    """The phase a span name's self-time is charged to."""
+    prefix = name.partition(".")[0]
+    return PHASE_BY_PREFIX.get(prefix, OTHER_PHASE)
+
+
+class SpanNode:
+    """One finished (or in-flight) span in the trace tree."""
+
+    __slots__ = ("name", "tags", "start", "duration", "children")
+
+    def __init__(self, name: str, tags: dict[str, Any] | None) -> None:
+        self.name = name
+        self.tags = tags
+        #: Seconds since the tracer's origin (filled by the tracer).
+        self.start = 0.0
+        #: Wall seconds between enter and exit (0.0 while in flight).
+        self.duration = 0.0
+        self.children: list[SpanNode] = []
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanNode({self.name!r}, start={self.start:.6f}, "
+            f"dur={self.duration:.6f}, children={len(self.children)})"
+        )
+
+
+class SpanAggregate:
+    """Running totals for one span name."""
+
+    __slots__ = ("calls", "total_seconds", "self_seconds")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.total_seconds = 0.0
+        self.self_seconds = 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        """JSON-ready representation (used by the exporters)."""
+        return {
+            "calls": self.calls,
+            "total_seconds": self.total_seconds,
+            "self_seconds": self.self_seconds,
+        }
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+#: The one instance every disabled :func:`span` call returns — call
+#: sites never allocate a fresh object when tracing is off.
+NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager opening/closing one :class:`SpanNode`."""
+
+    __slots__ = ("_tracer", "_name", "_tags", "_node", "_entered_at")
+
+    def __init__(
+        self, tracer: "Tracer", name: str, tags: dict[str, Any] | None
+    ) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._tags = tags
+        self._node: SpanNode | None = None
+        self._entered_at = 0.0
+
+    def __enter__(self) -> "_SpanHandle":
+        self._entered_at = time.perf_counter()
+        self._node = self._tracer._open(
+            self._name, self._tags, self._entered_at
+        )
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer._close(
+            self._name, self._node, self._entered_at, time.perf_counter()
+        )
+        return None
+
+
+class Tracer:
+    """In-memory span tree plus incremental aggregates and counters.
+
+    Parameters
+    ----------
+    max_spans:
+        Upper bound on :class:`SpanNode` objects kept in the tree.
+        Opening a span past the cap still *times* it — aggregates,
+        phase totals and counters stay exact — but no node is recorded
+        and ``dropped_spans`` is incremented, so a pathological
+        tracing-enabled run degrades to aggregate-only instead of
+        exhausting memory.
+    """
+
+    def __init__(self, max_spans: int = 1_000_000) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self.max_spans = int(max_spans)
+        #: Top-level spans, in open order.
+        self.roots: list[SpanNode] = []
+        #: Named monotonically increasing counters.
+        self.counters: dict[str, float] = {}
+        #: Spans discarded from the tree after ``max_spans``.
+        self.dropped_spans = 0
+        self._origin = time.perf_counter()
+        self._spans_recorded = 0
+        # Open-span bookkeeping: the node stack (None entries past the
+        # cap) and a parallel stack of accumulated child durations used
+        # to compute self-time without walking the tree.
+        self._stack: list[SpanNode | None] = []
+        self._child_seconds: list[float] = []
+        self._aggregates: dict[str, SpanAggregate] = {}
+        self._phase_self: dict[str, float] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def span(self, name: str, **tags: Any) -> _SpanHandle:
+        """A context manager timing ``name`` as a child of the open span."""
+        return _SpanHandle(self, name, tags or None)
+
+    def counter(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def spans_recorded(self) -> int:
+        """Finished spans kept in the tree so far."""
+        return self._spans_recorded
+
+    def aggregate(self) -> dict[str, SpanAggregate]:
+        """Per-name running totals, name-sorted (calls, total, self)."""
+        return {
+            name: self._aggregates[name] for name in sorted(self._aggregates)
+        }
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Self-time per phase (``lp``, ``score``, ``range``, ...)."""
+        return dict(self._phase_self)
+
+    def phase_snapshot(self) -> dict[str, float]:
+        """A snapshot for :meth:`phases_since` (cheap: a few floats)."""
+        return dict(self._phase_self)
+
+    def phases_since(self, snapshot: dict[str, float]) -> dict[str, float]:
+        """Per-phase self-seconds accumulated after ``snapshot``."""
+        delta: dict[str, float] = {}
+        for phase, total in self._phase_self.items():
+            grown = total - snapshot.get(phase, 0.0)
+            if grown > 0.0:
+                delta[phase] = grown
+        return delta
+
+    # -- internals used by _SpanHandle ---------------------------------------
+
+    def _open(
+        self, name: str, tags: dict[str, Any] | None, now: float
+    ) -> SpanNode | None:
+        node: SpanNode | None = None
+        if self._spans_recorded + len(self._stack) < self.max_spans:
+            node = SpanNode(name, tags)
+            node.start = now - self._origin
+        else:
+            self.dropped_spans += 1
+        self._stack.append(node)
+        self._child_seconds.append(0.0)
+        return node
+
+    def _close(
+        self,
+        name: str,
+        node: SpanNode | None,
+        entered_at: float,
+        now: float,
+    ) -> None:
+        duration = now - entered_at
+        children = self._child_seconds.pop()
+        self._stack.pop()
+        if self._child_seconds:
+            self._child_seconds[-1] += duration
+        self_seconds = duration - children
+        aggregate = self._aggregates.get(name)
+        if aggregate is None:
+            aggregate = self._aggregates[name] = SpanAggregate()
+        aggregate.calls += 1
+        aggregate.total_seconds += duration
+        aggregate.self_seconds += self_seconds
+        phase = phase_of(name)
+        self._phase_self[phase] = (
+            self._phase_self.get(phase, 0.0) + self_seconds
+        )
+        if node is not None:
+            node.duration = duration
+            parent = self._stack[-1] if self._stack else None
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                self.roots.append(node)
+            self._spans_recorded += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer(spans={self._spans_recorded}, "
+            f"names={len(self._aggregates)}, "
+            f"counters={len(self.counters)})"
+        )
+
+
+#: Installed tracer, context-local for the same reason the LP cache is:
+#: concurrent engines on other threads/tasks must not see each other's
+#: installations (see the module docstring).
+_active_tracer: ContextVar[Tracer | None] = ContextVar(
+    "repro_obs_active_tracer", default=None
+)
+
+
+def active_tracer() -> Tracer | None:
+    """The tracer installed by :func:`use_tracer`, or ``None`` (off)."""
+    return _active_tracer.get()
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` for the block (context-local, nestable).
+
+    The innermost tracer wins and the previous one is restored on exit;
+    concurrent threads or asyncio tasks are unaffected, mirroring
+    :func:`repro.geometry.lp.use_cache`.
+    """
+    token = _active_tracer.set(tracer)
+    try:
+        yield tracer
+    finally:
+        _active_tracer.reset(token)
+
+
+def span(name: str, **tags: Any) -> Any:
+    """Time a block under the active tracer; no-op singleton when off.
+
+    Hot loops that cannot afford even the disabled call should fetch
+    :func:`active_tracer` once and branch on ``None`` instead.
+    """
+    tracer = _active_tracer.get()
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **tags)
+
+
+def counter(name: str, value: float = 1) -> None:
+    """Bump a named counter on the active tracer; no-op when off."""
+    tracer = _active_tracer.get()
+    if tracer is not None:
+        tracer.counter(name, value)

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.tracer import NULL_SPAN, active_tracer
 from repro.rl.network import MLP
 from repro.rl.optim import Adam, SGD
 from repro.rl.replay import ReplayMemory, Transition
@@ -109,9 +110,14 @@ class DQNAgent:
         use_target:
             Evaluate the target network instead of the main network.
         """
-        inputs = self._score_inputs(state, actions)
-        net = self.target_network if use_target else self.network
-        return net.forward(inputs).ravel()
+        tracer = active_tracer()
+        score_span = (
+            NULL_SPAN if tracer is None else tracer.span("dqn.q_values")
+        )
+        with score_span:
+            inputs = self._score_inputs(state, actions)
+            net = self.target_network if use_target else self.network
+            return net.forward(inputs).ravel()
 
     def _score_inputs(self, state: np.ndarray, actions: np.ndarray) -> np.ndarray:
         """``(m, state_dim + action_dim)`` rows for one candidate set."""
@@ -137,12 +143,19 @@ class DQNAgent:
         corresponding :meth:`q_values` call, so batching is safe for
         deterministic replay.
         """
-        segments = [
-            self._score_inputs(state, actions) for state, actions in items
-        ]
-        return [
-            out.ravel() for out in self.network.forward_segments(segments)
-        ]
+        tracer = active_tracer()
+        score_span = (
+            NULL_SPAN
+            if tracer is None
+            else tracer.span("dqn.q_values_many", sets=len(items))
+        )
+        with score_span:
+            segments = [
+                self._score_inputs(state, actions) for state, actions in items
+            ]
+            return [
+                out.ravel() for out in self.network.forward_segments(segments)
+            ]
 
     def select_action(
         self, state: np.ndarray, actions: np.ndarray, explore: bool = False
@@ -179,6 +192,15 @@ class DQNAgent:
         """
         if not self.memory:
             return 0.0
+        tracer = active_tracer()
+        step_span = (
+            NULL_SPAN if tracer is None else tracer.span("dqn.train_step")
+        )
+        with step_span:
+            return self._train_step_inner()
+
+    def _train_step_inner(self) -> float:
+        """The actual replayed gradient step behind :meth:`train_step`."""
         batch = self.memory.sample(self.config.batch_size, rng=self._rng)
         inputs = np.array(
             [np.concatenate([t.state, t.action]) for t in batch]

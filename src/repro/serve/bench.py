@@ -17,11 +17,15 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.session import DEFAULT_MAX_ROUNDS, SessionResult, validate_epsilon
 from repro.data.datasets import Dataset
 from repro.data.utility import sample_training_utilities
 from repro.errors import ConfigurationError
+from repro.obs.export import aggregate_report
+from repro.obs.snapshot import write_snapshot
+from repro.obs.tracer import active_tracer
 from repro.registry import make_config, make_session, make_trainer
 from repro.serve.engine import RecoveryPolicy, SessionEngine
 from repro.serve.metrics import EngineMetrics
@@ -41,6 +45,7 @@ class ServeBenchReport:
     metrics: EngineMetrics
     results: list[SessionResult]
     noise: float = 0.0
+    max_rounds: int = DEFAULT_MAX_ROUNDS
 
     def lines(self) -> list[str]:
         """Report lines printed by the CLI command."""
@@ -58,6 +63,76 @@ class ServeBenchReport:
                 + (" (retried)" if record.retried else "")
             )
         return lines
+
+    def snapshot_sections(self) -> dict[str, dict]:
+        """The ``config``/``timings``/``counters``/``obs`` sections of a
+        BENCH snapshot (see :mod:`repro.obs.snapshot`).
+
+        ``counters`` holds only seed-deterministic quantities (round and
+        wave counts, LP cache and range-clip rates) so a CI gate can
+        compare them exactly; wall-clock measurements live in
+        ``timings`` and are only ever ratio-checked.  ``obs`` carries
+        the active tracer's aggregate report when tracing was on during
+        the run, and is empty otherwise.
+        """
+        m = self.metrics
+        config = {
+            "algorithm": self.algorithm,
+            "dataset": self.dataset,
+            "epsilon": self.epsilon,
+            "max_rounds": self.max_rounds,
+            "noise": self.noise,
+            "sessions": self.sessions,
+        }
+        timings = {
+            "rounds_per_second": m.rounds_per_second,
+            "sessions_per_second": m.sessions_per_second,
+            "train_seconds": self.train_seconds,
+            "wall_seconds": m.wall_seconds,
+            "wave_latency_seconds": (
+                m.wall_seconds / m.waves if m.waves else 0.0
+            ),
+        }
+        counters = {
+            "batched_rows": m.batched_rows,
+            "batches": m.batches,
+            "completed": m.completed,
+            "failed": m.failed,
+            "lp_cache_hits": m.lp_cache_hits,
+            "lp_hit_rate": round(m.lp_hit_rate, 6),
+            "lp_solves": m.lp_solves,
+            "peak_batch": m.peak_batch,
+            "range_clip_rate": round(m.range_clip_rate, 6),
+            "range_clips": m.range_clips,
+            "range_rebuilds": m.range_rebuilds,
+            "range_updates": m.range_updates,
+            "retries": m.retries,
+            "rounds_total": m.rounds_total,
+            "truncated": m.truncated,
+            "waves": m.waves,
+        }
+        tracer = active_tracer()
+        obs = aggregate_report(tracer) if tracer is not None else {}
+        return {
+            "config": config,
+            "counters": counters,
+            "obs": obs,
+            "timings": timings,
+        }
+
+    def write_snapshot(
+        self, target: str | Path, name: str = "serve_bench"
+    ) -> Path:
+        """Write this report as a versioned ``BENCH_<name>.json`` snapshot."""
+        sections = self.snapshot_sections()
+        return write_snapshot(
+            target,
+            name,
+            config=sections["config"],
+            timings=sections["timings"],
+            counters=sections["counters"],
+            obs=sections["obs"],
+        )
 
 
 def run_serve_bench(
@@ -160,4 +235,5 @@ def run_serve_bench(
         metrics=metrics,
         results=results,
         noise=noise,
+        max_rounds=max_rounds,
     )

@@ -40,9 +40,10 @@ cause.
 from __future__ import annotations
 
 import time
-from collections.abc import Callable, Sequence
-from contextlib import nullcontext
+from collections.abc import Callable, Iterator, Sequence
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -58,6 +59,7 @@ from repro.core.session import (
 )
 from repro.errors import ConfigurationError, EmptyRegionError, InteractionError
 from repro.geometry.lp import LPCache, use_cache
+from repro.obs.tracer import Tracer, active_tracer
 from repro.serve.metrics import EngineMetrics, SessionError, SessionMetrics
 from repro.users.oracle import User
 from repro.utils.timing import Stopwatch
@@ -173,6 +175,9 @@ class SessionEngine:
             self.lp_cache = None
         self.recovery = recovery
         self.last_metrics: EngineMetrics | None = None
+        #: Tracer captured at :meth:`run` entry; ``None`` outside a run
+        #: or when tracing is off (the default — zero overhead).
+        self._tracer: Tracer | None = None
 
     def run(
         self,
@@ -210,10 +215,20 @@ class SessionEngine:
         misses_before = cache.misses if cache else 0
         started = time.perf_counter()
         context = use_cache(cache) if cache is not None else nullcontext()
+        tracer = active_tracer()
+        self._tracer = tracer
+        phases_before = (
+            tracer.phase_snapshot() if tracer is not None else None
+        )
+        run_span = (
+            nullcontext()
+            if tracer is None
+            else tracer.span("engine.run", sessions=len(sessions))
+        )
         metrics = EngineMetrics()
         results: list[SessionResult | None] = []
         try:
-            with context:
+            with context, run_span:
                 slots = []
                 for index, (source, user) in enumerate(sessions):
                     algorithm = source() if callable(source) else source
@@ -236,7 +251,19 @@ class SessionEngine:
                 active = slots
                 while active:
                     metrics.waves += 1
-                    active = self._wave(active, results, metrics, trace, started)
+                    if tracer is None:
+                        active = self._wave(
+                            active, results, metrics, trace, started
+                        )
+                        continue
+                    with tracer.span(
+                        "engine.wave",
+                        wave=metrics.waves,
+                        active=len(active),
+                    ):
+                        active = self._wave(
+                            active, results, metrics, trace, started
+                        )
         finally:
             metrics.wall_seconds = time.perf_counter() - started
             if cache is not None:
@@ -244,13 +271,43 @@ class SessionEngine:
                 metrics.lp_solves = (
                     cache.hits + cache.misses - hits_before - misses_before
                 )
+            if tracer is not None and phases_before is not None:
+                metrics.phase_seconds = tracer.phases_since(phases_before)
             metrics.per_session = [
-                result.metrics for result in results if result is not None
+                result.metrics
+                for result in results
+                if result is not None and result.metrics is not None
             ]
             self.last_metrics = metrics
+            self._tracer = None
         return [result for result in results if result is not None]
 
     # -- internals -----------------------------------------------------------
+
+    @contextmanager
+    def _slot_op(self, slot: _Slot, op: str) -> Iterator[None]:
+        """Trace one slot interaction and attribute its phase time.
+
+        With tracing off (``self._tracer is None``) this yields
+        immediately — the only hot-loop cost is the ``None`` check at
+        the call site.  With tracing on, the block runs inside an
+        ``engine.slot`` span (session and operation tagged) and the
+        per-phase self-seconds it accumulates (``lp``, ``score``,
+        ``range``, and the span's own residual as ``interact``) are
+        added to the slot's :class:`SessionMetrics.phase_seconds`.
+        """
+        tracer = self._tracer
+        if tracer is None:
+            yield
+            return
+        before = tracer.phase_snapshot()
+        try:
+            with tracer.span("engine.slot", session=slot.index, op=op):
+                yield
+        finally:
+            phases = slot.metrics.phase_seconds
+            for phase, seconds in tracer.phases_since(before).items():
+                phases[phase] = phases.get(phase, 0.0) + seconds
 
     def _wave(
         self,
@@ -276,14 +333,15 @@ class SessionEngine:
                     slot.watch.stop()
                     self._finalize(slot, results, metrics, True, started)
                     continue
-                batch = algorithm.candidate_batch()
-                if batch is None:
-                    slot.question = algorithm.next_question()
-                    slot.watch.stop()
-                else:
-                    slot.watch.stop()
-                    slot.batch = batch
-                    batchable.append(slot)
+                with self._slot_op(slot, "select"):
+                    batch = algorithm.candidate_batch()
+                    if batch is None:
+                        slot.question = algorithm.next_question()
+                        slot.watch.stop()
+                    else:
+                        slot.watch.stop()
+                        slot.batch = batch
+                        batchable.append(slot)
                 advancing.append(slot)
             except Exception as error:  # noqa: BLE001 -- slot fault boundary
                 self._fail(slot, error, results, metrics, started, replacements)
@@ -300,9 +358,10 @@ class SessionEngine:
                         "selected question (scoring produced no choice)"
                     )
                 answer = slot.user.prefers(question.p_i, question.p_j)
-                slot.watch.start()
-                slot.algorithm.observe(answer)
-                slot.watch.stop()
+                with self._slot_op(slot, "observe"):
+                    slot.watch.start()
+                    slot.algorithm.observe(answer)
+                    slot.watch.stop()
                 slot.question = None
                 slot.metrics.rounds = slot.algorithm.rounds
                 metrics.rounds_total += 1
@@ -347,7 +406,7 @@ class SessionEngine:
         one-score-row-per-session contract) fails every slot in its
         group; a slot whose own question resolution raises fails alone.
         """
-        groups: dict[int, tuple[object, list[_Slot]]] = {}
+        groups: dict[int, tuple[Any, list[_Slot]]] = {}
         singles: list[_Slot] = []
         for slot in batchable:
             scorer = getattr(slot.algorithm, "dqn", None)
@@ -355,12 +414,23 @@ class SessionEngine:
                 singles.append(slot)
                 continue
             groups.setdefault(id(scorer), (scorer, []))[1].append(slot)
+        tracer = self._tracer
         for scorer, group in groups.values():
             batch_started = time.perf_counter()
             try:
-                scores_per_slot = scorer.q_values_many(
-                    [(slot.batch.state, slot.batch.actions) for slot in group]
+                score_span = (
+                    nullcontext()
+                    if tracer is None
+                    else tracer.span("engine.score", sessions=len(group))
                 )
+                with score_span:
+                    scores_per_slot = scorer.q_values_many(
+                        [
+                            (slot.batch.state, slot.batch.actions)
+                            for slot in group
+                            if slot.batch is not None
+                        ]
+                    )
                 if len(scores_per_slot) != len(group):
                     raise InteractionError(
                         f"scorer {type(scorer).__name__} (id={id(scorer):#x}) "
@@ -380,11 +450,15 @@ class SessionEngine:
             for slot, scores in zip(group, scores_per_slot, strict=True):
                 try:
                     slot.shared_seconds += share
-                    slot.watch.start()
-                    slot.question = slot.algorithm.next_question_from(
-                        int(np.argmax(scores))
-                    )
-                    slot.watch.stop()
+                    if tracer is not None:
+                        phases = slot.metrics.phase_seconds
+                        phases["score"] = phases.get("score", 0.0) + share
+                    with self._slot_op(slot, "select"):
+                        slot.watch.start()
+                        slot.question = slot.algorithm.next_question_from(
+                            int(np.argmax(scores))
+                        )
+                        slot.watch.stop()
                     slot.metrics.batched_rounds += 1
                     slot.batch = None
                 except Exception as error:  # noqa: BLE001 -- slot boundary
@@ -393,9 +467,10 @@ class SessionEngine:
                     )
         for slot in singles:
             try:
-                slot.watch.start()
-                slot.question = slot.algorithm.next_question()
-                slot.watch.stop()
+                with self._slot_op(slot, "select"):
+                    slot.watch.start()
+                    slot.question = slot.algorithm.next_question()
+                    slot.watch.stop()
                 slot.batch = None
             except Exception as error:  # noqa: BLE001 -- slot fault boundary
                 self._fail(slot, error, results, metrics, started, replacements)
@@ -491,9 +566,10 @@ class SessionEngine:
         started: float,
     ) -> None:
         """Record the finished (or truncated) session's result."""
-        slot.watch.start()
-        index = slot.algorithm.recommend()
-        slot.watch.stop()
+        with self._slot_op(slot, "recommend"):
+            slot.watch.start()
+            index = slot.algorithm.recommend()
+            slot.watch.stop()
         slot.dead = True
         slot.metrics.rounds = slot.algorithm.rounds
         slot.metrics.wall_seconds = time.perf_counter() - started

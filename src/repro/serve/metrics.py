@@ -55,6 +55,12 @@ class SessionMetrics:
     range_solves_avoided:
         LP solves the range skipped (cache hits plus emptiness checks
         resolved by vertex signs).
+    phase_seconds:
+        Per-phase self-time breakdown of this session's agent work
+        (``lp``, ``score``, ``range``, ``interact``), attributed from
+        the active :class:`~repro.obs.tracer.Tracer`'s spans.  Empty
+        unless a tracer was installed during the engine run — with
+        tracing off the engine records nothing here, at zero cost.
     """
 
     session_id: int
@@ -67,6 +73,7 @@ class SessionMetrics:
     range_clips: int = 0
     range_rebuilds: int = 0
     range_solves_avoided: int = 0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -145,6 +152,10 @@ class EngineMetrics:
         LP solves the ranges skipped, summed over sessions.
     wall_seconds:
         End-to-end duration of the run.
+    phase_seconds:
+        Per-phase self-time over the whole run (``lp``, ``score``,
+        ``range``, ``interact``), read off the active
+        :class:`~repro.obs.tracer.Tracer`.  Empty with tracing off.
     """
 
     sessions: int = 0
@@ -166,6 +177,7 @@ class EngineMetrics:
     range_rebuilds: int = 0
     range_solves_avoided: int = 0
     wall_seconds: float = 0.0
+    phase_seconds: dict[str, float] = field(default_factory=dict)
     per_session: list[SessionMetrics] = field(default_factory=list)
 
     @property
@@ -238,6 +250,16 @@ class EngineMetrics:
                 f"clip rate {self.range_clip_rate:.1%}); "
                 f"LP solves avoided: {self.range_solves_avoided}"
             )
+        if self.phase_seconds:
+            breakdown = ", ".join(
+                f"{phase} {seconds:.3f}s"
+                for phase, seconds in sorted(
+                    self.phase_seconds.items(),
+                    key=lambda item: item[1],
+                    reverse=True,
+                )
+            )
+            lines.append(f"phase breakdown (traced): {breakdown}")
         if self.failed or self.retries or self.recovered:
             lines.append(
                 f"faults: {len(self.errors)} errors, "

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.cli import _resolve_dataset, build_parser, main
@@ -111,3 +110,61 @@ class TestTrainAA:
 
         agent = load_agent(out_path)
         assert isinstance(agent, AAAgent)
+
+
+class TestProfileCommand:
+    def test_profile_writes_trace_and_snapshot(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        aggregate_path = tmp_path / "agg.json"
+        code = main(
+            [
+                "profile",
+                "--dataset", "anti:250:3",
+                "--sessions", "2",
+                "--episodes", "1",
+                "--out", str(trace_path),
+                "--aggregate", str(aggregate_path),
+                "--snapshot", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chrome trace written to" in out
+        assert "phase breakdown (traced):" in out
+        trace = json.loads(trace_path.read_text())
+        names = {event["name"] for event in trace["traceEvents"]}
+        assert "engine.wave" in names
+        assert any(name.startswith("lp.solve/") for name in names)
+        assert any(name.startswith("range.") for name in names)
+        aggregate = json.loads(aggregate_path.read_text())
+        assert aggregate["spans_recorded"] > 0
+        snapshot = json.loads((tmp_path / "BENCH_profile.json").read_text())
+        assert snapshot["schema_version"] == 1
+        assert snapshot["obs"]["spans"]
+
+
+class TestServeBenchSnapshot:
+    def test_snapshot_flag_writes_bench_file(self, tmp_path, capsys):
+        import json
+
+        code = main(
+            [
+                "serve-bench",
+                "--dataset", "anti:250:3",
+                "--sessions", "2",
+                "--algorithm", "EA",
+                "--episodes", "1",
+                "--snapshot", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        assert "snapshot written to" in capsys.readouterr().out
+        snapshot = json.loads(
+            (tmp_path / "BENCH_serve_bench.json").read_text()
+        )
+        assert snapshot["counters"]["rounds_total"] > 0
+        assert snapshot["config"]["sessions"] == 2
+        # No tracer installed: the obs section is empty, by design.
+        assert snapshot["obs"] == {}
