@@ -3,19 +3,28 @@
 Two subcommands, wired into ``.github/workflows/ci.yml``:
 
 ``run``
-    Execute the gate workload — a small, fixed-seed EA serve-bench
-    (traced, so the snapshot carries span aggregates) plus the
-    clip-vs-rebuild micro-geometry comparison — and write the result as
-    a versioned ``BENCH_ci.json`` snapshot (see
-    :mod:`repro.obs.snapshot`).
+    Execute the gate workloads and write the result as a versioned
+    ``BENCH_ci.json`` snapshot (see :mod:`repro.obs.snapshot`):
+
+    * a small, fixed-seed EA serve-bench (traced, so the snapshot
+      carries span aggregates);
+    * the clip-vs-rebuild micro-geometry comparison;
+    * the continuous-scheduler workload — ``serve-bench --engine
+      continuous`` at 1024 concurrent sessions — recording its batch
+      occupancy *and* replaying the identical specs through the wave
+      engine to count per-session result mismatches (the scheduler's
+      equivalence guarantee).
 
 ``check``
     Compare a freshly produced snapshot against the committed baseline
     ``benchmarks/baselines/ci.json``.  Deterministic counters (LP cache
-    hit rate, range clip rate, rounds, waves) must match the baseline
-    *exactly* — a fixed seed makes them machine-independent, so any
-    drift is a behaviour change, not noise.  Wall-clock timings are
-    only ratio-gated: a wave-latency or end-to-end slowdown beyond
+    hit rate, range clip rate, rounds, waves/ticks, occupancy,
+    equivalence mismatches) must match the baseline *exactly* — a fixed
+    seed makes them machine-independent, so any drift is a behaviour
+    change, not noise.  Two absolute gates ride on top: continuous
+    occupancy must stay above :data:`OCCUPANCY_FLOOR` and
+    ``equiv_mismatches`` must be zero.  Wall-clock timings are only
+    ratio-gated: a wave-latency or end-to-end slowdown beyond
     ``--max-slowdown`` (default 2.0x) fails, as does the incremental
     clip path losing more than half of its speedup over from-scratch
     re-enumeration.
@@ -25,8 +34,8 @@ Refreshing the baseline after an intentional perf/behaviour change::
     PYTHONPATH=src python benchmarks/ci_gate.py run \
         --out benchmarks/baselines/ci.json
 
-The workload is sized to finish in well under a minute so the gate can
-run on every pull request.
+The small workload finishes in seconds; the 1024-session continuous
+workload dominates at about a minute of serving on CI hardware.
 """
 
 from __future__ import annotations
@@ -49,6 +58,27 @@ GATE_CONFIG = {
     "sessions": 6,
 }
 
+#: The continuous-scheduler workload: 1024 concurrent sessions served
+#: through ``ContinuousEngine``, then replayed through the wave engine
+#: for the per-session equivalence count.  ``max_in_flight=32`` keeps
+#: the tail (the last in-flight cohort draining with no queue behind
+#: it) a small fraction of total ticks, so steady-state occupancy
+#: clears the floor with margin.
+CONTINUOUS_CONFIG = {
+    "algorithm": "ea",
+    "dataset": "anti:200:3",
+    "episodes": 4,
+    "epsilon": 0.2,
+    "max_in_flight": 32,
+    "max_rounds": 30,
+    "seed": 0,
+    "sessions": 1024,
+}
+
+#: Minimum batch occupancy the continuous engine must sustain on the
+#: 1024-session workload (an absolute gate, not baseline-relative).
+OCCUPANCY_FLOOR = 0.9
+
 #: Counters compared exactly against the baseline (seed-deterministic).
 EXACT_COUNTERS = (
     "lp_hit_rate",
@@ -58,11 +88,19 @@ EXACT_COUNTERS = (
     "lp_solves",
     "range_clips",
     "range_rebuilds",
+    "continuous_occupancy",
+    "continuous_rounds_total",
+    "continuous_ticks",
+    "equiv_mismatches",
 )
 
 #: Timings gated by ratio only (candidate may be up to ``max_slowdown``
 #: times the baseline).
-RATIO_TIMINGS = ("wave_latency_seconds", "wall_seconds")
+RATIO_TIMINGS = (
+    "wave_latency_seconds",
+    "wall_seconds",
+    "continuous_wall_seconds",
+)
 
 
 def _micro_clip_vs_rebuild(d: int, answers: int, repeats: int) -> dict:
@@ -120,6 +158,56 @@ def _micro_clip_vs_rebuild(d: int, answers: int, repeats: int) -> dict:
     }
 
 
+def _continuous_gate() -> tuple[dict, dict]:
+    """Counters/timings for the continuous-scheduler workload.
+
+    Serves :data:`CONTINUOUS_CONFIG` through ``ContinuousEngine``, then
+    replays the identical fixed-seed spec set through the wave engine
+    and counts per-session outcome mismatches — ``(recommendation
+    index, rounds, truncated, status)`` must agree session by session.
+    Both the occupancy and the mismatch count are seed-deterministic.
+    """
+    from repro.cli import _resolve_dataset
+    from repro.serve import run_serve_bench
+
+    cfg = CONTINUOUS_CONFIG
+    dataset = _resolve_dataset(cfg["dataset"])
+    common = dict(
+        sessions=cfg["sessions"],
+        algorithm=cfg["algorithm"],
+        epsilon=cfg["epsilon"],
+        episodes=cfg["episodes"],
+        seed=cfg["seed"],
+        max_rounds=cfg["max_rounds"],
+    )
+    continuous = run_serve_bench(
+        dataset,
+        engine="continuous",
+        max_in_flight=cfg["max_in_flight"],
+        **common,
+    )
+    wave = run_serve_bench(dataset, engine="wave", **common)
+    mismatches = sum(
+        1
+        for ours, ref in zip(continuous.results, wave.results)
+        if (ours.recommendation_index, ours.rounds, ours.truncated, ours.status)
+        != (ref.recommendation_index, ref.rounds, ref.truncated, ref.status)
+    )
+    m = continuous.metrics
+    counters = {
+        "continuous_occupancy": round(m.occupancy, 6),
+        "continuous_peak_batch": m.peak_batch,
+        "continuous_rounds_total": m.rounds_total,
+        "continuous_ticks": m.ticks,
+        "equiv_mismatches": mismatches,
+    }
+    timings = {
+        "continuous_wall_seconds": m.wall_seconds,
+        "equiv_wave_wall_seconds": wave.metrics.wall_seconds,
+    }
+    return counters, timings
+
+
 def run_gate(out: Path) -> Path:
     """Run the gate workload and write the snapshot to ``out``."""
     from repro.cli import _resolve_dataset
@@ -145,14 +233,18 @@ def run_gate(out: Path) -> Path:
         GATE_CONFIG["answers"],
         GATE_CONFIG["micro_repeats"],
     )
+    continuous_counters, continuous_timings = _continuous_gate()
     timings = dict(sections["timings"])
     timings.update(micro)
+    timings.update(continuous_timings)
+    counters = dict(sections["counters"])
+    counters.update(continuous_counters)
     return write_snapshot(
         out,
         "ci",
-        config=GATE_CONFIG,
+        config={**GATE_CONFIG, "continuous": CONTINUOUS_CONFIG},
         timings=timings,
-        counters=sections["counters"],
+        counters=counters,
         obs=aggregate_report(tracer),
         notes="CI perf gate; refresh via benchmarks/ci_gate.py run",
     )
@@ -183,6 +275,26 @@ def check_gate(
                 f"counter {key} = {got} != baseline {want} "
                 "(deterministic; a real behaviour change)"
             )
+    occupancy = got_counters.get("continuous_occupancy")
+    if isinstance(occupancy, (int, float)):
+        status = "ok" if occupancy >= OCCUPANCY_FLOOR else "FAIL"
+        print(
+            f"  [{status}] continuous occupancy: {occupancy:.3f} "
+            f"(floor {OCCUPANCY_FLOOR:.2f})"
+        )
+        if occupancy < OCCUPANCY_FLOOR:
+            failures.append(
+                f"continuous occupancy {occupancy:.3f} fell below the "
+                f"{OCCUPANCY_FLOOR:.2f} floor"
+            )
+    else:
+        failures.append("continuous_occupancy missing from candidate")
+    mismatches = got_counters.get("equiv_mismatches")
+    if mismatches != 0:
+        failures.append(
+            f"continuous engine diverged from the wave engine on "
+            f"{mismatches} of {CONTINUOUS_CONFIG['sessions']} sessions"
+        )
     got_timings = candidate.get("timings", {})
     want_timings = baseline.get("timings", {})
     for key in RATIO_TIMINGS:

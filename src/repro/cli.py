@@ -11,10 +11,13 @@ Commands
 ``compare``   Run the method comparison of the paper's evaluation on a
               dataset and print the table.
 ``serve-bench``  Drive many concurrent simulated users through one
-              trained agent via the session engine and report
-              throughput, LP cache hit rate and batch occupancy
-              (``--snapshot`` additionally writes a versioned
-              ``BENCH_*.json`` perf snapshot).
+              trained agent and report throughput, LP cache hit rate
+              and batch occupancy.  ``--engine`` picks the scheduler:
+              lock-step ``wave`` (the deterministic reference) or
+              ``continuous`` (continuous batching with a bounded
+              in-flight set; same per-session results).  ``--snapshot``
+              additionally writes a versioned ``BENCH_*.json`` perf
+              snapshot.
 ``profile``   Run the serve-bench workload under a
               :class:`~repro.obs.tracer.Tracer` and export a Chrome
               ``trace_event`` file (plus an optional aggregate JSON):
@@ -30,6 +33,8 @@ Examples
     python -m repro search car_ea.npz --seed 7
     python -m repro compare --dataset anti:2000:3 --epsilon 0.1
     python -m repro serve-bench --dataset anti:2000:3 --sessions 64
+    python -m repro serve-bench --dataset anti:2000:3 --sessions 1024 \
+        --engine continuous --max-in-flight 64
     python -m repro profile --dataset anti:500:3 --out trace.json
 """
 
@@ -183,6 +188,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         seed=args.seed,
         noise=args.noise,
         recover=args.recover,
+        engine=args.engine,
+        max_in_flight=args.max_in_flight,
+        workers=args.workers,
     )
     for line in report.lines():
         print(line)
@@ -290,6 +298,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--recover",
         action="store_true",
         help="retry EmptyRegionError sessions once under majority voting",
+    )
+    serve.add_argument(
+        "--engine",
+        choices=("wave", "continuous"),
+        default="wave",
+        help="scheduler: lock-step waves (deterministic reference) or "
+        "continuous batching (bounded in-flight set, higher occupancy)",
+    )
+    serve.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=64,
+        help="continuous engine: max sessions live at once (default 64)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="continuous engine: thread-pool size for per-session agent "
+        "work (default 0: inline)",
     )
     serve.add_argument(
         "--snapshot",

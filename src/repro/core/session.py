@@ -264,7 +264,7 @@ class InteractiveAlgorithm(abc.ABC):
         )
 
 
-def failed_session_result(
+def _failed_session_result(
     algorithm: InteractiveAlgorithm,
     error: BaseException,
     elapsed_seconds: float,
@@ -384,7 +384,7 @@ def run_session(
         watch.stop()
         if on_error == "raise":
             raise
-        return failed_session_result(
+        return _failed_session_result(
             algorithm, error, watch.elapsed, trace=records
         )
     return SessionResult(

@@ -21,6 +21,7 @@ from repro.users.oracle import OracleUser
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.serve.engine import SessionEngine
+    from repro.serve.scheduler import ContinuousEngine
 
 #: A fresh algorithm instance per user session.
 AlgorithmFactory = Callable[[], InteractiveAlgorithm]
@@ -51,7 +52,7 @@ def evaluate_algorithm(
     utilities: np.ndarray,
     name: str = "",
     max_rounds: int = 2_000,
-    engine: "SessionEngine | None" = None,
+    engine: "SessionEngine | ContinuousEngine | None" = None,
 ) -> EvaluationSummary:
     """Run one session per hidden utility vector and aggregate.
 
@@ -69,7 +70,8 @@ def evaluate_algorithm(
         Per-session safety cap (ignored when ``engine`` is given: the
         engine's own ``max_rounds`` applies).
     engine:
-        Optional :class:`~repro.serve.engine.SessionEngine`.  When given,
+        Optional :class:`~repro.serve.engine.SessionEngine` or
+        :class:`~repro.serve.scheduler.ContinuousEngine`.  When given,
         all user sessions are driven concurrently through it (batched
         Q-scoring, LP memoisation) instead of sequentially; results are
         bit-identical to the sequential path.
@@ -79,7 +81,11 @@ def evaluate_algorithm(
         for utility in np.atleast_2d(np.asarray(utilities, dtype=float))
     ]
     if engine is not None:
-        sessions = engine.run([(factory, user) for user in users])
+        from repro.serve.spec import SessionSpec
+
+        sessions = engine.run(
+            [SessionSpec(factory=factory, user=user) for user in users]
+        )
     else:
         sessions = [
             run_session(factory(), user, max_rounds=max_rounds)

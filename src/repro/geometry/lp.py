@@ -46,6 +46,7 @@ from __future__ import annotations
 
 import abc
 import hashlib
+import threading
 from collections import OrderedDict
 from collections.abc import Iterator, Sequence
 from contextlib import contextmanager, nullcontext
@@ -143,6 +144,16 @@ class LPCache:
     (a hit refreshes an entry's recency), so the hot simplex-startup
     systems every fresh session re-derives stay resident under
     sustained load instead of being the first insertions evicted.
+
+    Thread safety: :meth:`lookup` and :meth:`store` — the two operations
+    :func:`solve` uses — take an internal lock, so one cache can be
+    shared by the LP worker threads of
+    :class:`~repro.serve.scheduler.ContinuousEngine` (the ContextVar
+    installation is *copied* to each worker task, all pointing at this
+    one object).  Two threads racing the same uncached system may both
+    miss and both solve — a small duplicated effort, never a wrong
+    answer, because entries are immutable once derived from the keyed
+    system.
     """
 
     def __init__(self, max_entries: int = 100_000) -> None:
@@ -152,6 +163,7 @@ class LPCache:
         self._store: OrderedDict[
             bytes, LPResult | tuple[type[LPError], str]
         ] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -171,33 +183,53 @@ class LPCache:
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._store.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
 
-    # -- internals used by solve() -------------------------------------------
+    # -- the solve() protocol ------------------------------------------------
 
-    def _fetch(self, key: bytes) -> LPResult:
-        """Return the cached outcome for ``key``, re-raising cached failures.
+    def lookup(
+        self, key: bytes
+    ) -> LPResult | tuple[type[LPError], str] | None:
+        """Atomically probe ``key``, counting the hit or miss.
 
-        A fetch counts as a *use*: the entry moves to the recent end of
-        the LRU order, so frequently replayed systems survive eviction.
+        Returns the stored entry — an :class:`LPResult` *copy* (callers
+        may mutate ``x``) or a ``(error_type, message)`` failure pair —
+        or ``None`` on a miss.  A hit counts as a *use*: the entry moves
+        to the recent end of the LRU order, so frequently replayed
+        systems survive eviction.
         """
-        self._store.move_to_end(key)
-        entry = self._store[key]
-        if isinstance(entry, LPResult):
-            return LPResult(x=entry.x.copy(), value=entry.value)
-        error_type, message = entry
-        raise error_type(message)
+        with self._lock:
+            entry = self._store.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._store.move_to_end(key)
+            if isinstance(entry, LPResult):
+                return LPResult(x=entry.x.copy(), value=entry.value)
+            return entry
 
-    def _record(
+    def store(
         self, key: bytes, entry: LPResult | tuple[type[LPError], str]
     ) -> None:
-        if key in self._store:
-            self._store.move_to_end(key)
-        elif len(self._store) >= self.max_entries:
-            self._store.popitem(last=False)
-        self._store[key] = entry
+        """Atomically record ``entry`` under ``key``, evicting LRU-first."""
+        with self._lock:
+            if key in self._store:
+                self._store.move_to_end(key)
+            elif len(self._store) >= self.max_entries:
+                self._store.popitem(last=False)
+            self._store[key] = entry
+
+    @staticmethod
+    def replay(entry: LPResult | tuple[type[LPError], str]) -> LPResult:
+        """Re-enact a stored entry: return the result or re-raise the error."""
+        if isinstance(entry, LPResult):
+            return entry
+        error_type, message = entry
+        raise error_type(message)
 
 
 #: The installed cache is context-local, not a module global: two engines
@@ -368,14 +400,13 @@ def solve(
         else backend.name.encode()
     )
     key = constraint_system_key(c, a_ub, b_ub, a_eq, b_eq, bounds, tag=tag)
-    if key in cache._store:
-        cache.hits += 1
+    entry = cache.lookup(key)
+    if entry is not None:
         if tracer is None:
-            return cache._fetch(key)
+            return LPCache.replay(entry)
         tracer.counter("lp.cache.hits")
         with tracer.span(f"lp.solve/{kind}/hit"):
-            return cache._fetch(key)
-    cache.misses += 1
+            return LPCache.replay(entry)
     backend.solves += 1
     span = (
         nullcontext()
@@ -388,9 +419,9 @@ def solve(
         try:
             result = backend.solve_raw(c, a_ub, b_ub, a_eq, b_eq, bounds)
         except LPError as error:
-            cache._record(key, (type(error), str(error)))
+            cache.store(key, (type(error), str(error)))
             raise
-    cache._record(key, result)
+    cache.store(key, result)
     return LPResult(x=result.x.copy(), value=result.value)
 
 

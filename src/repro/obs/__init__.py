@@ -24,7 +24,7 @@ with::
     from repro import obs
     tracer = obs.Tracer()
     with obs.use_tracer(tracer):
-        engine.run(pairs)
+        engine.run(specs)
     obs.write_chrome_trace(tracer, "trace.json")
 
 or from the command line: ``python -m repro profile --out trace.json``.

@@ -30,6 +30,7 @@ aggregate (LP kind, cache hit/miss) without exploding tag cardinality.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from contextvars import ContextVar
@@ -141,6 +142,25 @@ class _SpanHandle:
         return None
 
 
+class _OpenFrames(threading.local):
+    """Per-thread open-span bookkeeping for one :class:`Tracer`.
+
+    Span nesting is a property of one thread's call stack: a worker
+    thread's ``lp.solve`` span is not a child of whatever span the
+    driver thread happens to have open.  Keeping the node stack and the
+    accumulated-child-durations stack thread-local makes parent/child
+    attribution (and therefore self-time accounting) correct when one
+    tracer receives spans from a thread pool, e.g. the LP workers of
+    :class:`~repro.serve.scheduler.ContinuousEngine`.
+    """
+
+    def __init__(self) -> None:
+        #: Open nodes, innermost last (``None`` entries past the cap).
+        self.stack: list[SpanNode | None] = []
+        #: Parallel stack of child durations for self-time computation.
+        self.child_seconds: list[float] = []
+
+
 class Tracer:
     """In-memory span tree plus incremental aggregates and counters.
 
@@ -153,6 +173,15 @@ class Tracer:
         and ``dropped_spans`` is incremented, so a pathological
         tracing-enabled run degrades to aggregate-only instead of
         exhausting memory.
+
+    Thread safety: span *nesting* is tracked per thread (a worker
+    thread's spans root their own subtree rather than splicing into
+    the driver's open span), and the shared structures — tree roots,
+    aggregates, phase totals, counters — are mutated under an internal
+    lock, so the same tracer instance can be propagated to worker
+    threads the way the serving layer propagates its LP cache.  The
+    lock is uncontended (and the thread-local lookup is one dict probe)
+    in the single-threaded case, keeping tracing-on overhead flat.
     """
 
     def __init__(self, max_spans: int = 1_000_000) -> None:
@@ -167,11 +196,8 @@ class Tracer:
         self.dropped_spans = 0
         self._origin = time.perf_counter()
         self._spans_recorded = 0
-        # Open-span bookkeeping: the node stack (None entries past the
-        # cap) and a parallel stack of accumulated child durations used
-        # to compute self-time without walking the tree.
-        self._stack: list[SpanNode | None] = []
-        self._child_seconds: list[float] = []
+        self._frames = _OpenFrames()
+        self._lock = threading.Lock()
         self._aggregates: dict[str, SpanAggregate] = {}
         self._phase_self: dict[str, float] = {}
 
@@ -183,7 +209,8 @@ class Tracer:
 
     def counter(self, name: str, value: float = 1) -> None:
         """Add ``value`` to counter ``name`` (created at zero)."""
-        self.counters[name] = self.counters.get(name, 0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
 
     # -- views ---------------------------------------------------------------
 
@@ -200,16 +227,18 @@ class Tracer:
 
     def phase_seconds(self) -> dict[str, float]:
         """Self-time per phase (``lp``, ``score``, ``range``, ...)."""
-        return dict(self._phase_self)
+        with self._lock:
+            return dict(self._phase_self)
 
     def phase_snapshot(self) -> dict[str, float]:
         """A snapshot for :meth:`phases_since` (cheap: a few floats)."""
-        return dict(self._phase_self)
+        with self._lock:
+            return dict(self._phase_self)
 
     def phases_since(self, snapshot: dict[str, float]) -> dict[str, float]:
         """Per-phase self-seconds accumulated after ``snapshot``."""
         delta: dict[str, float] = {}
-        for phase, total in self._phase_self.items():
+        for phase, total in self.phase_seconds().items():
             grown = total - snapshot.get(phase, 0.0)
             if grown > 0.0:
                 delta[phase] = grown
@@ -220,14 +249,16 @@ class Tracer:
     def _open(
         self, name: str, tags: dict[str, Any] | None, now: float
     ) -> SpanNode | None:
+        frames = self._frames
         node: SpanNode | None = None
-        if self._spans_recorded + len(self._stack) < self.max_spans:
+        if self._spans_recorded + len(frames.stack) < self.max_spans:
             node = SpanNode(name, tags)
             node.start = now - self._origin
         else:
-            self.dropped_spans += 1
-        self._stack.append(node)
-        self._child_seconds.append(0.0)
+            with self._lock:
+                self.dropped_spans += 1
+        frames.stack.append(node)
+        frames.child_seconds.append(0.0)
         return node
 
     def _close(
@@ -237,30 +268,32 @@ class Tracer:
         entered_at: float,
         now: float,
     ) -> None:
+        frames = self._frames
         duration = now - entered_at
-        children = self._child_seconds.pop()
-        self._stack.pop()
-        if self._child_seconds:
-            self._child_seconds[-1] += duration
+        children = frames.child_seconds.pop()
+        frames.stack.pop()
+        if frames.child_seconds:
+            frames.child_seconds[-1] += duration
         self_seconds = duration - children
-        aggregate = self._aggregates.get(name)
-        if aggregate is None:
-            aggregate = self._aggregates[name] = SpanAggregate()
-        aggregate.calls += 1
-        aggregate.total_seconds += duration
-        aggregate.self_seconds += self_seconds
-        phase = phase_of(name)
-        self._phase_self[phase] = (
-            self._phase_self.get(phase, 0.0) + self_seconds
-        )
-        if node is not None:
-            node.duration = duration
-            parent = self._stack[-1] if self._stack else None
-            if parent is not None:
-                parent.children.append(node)
-            else:
-                self.roots.append(node)
-            self._spans_recorded += 1
+        parent = frames.stack[-1] if frames.stack else None
+        with self._lock:
+            aggregate = self._aggregates.get(name)
+            if aggregate is None:
+                aggregate = self._aggregates[name] = SpanAggregate()
+            aggregate.calls += 1
+            aggregate.total_seconds += duration
+            aggregate.self_seconds += self_seconds
+            phase = phase_of(name)
+            self._phase_self[phase] = (
+                self._phase_self.get(phase, 0.0) + self_seconds
+            )
+            if node is not None:
+                node.duration = duration
+                if parent is not None:
+                    parent.children.append(node)
+                else:
+                    self.roots.append(node)
+                self._spans_recorded += 1
 
     def __repr__(self) -> str:
         return (

@@ -5,12 +5,18 @@ The paper's harness answers one user at a time through
 many users against one trained agent.  This subsystem provides that
 layer:
 
+* :class:`SessionSpec` — the canonical unit of serving work (session
+  factory, user, seed, tags), accepted by both engines;
 * :class:`SessionEngine` — multiplexes sessions in lock-step waves,
   batching Q-network scoring across sessions and memoising LP solves
   through a per-engine :class:`~repro.geometry.lp.LPCache`, with a
   bit-for-bit determinism guarantee w.r.t. sequential ``run_session``
   and per-slot fault isolation (one dying session cannot abort the
-  run);
+  run).  It is the deterministic *reference* scheduler;
+* :class:`ContinuousEngine` — the scaling scheduler: continuous
+  (iteration-level) batching with admission control, backpressure and a
+  ``submit()``/``as_completed()``/``drain()`` streaming lifecycle,
+  producing per-session results identical to the wave engine;
 * :class:`RecoveryPolicy` — optional retry of failed sessions under
   :class:`~repro.core.robust.MajorityVoteSession`;
 * :class:`EngineMetrics` / :class:`SessionMetrics` /
@@ -18,18 +24,25 @@ layer:
   path, failures included;
 * :func:`run_serve_bench` — the end-to-end many-users benchmark behind
   ``python -m repro serve-bench``.
+
+Everything else in the submodules (slot/task book-keeping, result
+helpers) is private API.
 """
 
 from repro.serve.bench import ServeBenchReport, run_serve_bench
 from repro.serve.engine import RecoveryPolicy, SessionEngine
 from repro.serve.metrics import EngineMetrics, SessionError, SessionMetrics
+from repro.serve.scheduler import ContinuousEngine
+from repro.serve.spec import SessionSpec
 
 __all__ = [
+    "ContinuousEngine",
     "EngineMetrics",
     "RecoveryPolicy",
     "ServeBenchReport",
     "SessionEngine",
     "SessionError",
     "SessionMetrics",
+    "SessionSpec",
     "run_serve_bench",
 ]

@@ -2,7 +2,10 @@
 
 Trains a small RL agent on a dataset, fans out ``--sessions`` simulated
 users with independent hidden utilities and seeds, drives them all
-through one :class:`~repro.serve.engine.SessionEngine`, and reports the
+through one engine — the lock-step
+:class:`~repro.serve.engine.SessionEngine` or, with
+``engine="continuous"``, the continuous-batching
+:class:`~repro.serve.scheduler.ContinuousEngine` — and reports the
 aggregate metrics (throughput, LP cache hit rate, batch occupancy, and
 — when sessions die — failure/retry counts).  With ``noise > 0`` the
 users are :class:`~repro.users.NoisyUser` instances, the workload the
@@ -29,6 +32,8 @@ from repro.obs.tracer import active_tracer
 from repro.registry import make_config, make_session, make_trainer
 from repro.serve.engine import RecoveryPolicy, SessionEngine
 from repro.serve.metrics import EngineMetrics
+from repro.serve.scheduler import ContinuousEngine
+from repro.serve.spec import SessionSpec
 from repro.users import NoisyUser, OracleUser
 from repro.utils.rng import RngLike, spawn_rngs
 
@@ -46,12 +51,14 @@ class ServeBenchReport:
     results: list[SessionResult]
     noise: float = 0.0
     max_rounds: int = DEFAULT_MAX_ROUNDS
+    engine: str = "wave"
 
     def lines(self) -> list[str]:
         """Report lines printed by the CLI command."""
         noise_note = f", noise={self.noise}" if self.noise else ""
         header = (
-            f"serve-bench: {self.sessions} x {self.algorithm} sessions "
+            f"serve-bench[{self.engine}]: "
+            f"{self.sessions} x {self.algorithm} sessions "
             f"on {self.dataset} (eps={self.epsilon}{noise_note}, "
             f"train {self.train_seconds:.1f}s)"
         )
@@ -79,18 +86,20 @@ class ServeBenchReport:
         config = {
             "algorithm": self.algorithm,
             "dataset": self.dataset,
+            "engine": self.engine,
             "epsilon": self.epsilon,
             "max_rounds": self.max_rounds,
             "noise": self.noise,
             "sessions": self.sessions,
         }
+        steps = m.ticks if m.ticks else m.waves
         timings = {
             "rounds_per_second": m.rounds_per_second,
             "sessions_per_second": m.sessions_per_second,
             "train_seconds": self.train_seconds,
             "wall_seconds": m.wall_seconds,
             "wave_latency_seconds": (
-                m.wall_seconds / m.waves if m.waves else 0.0
+                m.wall_seconds / steps if steps else 0.0
             ),
         }
         counters = {
@@ -101,6 +110,7 @@ class ServeBenchReport:
             "lp_cache_hits": m.lp_cache_hits,
             "lp_hit_rate": round(m.lp_hit_rate, 6),
             "lp_solves": m.lp_solves,
+            "occupancy": round(m.occupancy, 6),
             "peak_batch": m.peak_batch,
             "range_clip_rate": round(m.range_clip_rate, 6),
             "range_clips": m.range_clips,
@@ -108,6 +118,7 @@ class ServeBenchReport:
             "range_updates": m.range_updates,
             "retries": m.retries,
             "rounds_total": m.rounds_total,
+            "ticks": m.ticks,
             "truncated": m.truncated,
             "waves": m.waves,
         }
@@ -146,6 +157,9 @@ def run_serve_bench(
     noise: float = 0.0,
     recover: bool = False,
     recovery: RecoveryPolicy | None = None,
+    engine: str = "wave",
+    max_in_flight: int = 64,
+    workers: int = 0,
 ) -> ServeBenchReport:
     """Train one agent, serve ``sessions`` concurrent users, measure.
 
@@ -178,9 +192,24 @@ def run_serve_bench(
         under majority voting).
     recovery:
         An explicit policy; overrides ``recover``.
+    engine:
+        ``"wave"`` (default) serves through the lock-step
+        :class:`~repro.serve.engine.SessionEngine`; ``"continuous"``
+        through the continuous-batching
+        :class:`~repro.serve.scheduler.ContinuousEngine`.  Per-session
+        results are identical; occupancy and throughput differ.
+    max_in_flight:
+        Admission cap for the continuous engine (ignored by ``wave``).
+    workers:
+        Thread-pool size for the continuous engine's per-session agent
+        work (ignored by ``wave``; 0 = inline).
     """
     if sessions < 1:
         raise ConfigurationError(f"sessions must be >= 1, got {sessions}")
+    if engine not in ("wave", "continuous"):
+        raise ConfigurationError(
+            f"engine must be 'wave' or 'continuous', got {engine!r}"
+        )
     if not 0.0 <= noise < 1.0:
         raise ConfigurationError(f"noise must be in [0, 1), got {noise}")
     epsilon = validate_epsilon(epsilon)
@@ -218,12 +247,27 @@ def run_serve_bench(
             )
         return OracleUser(hidden[index])
 
-    pairs = [
-        (session_factory(seeds[i]), make_user(i)) for i in range(sessions)
+    specs = [
+        SessionSpec(
+            factory=session_factory(seeds[i]),
+            user=make_user(i),
+            seed=seeds[i],
+        )
+        for i in range(sessions)
     ]
-    engine = SessionEngine(max_rounds=max_rounds, recovery=policy)
-    results = engine.run(pairs)
-    metrics = engine.last_metrics
+    if engine == "continuous":
+        with ContinuousEngine(
+            max_rounds=max_rounds,
+            recovery=policy,
+            max_in_flight=max_in_flight,
+            workers=workers,
+        ) as served:
+            results = served.run(specs)
+            metrics = served.last_metrics
+    else:
+        wave_engine = SessionEngine(max_rounds=max_rounds, recovery=policy)
+        results = wave_engine.run(specs)
+        metrics = wave_engine.last_metrics
     if metrics is None:
         raise ConfigurationError("engine.run() did not populate last_metrics")
     return ServeBenchReport(
@@ -236,4 +280,5 @@ def run_serve_bench(
         results=results,
         noise=noise,
         max_rounds=max_rounds,
+        engine=engine,
     )

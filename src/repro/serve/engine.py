@@ -1,7 +1,8 @@
 """A lock-step engine multiplexing many interactive sessions.
 
-:class:`SessionEngine` drives a set of ``(algorithm, user)`` pairs the
-way :func:`repro.core.session.run_session` drives one, but in *waves*:
+:class:`SessionEngine` drives a set of
+:class:`~repro.serve.spec.SessionSpec` submissions the way
+:func:`repro.core.session.run_session` drives one, but in *waves*:
 every wave advances each active session by exactly one round.  Stepping
 in lock-step is what makes cross-session amortisation possible:
 
@@ -55,12 +56,13 @@ from repro.core.session import (
     Question,
     RoundRecord,
     SessionResult,
-    failed_session_result,
+    _failed_session_result,
 )
 from repro.errors import ConfigurationError, EmptyRegionError, InteractionError
 from repro.geometry.lp import LPCache, use_cache
 from repro.obs.tracer import Tracer, active_tracer
 from repro.serve.metrics import EngineMetrics, SessionError, SessionMetrics
+from repro.serve.spec import SessionSource, coerce_specs
 from repro.users.oracle import User
 from repro.utils.timing import Stopwatch
 
@@ -152,10 +154,16 @@ class SessionEngine:
 
     Examples
     --------
-    >>> from repro.serve import SessionEngine
+    >>> from repro.serve import SessionEngine, SessionSpec
     >>> engine = SessionEngine()          # doctest: +SKIP
-    >>> results = engine.run([(agent.new_session(rng=s), user)
-    ...                       for s, user in enumerate(users)])  # doctest: +SKIP
+    >>> results = engine.run(
+    ...     [SessionSpec(factory=lambda s=seed: agent.new_session(rng=s),
+    ...                  user=user, seed=seed)
+    ...      for seed, user in enumerate(users)])  # doctest: +SKIP
+
+    Factories (not constructed sessions) are the canonical form: they
+    run inside the engine's LP-cache context and are the only form a
+    :class:`RecoveryPolicy` can retry.
     """
 
     def __init__(
@@ -181,23 +189,22 @@ class SessionEngine:
 
     def run(
         self,
-        sessions: Sequence[
-            tuple[
-                InteractiveAlgorithm | Callable[[], InteractiveAlgorithm],
-                User,
-            ]
-        ],
+        sessions: Sequence[SessionSource],
         trace: bool = False,
     ) -> list[SessionResult]:
-        """Drive every ``(algorithm, user)`` pair to completion.
+        """Drive every submitted session to completion.
 
-        Each pair's first element is either a fresh algorithm or a
-        zero-argument factory producing one.  Prefer factories: they are
+        Each element is a :class:`~repro.serve.spec.SessionSpec` — the
+        canonical unit of serving work — or, deprecated, an
+        ``(algorithm_or_factory, user)`` tuple, accepted with a
+        :class:`DeprecationWarning` via
+        :func:`~repro.serve.spec.coerce_spec`.  Spec factories are
         invoked *inside* the engine's LP-cache context, so the heavy
         constraint solves of session start-up (identical across sessions
         that share a dataset) are memoised too — sessions constructed
-        eagerly pay that cost before the cache is installed — and only
-        factory-built sessions can be retried by a :class:`RecoveryPolicy`.
+        eagerly (tuple form) pay that cost before the cache is installed
+        — and only factory-built sessions can be retried by a
+        :class:`RecoveryPolicy`.
 
         Exactly one result per input pair is returned, in input order,
         even when sessions die: a slot whose interaction raises is
@@ -210,6 +217,7 @@ class SessionEngine:
         per-round records are collected into each result's ``trace``
         exactly as ``run_session(..., trace=True)`` would.
         """
+        specs = coerce_specs(sessions)
         cache = self.lp_cache
         hits_before = cache.hits if cache else 0
         misses_before = cache.misses if cache else 0
@@ -223,15 +231,15 @@ class SessionEngine:
         run_span = (
             nullcontext()
             if tracer is None
-            else tracer.span("engine.run", sessions=len(sessions))
+            else tracer.span("engine.run", sessions=len(specs))
         )
         metrics = EngineMetrics()
         results: list[SessionResult | None] = []
         try:
             with context, run_span:
                 slots = []
-                for index, (source, user) in enumerate(sessions):
-                    algorithm = source() if callable(source) else source
+                for index, spec in enumerate(specs):
+                    algorithm = spec.build()
                     if algorithm.rounds != 0:
                         raise InteractionError(
                             "SessionEngine.run() requires fresh algorithms; "
@@ -241,9 +249,9 @@ class SessionEngine:
                         _Slot(
                             index=index,
                             algorithm=algorithm,
-                            user=user,
+                            user=spec.user,
                             metrics=SessionMetrics(session_id=index),
-                            source=source if callable(source) else None,
+                            source=spec.factory if spec.retryable else None,
                         )
                     )
                 metrics.sessions = len(slots)
@@ -512,7 +520,7 @@ class SessionEngine:
         slot.metrics.wall_seconds = time.perf_counter() - started
         slot.metrics.agent_seconds = slot.agent_seconds
         self._record_range(slot, metrics)
-        result = failed_session_result(
+        result = _failed_session_result(
             slot.algorithm, error, slot.agent_seconds, trace=slot.records
         )
         result.metrics = slot.metrics

@@ -129,7 +129,16 @@ class EngineMetrics:
         retried ``n`` times contributes up to ``n + 1`` records).
     waves:
         Lock-step iterations executed (each wave advances every active
-        session by at most one round).
+        session by at most one round).  Zero for the continuous engine,
+        which counts ``ticks`` instead.
+    ticks:
+        Scheduler iterations executed by the continuous engine (each
+        tick advances every *in-flight* session by at most one round).
+        Zero for the wave engine.
+    in_flight_cap:
+        The continuous engine's admission cap (``max_in_flight``) —
+        the per-tick capacity ``occupancy`` is measured against.  Zero
+        for the wave engine.
     rounds_total:
         Questions answered across all sessions.
     batches:
@@ -166,6 +175,8 @@ class EngineMetrics:
     recovered: int = 0
     errors: list[SessionError] = field(default_factory=list)
     waves: int = 0
+    ticks: int = 0
+    in_flight_cap: int = 0
     rounds_total: int = 0
     batches: int = 0
     batched_rows: int = 0
@@ -198,6 +209,21 @@ class EngineMetrics:
         return self.mean_batch_size / self.sessions
 
     @property
+    def occupancy(self) -> float:
+        """Fraction of provisioned batch capacity actually filled.
+
+        For the continuous engine this is ``batched_rows`` over the
+        total capacity it provisioned — ``ticks × in_flight_cap`` — so
+        an engine that keeps its in-flight slots full of batchable work
+        scores close to 1.0 regardless of how many sessions were queued
+        behind the cap.  For the wave engine (which has no fixed
+        capacity) this falls back to :attr:`batch_occupancy`.
+        """
+        if self.ticks and self.in_flight_cap:
+            return self.batched_rows / (self.ticks * self.in_flight_cap)
+        return self.batch_occupancy
+
+    @property
     def lp_hit_rate(self) -> float:
         """Fraction of routed LP solves answered from the cache."""
         return self.lp_cache_hits / self.lp_solves if self.lp_solves else 0.0
@@ -224,21 +250,25 @@ class EngineMetrics:
 
     def summary_lines(self) -> list[str]:
         """Human-readable report lines (used by ``serve-bench``)."""
+        if self.ticks:
+            steps = f"ticks: {self.ticks} (cap {self.in_flight_cap})"
+        else:
+            steps = f"waves: {self.waves}"
         lines = [
             f"sessions: {self.sessions} "
             f"({self.completed} completed, {self.truncated} truncated, "
             f"{self.failed} failed)",
-            f"waves: {self.waves}; rounds: {self.rounds_total} "
+            f"{steps}; rounds: {self.rounds_total} "
             f"(mean {self.rounds_total / self.sessions:.1f}/session)"
             if self.sessions
-            else f"waves: {self.waves}; rounds: {self.rounds_total}",
+            else f"{steps}; rounds: {self.rounds_total}",
             f"throughput: {self.sessions_per_second:.2f} sessions/s, "
             f"{self.rounds_per_second:.1f} rounds/s "
             f"({self.wall_seconds:.2f}s wall)",
             f"batched scoring: {self.batches} batches, "
             f"mean size {self.mean_batch_size:.1f}, "
             f"peak {self.peak_batch}, "
-            f"occupancy {self.batch_occupancy:.2f}",
+            f"occupancy {self.occupancy:.2f}",
             f"LP solves: {self.lp_solves}, cache hits: {self.lp_cache_hits} "
             f"(hit rate {self.lp_hit_rate:.1%})",
         ]

@@ -1,0 +1,790 @@
+"""Continuous-batching session scheduler: :class:`ContinuousEngine`.
+
+The wave-based :class:`~repro.serve.engine.SessionEngine` steps *every*
+admitted session in lock-step, so batch occupancy decays as sessions
+finish at different rounds: a wave's stacked Q-scoring pass shrinks to
+whatever stragglers remain, and the slowest session gates everyone.
+This module schedules the way LLM inference servers do — iteration-level
+("continuous") batching:
+
+* Sessions join and leave the in-flight set independently.  A bounded
+  number (``max_in_flight``) run at once; the moment one finishes, the
+  next pending submission is admitted, so every tick's stacked
+  Q-scoring pass (:meth:`~repro.rl.dqn.DQNAgent.q_values_many`) stays
+  near capacity even with thousands of queued sessions.
+* Work arrives through a streaming lifecycle — :meth:`submit` hands in
+  one :class:`~repro.serve.spec.SessionSpec` and returns a ticket,
+  :meth:`as_completed` yields results as sessions finish, and
+  :meth:`drain` blocks for everything, returning results in submission
+  order.  The batch :meth:`run` facade keeps ``SessionEngine.run``'s
+  shape for drop-in use.
+* Per-session agent work (candidate selection, ``observe``,
+  per-round ``recommend``) can be fanned out to a thread pool
+  (``workers``).  The pool inherits the driver's ContextVar
+  installations — the engine's :class:`~repro.geometry.lp.LPCache` and
+  any active :class:`~repro.obs.tracer.Tracer` — via
+  ``contextvars.copy_context()``; both are thread-safe, so workers
+  share one cache and one trace stream.
+* Backpressure: ``max_pending`` bounds the admission queue.  A
+  :meth:`submit` that would exceed it runs scheduler ticks inline until
+  space frees up, so an unbounded producer cannot grow memory without
+  also advancing the work it already queued.
+
+Determinism: per-session transcripts are independent of scheduling.
+Each session's next question depends only on its own state, its own
+answers, Q-scores that are bit-identical per candidate set (dense
+layers are row-independent, so batch composition cannot perturb them)
+and LP results that cache hits replay exactly.  A session therefore
+produces the same recommendation, rounds, and trace under this engine,
+the wave engine, or sequential ``run_session`` — the property the
+wave-vs-continuous equivalence gate in ``benchmarks/ci_gate.py``
+asserts.  This also holds with ``workers > 0``: each session's state is
+only ever touched by one thread at a time, and racing cache misses cost
+duplicate solves, never different answers.
+
+Fault isolation matches the wave engine, extended to admission: a
+factory that raises, a stale (already-driven) session, or any per-slot
+interaction error marks only that ticket ``"failed"`` — the scheduler
+keeps serving, and a :class:`~repro.serve.engine.RecoveryPolicy` can
+re-drive factory-built failures under majority voting.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from collections.abc import Callable, Iterator, Sequence
+from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.robust import MajorityVoteSession
+from repro.core.session import (
+    DEFAULT_MAX_ROUNDS,
+    CandidateBatch,
+    InteractiveAlgorithm,
+    Question,
+    RoundRecord,
+    SessionResult,
+    _failed_session_result,
+)
+from repro.errors import ConfigurationError, InteractionError
+from repro.geometry.lp import LPCache, use_cache
+from repro.obs.tracer import Tracer, active_tracer
+from repro.serve.engine import RecoveryPolicy
+from repro.serve.metrics import EngineMetrics, SessionError, SessionMetrics
+from repro.serve.spec import SessionSource, SessionSpec, coerce_spec
+from repro.utils.timing import Stopwatch
+
+
+@dataclass
+class _Task:
+    """Book-keeping for one submitted session (one ticket)."""
+
+    ticket: int
+    spec: SessionSpec
+    algorithm: InteractiveAlgorithm
+    metrics: SessionMetrics
+    trace: bool = False
+    attempt: int = 0
+    dead: bool = False
+    watch: Stopwatch = field(default_factory=Stopwatch)
+    shared_seconds: float = 0.0
+    records: list[RoundRecord] = field(default_factory=list)
+    question: Question | None = None
+    batch: CandidateBatch | None = None
+    submitted_at: float = 0.0
+
+    @property
+    def agent_seconds(self) -> float:
+        """Own agent time plus this session's share of batched scoring."""
+        return self.watch.elapsed + self.shared_seconds
+
+
+class ContinuousEngine:
+    """Serve sessions with continuous batching and bounded concurrency.
+
+    Parameters
+    ----------
+    max_rounds:
+        Per-session safety cap, as in ``run_session``.
+    lp_cache:
+        ``True`` (default) installs a fresh per-engine
+        :class:`~repro.geometry.lp.LPCache` shared by every session
+        (and every worker thread); pass an existing cache to share
+        across engines, or ``False``/``None`` to disable memoisation.
+    recovery:
+        ``None`` (default) returns failed sessions as ``"failed"``.
+        Pass a :class:`~repro.serve.engine.RecoveryPolicy` to re-drive
+        matching factory-built failures under
+        :class:`~repro.core.robust.MajorityVoteSession`.
+    max_in_flight:
+        Admission cap: at most this many sessions are live per tick.
+        This is the provisioned batch capacity the
+        :attr:`EngineMetrics.occupancy` metric measures against.
+    max_pending:
+        Backpressure bound on the admission queue (``None`` = unbounded).
+        When exceeded, :meth:`submit` runs ticks inline until the queue
+        shrinks below the bound.
+    workers:
+        Thread-pool size for per-session agent work (selection,
+        ``observe``, per-round ``recommend``).  ``0`` (default) runs
+        everything inline on the driver thread; results are identical
+        either way.
+
+    Examples
+    --------
+    >>> from repro.serve import ContinuousEngine, SessionSpec
+    >>> with ContinuousEngine(max_in_flight=64) as engine:  # doctest: +SKIP
+    ...     for seed, user in enumerate(users):
+    ...         engine.submit(SessionSpec(
+    ...             factory=lambda s=seed: agent.new_session(rng=s),
+    ...             user=user, seed=seed))
+    ...     results = engine.drain()
+    """
+
+    def __init__(
+        self,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+        lp_cache: LPCache | bool | None = True,
+        recovery: RecoveryPolicy | None = None,
+        max_in_flight: int = 64,
+        max_pending: int | None = None,
+        workers: int = 0,
+    ) -> None:
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        if max_in_flight < 1:
+            raise ConfigurationError(
+                f"max_in_flight must be >= 1, got {max_in_flight}"
+            )
+        if max_pending is not None and max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1 or None, got {max_pending}"
+            )
+        if workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {workers}")
+        self.max_rounds = int(max_rounds)
+        self.max_in_flight = int(max_in_flight)
+        self.max_pending = None if max_pending is None else int(max_pending)
+        if isinstance(lp_cache, LPCache):
+            self.lp_cache: LPCache | None = lp_cache
+        elif lp_cache:
+            self.lp_cache = LPCache()
+        else:
+            self.lp_cache = None
+        self.recovery = recovery
+        self.workers = int(workers)
+        self._executor: ThreadPoolExecutor | None = (
+            ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-serve",
+            )
+            if self.workers > 0
+            else None
+        )
+        self._closed = False
+        self._next_ticket = 0
+        self._pending: list[_Task] = []
+        self._in_flight: list[_Task] = []
+        #: Results keyed by ticket, kept until their epoch is drained.
+        self._results: dict[int, SessionResult] = {}
+        #: Tickets submitted since the last drain, in submission order.
+        self._epoch: list[int] = []
+        #: Finished results not yet yielded by :meth:`as_completed`.
+        self._completed: list[SessionResult] = []
+        self.metrics = EngineMetrics()
+        self.metrics.in_flight_cap = self.max_in_flight
+        self.last_metrics: EngineMetrics | None = None
+        cache = self.lp_cache
+        self._cache_hits0 = cache.hits if cache else 0
+        self._cache_misses0 = cache.misses if cache else 0
+        self._tracer: Tracer | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def __enter__(self) -> "ContinuousEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the worker pool and refuse further submissions.
+
+        Idempotent.  Unfinished sessions are abandoned (their tickets
+        never produce results), so :meth:`drain` first if you care.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self.last_metrics = self.metrics
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self._pending.clear()
+        self._in_flight.clear()
+
+    def submit(self, session: SessionSource, trace: bool = False) -> int:
+        """Queue one session for service; return its ticket.
+
+        Accepts a :class:`~repro.serve.spec.SessionSpec` (or the
+        deprecated ``(algorithm, user)`` tuple).  The factory is *not*
+        invoked here — construction happens at admission, inside the
+        engine's LP-cache context, so start-up solves are memoised.
+        If the pending queue exceeds ``max_pending``, scheduler ticks
+        run inline until it no longer does (backpressure).
+        """
+        self._check_open()
+        spec = coerce_spec(session)
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        task = _Task(
+            ticket=ticket,
+            spec=spec,
+            # Placeholder until admission; never driven.
+            algorithm=None,  # type: ignore[arg-type]
+            metrics=SessionMetrics(session_id=ticket),
+            trace=trace,
+            submitted_at=time.perf_counter(),
+        )
+        self.metrics.sessions += 1
+        self._epoch.append(ticket)
+        self._pending.append(task)
+        if self.max_pending is not None:
+            while len(self._pending) > self.max_pending:
+                self._tick()
+        return ticket
+
+    def as_completed(self) -> Iterator[SessionResult]:
+        """Yield results as sessions finish (completion order).
+
+        Runs scheduler ticks lazily between yields; returns when no
+        work remains.  Results yielded here are still returned by the
+        next :meth:`drain` (which reports the whole epoch in submission
+        order).
+        """
+        while True:
+            while self._completed:
+                yield self._completed.pop(0)
+            if not (self._pending or self._in_flight):
+                return
+            self._tick()
+
+    def drain(self) -> list[SessionResult]:
+        """Run until idle; return all undrained results in submit order."""
+        self._check_open()
+        while self._pending or self._in_flight:
+            self._tick()
+        self._completed.clear()
+        epoch, self._epoch = self._epoch, []
+        self.last_metrics = self.metrics
+        return [self._results.pop(ticket) for ticket in epoch]
+
+    def run(
+        self,
+        sessions: Sequence[SessionSource],
+        trace: bool = False,
+    ) -> list[SessionResult]:
+        """Submit ``sessions`` and drain: the batch facade.
+
+        Mirrors :meth:`SessionEngine.run
+        <repro.serve.engine.SessionEngine.run>`: one result per input,
+        in input order, with per-session fault isolation.  Aggregate
+        metrics accumulate on ``self.metrics`` across the engine's
+        lifetime and are snapshotted to ``last_metrics`` at each drain.
+        """
+        for session in sessions:
+            self.submit(session, trace=trace)
+        return self.drain()
+
+    # -- scheduler core ------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError(
+                "engine is closed; create a new ContinuousEngine"
+            )
+
+    def _tick(self) -> None:
+        """One scheduler iteration: admit, select, score, interact.
+
+        Every in-flight session advances by at most one round; sessions
+        that finish are replaced by pending submissions at the *next*
+        tick's admission step, keeping the batch near ``max_in_flight``.
+        """
+        if not (self._pending or self._in_flight):
+            return
+        cache = self.lp_cache
+        context = use_cache(cache) if cache is not None else nullcontext()
+        tracer = active_tracer()
+        self._tracer = tracer
+        phases_before = tracer.phase_snapshot() if tracer else None
+        started = time.perf_counter()
+        self.metrics.ticks += 1
+        tick_span = (
+            nullcontext()
+            if tracer is None
+            else tracer.span(
+                "engine.tick",
+                tick=self.metrics.ticks,
+                in_flight=len(self._in_flight),
+                pending=len(self._pending),
+            )
+        )
+        try:
+            with context, tick_span:
+                self._admit()
+                self._in_flight = self._advance(self._in_flight)
+        finally:
+            self.metrics.wall_seconds += time.perf_counter() - started
+            if cache is not None:
+                self.metrics.lp_cache_hits = cache.hits - self._cache_hits0
+                self.metrics.lp_solves = (
+                    cache.hits
+                    + cache.misses
+                    - self._cache_hits0
+                    - self._cache_misses0
+                )
+            if tracer is not None and phases_before is not None:
+                phases = self.metrics.phase_seconds
+                for phase, seconds in tracer.phases_since(
+                    phases_before
+                ).items():
+                    phases[phase] = phases.get(phase, 0.0) + seconds
+            self._tracer = None
+
+    def _admit(self) -> None:
+        """Fill free in-flight slots from the pending queue.
+
+        Unlike the wave engine — whose ``run()`` propagates admission
+        errors, aborting the whole batch — a streaming engine contains
+        them: a factory that raises or hands over an already-driven
+        session fails only its own ticket.
+        """
+        replacements: list[_Task] = []
+        while self._pending and len(self._in_flight) < self.max_in_flight:
+            task = self._pending.pop(0)
+            try:
+                task.algorithm = task.spec.build()
+                if task.algorithm.rounds != 0:
+                    raise InteractionError(
+                        "ContinuousEngine requires fresh algorithms; "
+                        f"ticket {task.ticket} has already been driven"
+                    )
+            except Exception as error:  # noqa: BLE001 -- admission boundary
+                self._fail(task, error, replacements)
+                continue
+            self._in_flight.append(task)
+        self._in_flight.extend(replacements)
+
+    def _advance(self, active: list[_Task]) -> list[_Task]:
+        """Advance every in-flight session one round; return survivors."""
+        replacements: list[_Task] = []
+        advancing: list[_Task] = []
+        batchable: list[_Task] = []
+        selecting: list[_Task] = []
+        for task in active:
+            try:
+                if task.algorithm.finished:
+                    self._finalize(task, False)
+                    continue
+                if task.algorithm.rounds >= self.max_rounds:
+                    self._finalize(task, True)
+                    continue
+            except Exception as error:  # noqa: BLE001 -- slot fault boundary
+                self._fail(task, error, replacements)
+                continue
+            selecting.append(task)
+        for task, error in zip(
+            selecting, self._map(self._select, selecting), strict=True
+        ):
+            if error is not None:
+                self._fail(task, error, replacements)
+                continue
+            if task.batch is not None:
+                batchable.append(task)
+            advancing.append(task)
+        self._score(batchable, replacements)
+        interacting = [task for task in advancing if not task.dead]
+        survivors: list[_Task] = []
+        for task, error in zip(
+            interacting, self._map(self._interact, interacting), strict=True
+        ):
+            if error is not None:
+                self._fail(task, error, replacements)
+                continue
+            task.metrics.rounds = task.algorithm.rounds
+            self.metrics.rounds_total += 1
+            try:
+                if task.algorithm.finished:
+                    # Same-tick completion: freeing the slot now lets
+                    # admission refill it next tick instead of serving
+                    # one wasted round of a finished session.
+                    self._finalize(task, False)
+                    continue
+                if task.algorithm.rounds >= self.max_rounds:
+                    self._finalize(task, True)
+                    continue
+            except Exception as tail_error:  # noqa: BLE001 -- slot boundary
+                self._fail(task, tail_error, replacements)
+                continue
+            survivors.append(task)
+        survivors.extend(replacements)
+        return survivors
+
+    # -- per-task operations (worker-pool safe) ------------------------------
+
+    def _map(
+        self,
+        op: Callable[[_Task], None],
+        tasks: list[_Task],
+    ) -> list[Exception | None]:
+        """Apply ``op`` to every task, returning per-task exceptions.
+
+        With a worker pool, each task runs under a fresh copy of the
+        driver's ContextVar context, so workers see the engine's LP
+        cache and the active tracer exactly as the driver does.  The
+        returned list is in ``tasks`` order regardless of completion
+        order, keeping failure accounting deterministic.
+        """
+        executor = self._executor
+        if executor is None or len(tasks) <= 1:
+            return [self._guard(op, task) for task in tasks]
+        futures: list[Future[Exception | None]] = [
+            executor.submit(
+                contextvars.copy_context().run, self._guard, op, task
+            )
+            for task in tasks
+        ]
+        return [future.result() for future in futures]
+
+    @staticmethod
+    def _guard(
+        op: Callable[[_Task], None], task: _Task
+    ) -> Exception | None:
+        """Run one per-task operation, capturing its fault."""
+        try:
+            op(task)
+        except Exception as error:  # noqa: BLE001 -- slot fault boundary
+            return error
+        return None
+
+    @contextmanager
+    def _task_op(self, task: _Task, op: str) -> Iterator[None]:
+        """Trace one slot interaction, like ``SessionEngine._slot_op``.
+
+        Per-slot *phase attribution* (reading the tracer's global phase
+        totals before/after) is only meaningful when ops run serially,
+        so it is skipped when a worker pool is active; the span itself
+        is still recorded (span nesting is per-thread).
+        """
+        tracer = self._tracer
+        if tracer is None:
+            yield
+            return
+        if self._executor is not None:
+            with tracer.span("engine.slot", session=task.ticket, op=op):
+                yield
+            return
+        before = tracer.phase_snapshot()
+        try:
+            with tracer.span("engine.slot", session=task.ticket, op=op):
+                yield
+        finally:
+            phases = task.metrics.phase_seconds
+            for phase, seconds in tracer.phases_since(before).items():
+                phases[phase] = phases.get(phase, 0.0) + seconds
+
+    def _select(self, task: _Task) -> None:
+        """Pick the task's next question, or park a candidate batch."""
+        algorithm = task.algorithm
+        with self._task_op(task, "select"):
+            task.watch.start()
+            batch = algorithm.candidate_batch()
+            if batch is None:
+                task.question = algorithm.next_question()
+                task.watch.stop()
+            else:
+                task.watch.stop()
+                task.batch = batch
+
+    def _interact(self, task: _Task) -> None:
+        """Ask the selected question and feed the answer back."""
+        question = task.question
+        if question is None:
+            raise InteractionError(
+                f"ticket {task.ticket} entered a tick without a "
+                "selected question (scoring produced no choice)"
+            )
+        answer = task.spec.user.prefers(question.p_i, question.p_j)
+        with self._task_op(task, "observe"):
+            task.watch.start()
+            task.algorithm.observe(answer)
+            task.watch.stop()
+        task.question = None
+        if task.trace:
+            task.records.append(
+                RoundRecord(
+                    round_number=task.algorithm.rounds,
+                    elapsed_seconds=task.agent_seconds,
+                    recommendation_index=task.algorithm.recommend(),
+                )
+            )
+
+    # -- scoring -------------------------------------------------------------
+
+    def _score(
+        self, batchable: list[_Task], replacements: list[_Task]
+    ) -> None:
+        """Resolve parked candidate batches, stacked per scorer.
+
+        Same contract as ``SessionEngine._score``: tasks sharing a
+        ``q_values_many`` scorer are scored in one stacked pass; others
+        fall back to their own sequential selection.  Scoring runs on
+        the driver thread — it is one matmul chain, the thing batching
+        exists to amortise — while the per-task question resolution
+        that follows is pool-eligible per-session work.
+        """
+        groups: dict[int, tuple[Any, list[_Task]]] = {}
+        singles: list[_Task] = []
+        for task in batchable:
+            scorer = getattr(task.algorithm, "dqn", None)
+            if scorer is None or not hasattr(scorer, "q_values_many"):
+                singles.append(task)
+                continue
+            groups.setdefault(id(scorer), (scorer, []))[1].append(task)
+        tracer = self._tracer
+        for scorer, group in groups.values():
+            batch_started = time.perf_counter()
+            try:
+                score_span = (
+                    nullcontext()
+                    if tracer is None
+                    else tracer.span("engine.score", sessions=len(group))
+                )
+                with score_span:
+                    scores_per_task = scorer.q_values_many(
+                        [
+                            (task.batch.state, task.batch.actions)
+                            for task in group
+                            if task.batch is not None
+                        ]
+                    )
+                if len(scores_per_task) != len(group):
+                    raise InteractionError(
+                        f"scorer {type(scorer).__name__} "
+                        f"(id={id(scorer):#x}) returned "
+                        f"{len(scores_per_task)} score rows for "
+                        f"{len(group)} sessions"
+                    )
+            except Exception as error:  # noqa: BLE001 -- scorer boundary
+                for task in group:
+                    self._fail(task, error, replacements)
+                continue
+            share = (time.perf_counter() - batch_started) / len(group)
+            self.metrics.batches += 1
+            self.metrics.batched_rows += len(group)
+            self.metrics.peak_batch = max(
+                self.metrics.peak_batch, len(group)
+            )
+            resolved: list[tuple[_Task, int]] = []
+            for task, scores in zip(group, scores_per_task, strict=True):
+                task.shared_seconds += share
+                if tracer is not None:
+                    phases = task.metrics.phase_seconds
+                    phases["score"] = phases.get("score", 0.0) + share
+                resolved.append((task, int(np.argmax(scores))))
+            ops = [
+                self._resolve_op(task, choice) for task, choice in resolved
+            ]
+            for (task, _), error in zip(
+                resolved,
+                self._map_ops(ops, [task for task, _ in resolved]),
+                strict=True,
+            ):
+                if error is not None:
+                    self._fail(task, error, replacements)
+                    continue
+                task.metrics.batched_rounds += 1
+                task.batch = None
+        for task, error in zip(
+            singles, self._map(self._select_single, singles), strict=True
+        ):
+            if error is not None:
+                self._fail(task, error, replacements)
+                continue
+            task.batch = None
+
+    def _resolve_op(
+        self, task: _Task, choice: int
+    ) -> Callable[[_Task], None]:
+        """An op resolving ``task``'s batched choice into a question."""
+
+        def resolve(task: _Task) -> None:
+            with self._task_op(task, "select"):
+                task.watch.start()
+                task.question = task.algorithm.next_question_from(choice)
+                task.watch.stop()
+
+        return resolve
+
+    def _map_ops(
+        self,
+        ops: list[Callable[[_Task], None]],
+        tasks: list[_Task],
+    ) -> list[Exception | None]:
+        """Like :meth:`_map` but with one distinct op per task."""
+        executor = self._executor
+        if executor is None or len(tasks) <= 1:
+            return [
+                self._guard(op, task)
+                for op, task in zip(ops, tasks, strict=True)
+            ]
+        futures = [
+            executor.submit(
+                contextvars.copy_context().run, self._guard, op, task
+            )
+            for op, task in zip(ops, tasks, strict=True)
+        ]
+        return [future.result() for future in futures]
+
+    def _select_single(self, task: _Task) -> None:
+        """Sequential selection for a batch with no shared scorer."""
+        with self._task_op(task, "select"):
+            task.watch.start()
+            task.question = task.algorithm.next_question()
+            task.watch.stop()
+
+    # -- outcomes ------------------------------------------------------------
+
+    def _fail(
+        self,
+        task: _Task,
+        error: Exception,
+        replacements: list[_Task],
+    ) -> None:
+        """Mark ``task`` failed; schedule a recovery retry if policy allows."""
+        task.watch.stop()
+        task.dead = True
+        rounds = task.algorithm.rounds if task.algorithm is not None else 0
+        recovery = self.recovery
+        retryable = (
+            recovery is not None
+            and recovery.should_retry(error, task.attempt)
+            and task.spec.retryable
+            and task.algorithm is not None
+        )
+        self.metrics.errors.append(
+            SessionError(
+                session_id=task.ticket,
+                round=rounds,
+                error_type=type(error).__name__,
+                message=str(error),
+                attempt=task.attempt,
+                retried=retryable,
+            )
+        )
+        if retryable:
+            self.metrics.retries += 1
+            replacements.append(self._retry_task(task))
+            return
+        self.metrics.failed += 1
+        task.metrics.rounds = rounds
+        task.metrics.wall_seconds = time.perf_counter() - task.submitted_at
+        task.metrics.agent_seconds = task.agent_seconds
+        self._record_range(task)
+        if task.algorithm is not None:
+            result = _failed_session_result(
+                task.algorithm, error, task.agent_seconds, trace=task.records
+            )
+        else:
+            # Admission failure: the factory raised, so there is no
+            # algorithm to take a best-effort recommendation from.
+            result = SessionResult(
+                recommendation_index=-1,
+                recommendation=np.empty(0),
+                rounds=0,
+                elapsed_seconds=task.agent_seconds,
+                truncated=False,
+                trace=task.records,
+                status="failed",
+                error=f"{type(error).__name__}: {error}",
+            )
+        result.metrics = task.metrics
+        self._deliver(task, result)
+
+    def _retry_task(self, task: _Task) -> _Task:
+        """A fresh task re-running ``task``'s session under majority vote."""
+        assert self.recovery is not None
+        attempt = task.attempt + 1
+        algorithm: InteractiveAlgorithm = MajorityVoteSession(
+            task.spec.build(), repeats=self.recovery.majority_repeats
+        )
+        return _Task(
+            ticket=task.ticket,
+            spec=task.spec,
+            algorithm=algorithm,
+            metrics=SessionMetrics(session_id=task.ticket, retries=attempt),
+            trace=task.trace,
+            attempt=attempt,
+            submitted_at=task.submitted_at,
+        )
+
+    def _record_range(self, task: _Task) -> None:
+        """Copy the task's utility-range counters into its metrics."""
+        urange = getattr(task.algorithm, "utility_range", None)
+        stats = getattr(urange, "stats", None)
+        if stats is None:
+            return
+        task.metrics.range_updates = stats.updates
+        task.metrics.range_clips = stats.clips
+        task.metrics.range_rebuilds = stats.rebuilds
+        task.metrics.range_solves_avoided = stats.solves_avoided
+        self.metrics.range_updates += stats.updates
+        self.metrics.range_clips += stats.clips
+        self.metrics.range_rebuilds += stats.rebuilds
+        self.metrics.range_solves_avoided += stats.solves_avoided
+
+    def _finalize(self, task: _Task, truncated: bool) -> None:
+        """Record the finished (or truncated) session's result."""
+        with self._task_op(task, "recommend"):
+            task.watch.start()
+            index = task.algorithm.recommend()
+            task.watch.stop()
+        task.dead = True
+        task.metrics.rounds = task.algorithm.rounds
+        task.metrics.wall_seconds = time.perf_counter() - task.submitted_at
+        task.metrics.agent_seconds = task.agent_seconds
+        self._record_range(task)
+        if truncated:
+            self.metrics.truncated += 1
+            status = "truncated"
+        else:
+            self.metrics.completed += 1
+            status = "completed"
+        if task.attempt > 0 and not truncated:
+            self.metrics.recovered += 1
+            status = "recovered"
+        self._deliver(
+            task,
+            SessionResult(
+                recommendation_index=index,
+                recommendation=task.algorithm.dataset.points[index].copy(),
+                rounds=task.algorithm.rounds,
+                elapsed_seconds=task.agent_seconds,
+                truncated=truncated,
+                trace=task.records,
+                metrics=task.metrics,
+                status=status,
+            ),
+        )
+
+    def _deliver(self, task: _Task, result: SessionResult) -> None:
+        """File a finished result for :meth:`as_completed` and :meth:`drain`."""
+        self._results[task.ticket] = result
+        self._completed.append(result)
+        self.metrics.per_session.append(task.metrics)

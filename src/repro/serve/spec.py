@@ -1,0 +1,151 @@
+"""The canonical unit of serving work: :class:`SessionSpec`.
+
+Both engines (:class:`~repro.serve.engine.SessionEngine` and
+:class:`~repro.serve.scheduler.ContinuousEngine`) admit work as
+*specs*: a zero-argument session factory paired with the user who will
+answer its questions, plus caller-side bookkeeping (``seed``, ``tags``)
+that the engines carry through untouched.  Factories — not constructed
+sessions — are the canonical form for two reasons the engine layer
+relies on:
+
+* they are invoked *inside* the engine's LP-cache context, so the heavy
+  constraint solves of session start-up (identical across sessions that
+  share a dataset) are memoised;
+* only a factory-built session can be rebuilt by a
+  :class:`~repro.serve.engine.RecoveryPolicy` — an already-driven
+  session holds poisoned state and cannot be replayed.
+
+The legacy ``(algorithm, user)`` tuple form is still accepted
+everywhere a spec sequence is (``SessionEngine.run``,
+``ContinuousEngine.run``) through :func:`coerce_spec`, which emits a
+:class:`DeprecationWarning` and wraps eager instances in a one-shot
+factory the engines recognise as non-retryable.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.core.session import InteractiveAlgorithm
+from repro.errors import ConfigurationError
+from repro.users.oracle import User
+
+#: What the engines accept where a spec is expected: the spec itself or
+#: the deprecated ``(algorithm_or_factory, user)`` tuple.
+SessionSource = Union[
+    "SessionSpec",
+    tuple[
+        "InteractiveAlgorithm | Callable[[], InteractiveAlgorithm]",
+        User,
+    ],
+]
+
+
+class OneShotFactory:
+    """Adapter presenting an eagerly-built session as a factory.
+
+    Produced by :func:`coerce_spec` for legacy ``(algorithm, user)``
+    pairs whose first element is a constructed session rather than a
+    factory.  The engines detect this wrapper and mark the slot
+    non-retryable: the wrapped instance holds real session state, so a
+    second ``__call__`` would re-drive a poisoned session.
+    """
+
+    __slots__ = ("_algorithm", "_consumed")
+
+    def __init__(self, algorithm: InteractiveAlgorithm) -> None:
+        self._algorithm = algorithm
+        self._consumed = False
+
+    def __call__(self) -> InteractiveAlgorithm:
+        """Return the wrapped session; refuses to hand it out twice."""
+        if self._consumed:
+            raise ConfigurationError(
+                "an eagerly-constructed session can only be admitted "
+                "once; submit a zero-argument factory to allow rebuilds"
+            )
+        self._consumed = True
+        return self._algorithm
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """One unit of serving work: who asks the questions, who answers.
+
+    Attributes
+    ----------
+    factory:
+        Zero-argument callable producing a fresh, unused
+        :class:`~repro.core.session.InteractiveAlgorithm`.  Invoked by
+        the engine inside its LP-cache context; re-invoked on recovery
+        retries.
+    user:
+        Anything with a ``prefers(p_i, p_j) -> bool`` method.
+    seed:
+        Optional seed recorded for provenance (e.g. the per-session RNG
+        stream the factory closes over).  The engines never interpret
+        it; it exists so results can be traced back to their stream.
+    tags:
+        Free-form caller metadata (tenant, experiment arm, priority
+        class, ...) carried through unchanged.  The engines never
+        interpret tags either.
+    """
+
+    factory: Callable[[], InteractiveAlgorithm]
+    user: User
+    seed: int | None = None
+    tags: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not callable(self.factory):
+            raise ConfigurationError(
+                "SessionSpec.factory must be a zero-argument callable "
+                f"producing a fresh session, got {type(self.factory).__name__}"
+                " — wrap constructed sessions via the legacy tuple form"
+            )
+
+    @property
+    def retryable(self) -> bool:
+        """Whether a recovery policy may rebuild this session."""
+        return not isinstance(self.factory, OneShotFactory)
+
+    def build(self) -> InteractiveAlgorithm:
+        """Invoke the factory, returning a fresh session instance."""
+        return self.factory()
+
+
+def coerce_spec(source: SessionSource, *, stacklevel: int = 3) -> SessionSpec:
+    """Normalise one submission into a :class:`SessionSpec`.
+
+    Specs pass through unchanged.  Legacy ``(algorithm_or_factory,
+    user)`` tuples are converted — factories directly, eager instances
+    via :class:`OneShotFactory` — after emitting a
+    :class:`DeprecationWarning` pointing callers at the spec form.
+    """
+    if isinstance(source, SessionSpec):
+        return source
+    if not (isinstance(source, tuple) and len(source) == 2):
+        raise ConfigurationError(
+            "each session must be a SessionSpec or a legacy "
+            f"(algorithm, user) tuple, got {type(source).__name__}"
+        )
+    warnings.warn(
+        "passing (algorithm, user) tuples to engine.run() is deprecated; "
+        "submit repro.serve.SessionSpec instances instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    head, user = source
+    if callable(head):
+        return SessionSpec(factory=head, user=user)
+    return SessionSpec(factory=OneShotFactory(head), user=user)
+
+
+def coerce_specs(
+    sources: Sequence[SessionSource], *, stacklevel: int = 4
+) -> list[SessionSpec]:
+    """Normalise a submission sequence; see :func:`coerce_spec`."""
+    return [coerce_spec(source, stacklevel=stacklevel) for source in sources]

@@ -15,7 +15,7 @@ from repro.core.session import (
     InteractiveAlgorithm,
     Question,
     SessionResult,
-    failed_session_result,
+    _failed_session_result,
     run_session,
 )
 from repro.errors import (
@@ -140,7 +140,7 @@ class TestRunSessionOnError:
 class TestFailedSessionResult:
     def test_builds_from_algorithm_state(self, toy):
         algorithm = _Scripted(toy)
-        result = failed_session_result(
+        result = _failed_session_result(
             algorithm, EmptyRegionError("boom"), 1.5
         )
         assert result.failed

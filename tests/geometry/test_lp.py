@@ -312,10 +312,10 @@ class TestLPCache:
     def test_record_existing_key_refreshes_recency(self):
         cache = lp.LPCache(max_entries=2)
         result = lp.LPResult(x=np.zeros(1), value=0.0)
-        cache._record(b"k1", result)
-        cache._record(b"k2", result)
-        cache._record(b"k1", result)  # rewrite -> k1 most recent
-        cache._record(b"k3", result)  # evicts k2
+        cache.store(b"k1", result)
+        cache.store(b"k2", result)
+        cache.store(b"k1", result)  # rewrite -> k1 most recent
+        cache.store(b"k3", result)  # evicts k2
         assert set(cache._store) == {b"k1", b"k3"}
 
 

@@ -13,7 +13,7 @@ import pytest
 
 from repro.data.utility import sample_training_utilities
 from repro.obs.tracer import Tracer, use_tracer
-from repro.serve import SessionEngine
+from repro.serve import SessionEngine, SessionSpec
 from repro.users import OracleUser
 
 
@@ -23,7 +23,11 @@ def _pairs(agent, dimension: int, n_users: int = 3):
     # the engine's LP-cache context, so start-up solves shared across
     # sessions are memoised (and their hit/miss outcomes traced).
     return [
-        (lambda seed=seed: agent.new_session(rng=seed), OracleUser(u))
+        SessionSpec(
+            factory=lambda seed=seed: agent.new_session(rng=seed),
+            user=OracleUser(u),
+            seed=seed,
+        )
         for seed, u in enumerate(utilities)
     ]
 

@@ -71,9 +71,16 @@ class TestDisabledByDefault:
             OracleUser(u)
             for u in np.random.default_rng(7).dirichlet(np.ones(3), size=2)
         ]
+        from repro.serve import SessionSpec
+
         engine.run(
             [
-                (trained_ea_3d.new_session(rng=seed), user)
+                SessionSpec(
+                    factory=lambda seed=seed: trained_ea_3d.new_session(
+                        rng=seed
+                    ),
+                    user=user,
+                )
                 for seed, user in enumerate(users)
             ]
         )

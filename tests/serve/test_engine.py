@@ -16,7 +16,12 @@ from repro.core.session import run_session
 from repro.data.utility import sample_training_utilities
 from repro.errors import InteractionError
 from repro.geometry.lp import LPCache
-from repro.serve import EngineMetrics, SessionEngine, run_serve_bench
+from repro.serve import (
+    EngineMetrics,
+    SessionEngine,
+    SessionSpec,
+    run_serve_bench,
+)
 from repro.users import OracleUser
 
 N_USERS = 4
@@ -25,6 +30,18 @@ N_USERS = 4
 def _hidden_users(dimension: int):
     utilities = sample_training_utilities(dimension, N_USERS, rng=2_024)
     return [OracleUser(u) for u in utilities]
+
+
+def _specs(make_algorithm, users):
+    """One factory-form SessionSpec per (seed, user)."""
+    return [
+        SessionSpec(
+            factory=lambda seed=seed: make_algorithm(seed),
+            user=user,
+            seed=seed,
+        )
+        for seed, user in enumerate(users)
+    ]
 
 
 def _assert_identical(sequential, engine_results):
@@ -47,9 +64,7 @@ class TestDeterminism:
             for seed, user in enumerate(users)
         ]
         engine = SessionEngine()
-        engine_results = engine.run(
-            [(make_algorithm(seed), user) for seed, user in enumerate(users)]
-        )
+        engine_results = engine.run(_specs(make_algorithm, users))
         _assert_identical(sequential, engine_results)
         return engine
 
@@ -86,10 +101,7 @@ class TestDeterminism:
         ]
         engine = SessionEngine()
         engine_results = engine.run(
-            [
-                (trained_ea_3d.new_session(rng=seed), user)
-                for seed, user in enumerate(users)
-            ],
+            _specs(lambda seed: trained_ea_3d.new_session(rng=seed), users),
             trace=True,
         )
         for seq, eng in zip(sequential, engine_results):
@@ -108,10 +120,7 @@ class TestDeterminism:
         ]
         engine = SessionEngine(lp_cache=False)
         engine_results = engine.run(
-            [
-                (trained_aa_3d.new_session(rng=seed), user)
-                for seed, user in enumerate(users)
-            ]
+            _specs(lambda seed: trained_aa_3d.new_session(rng=seed), users)
         )
         _assert_identical(sequential, engine_results)
         assert engine.lp_cache is None
@@ -125,10 +134,7 @@ class TestMetrics:
         users = _hidden_users(small_anti_3d.dimension)
         engine = SessionEngine()
         results = engine.run(
-            [
-                (trained_ea_3d.new_session(rng=seed), user)
-                for seed, user in enumerate(users)
-            ]
+            _specs(lambda seed: trained_ea_3d.new_session(rng=seed), users)
         )
         metrics = engine.last_metrics
         assert isinstance(metrics, EngineMetrics)
@@ -146,10 +152,7 @@ class TestMetrics:
         users = _hidden_users(small_anti_3d.dimension)
         engine = SessionEngine()
         results = engine.run(
-            [
-                (trained_ea_3d.new_session(rng=seed), user)
-                for seed, user in enumerate(users)
-            ]
+            _specs(lambda seed: trained_ea_3d.new_session(rng=seed), users)
         )
         metrics = engine.last_metrics
         assert metrics.range_updates >= metrics.rounds_total
@@ -172,10 +175,7 @@ class TestMetrics:
         for _ in range(2):
             engine = SessionEngine(lp_cache=cache)
             engine.run(
-                [
-                    (trained_aa_3d.new_session(rng=seed), user)
-                    for seed, user in enumerate(users)
-                ]
+                _specs(lambda seed: trained_aa_3d.new_session(rng=seed), users)
             )
         # Second run replays the first run's LP systems from the shared
         # cache: (nearly) every solve is a hit.
@@ -185,17 +185,14 @@ class TestMetrics:
         session = trained_ea_3d.new_session(rng=0)
         user = _hidden_users(small_anti_3d.dimension)[0]
         run_session(session, user)
-        with pytest.raises(InteractionError):
+        with pytest.warns(DeprecationWarning), pytest.raises(InteractionError):
             SessionEngine().run([(session, user)])
 
     def test_max_rounds_truncates(self, trained_ea_3d, small_anti_3d):
         users = _hidden_users(small_anti_3d.dimension)
         engine = SessionEngine(max_rounds=1)
         results = engine.run(
-            [
-                (trained_ea_3d.new_session(rng=seed), user)
-                for seed, user in enumerate(users)
-            ]
+            _specs(lambda seed: trained_ea_3d.new_session(rng=seed), users)
         )
         assert all(r.truncated for r in results)
         assert all(r.rounds == 1 for r in results)

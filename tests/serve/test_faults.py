@@ -23,8 +23,12 @@ from repro.core.session import (
     run_session,
 )
 from repro.errors import ConfigurationError, EmptyRegionError
-from repro.serve import RecoveryPolicy, SessionEngine
+from repro.serve import RecoveryPolicy, SessionEngine, SessionSpec
 from repro.users import NoisyUser, OracleUser
+
+
+def _spec(factory, user):
+    return SessionSpec(factory=factory, user=user)
 
 
 # -- deterministic test doubles -------------------------------------------------
@@ -166,9 +170,9 @@ class TestFaultIsolation:
 
     def test_one_bad_session_does_not_kill_the_run(self, toy):
         pairs = [
-            (ScriptedSession(toy, total=3), _always_true_user()),
-            (ExplodingSession(toy, fail_at=2), _always_true_user()),
-            (ScriptedSession(toy, total=5), _always_true_user()),
+            _spec(lambda: ScriptedSession(toy, total=3), _always_true_user()),
+            _spec(lambda: ExplodingSession(toy, fail_at=2), _always_true_user()),
+            _spec(lambda: ScriptedSession(toy, total=5), _always_true_user()),
         ]
         engine = SessionEngine()
         results = engine.run(pairs)
@@ -193,7 +197,7 @@ class TestFaultIsolation:
     def test_failed_result_keeps_best_effort_recommendation(self, toy):
         engine = SessionEngine()
         results = engine.run(
-            [(ExplodingSession(toy, fail_at=1), _always_true_user())]
+            [_spec(lambda: ExplodingSession(toy, fail_at=1), _always_true_user())]
         )
         assert results[0].failed
         assert results[0].recommendation_index == 0
@@ -202,7 +206,7 @@ class TestFaultIsolation:
     def test_broken_recommend_degrades_to_sentinel(self, toy):
         engine = SessionEngine()
         results = engine.run(
-            [(NoRecommendSession(toy, fail_at=1), _always_true_user())]
+            [_spec(lambda: NoRecommendSession(toy, fail_at=1), _always_true_user())]
         )
         assert results[0].failed
         assert results[0].recommendation_index == -1
@@ -212,8 +216,8 @@ class TestFaultIsolation:
         engine = SessionEngine()
         results = engine.run(
             [
-                (ScriptedSession(toy, total=2), _always_true_user()),
-                (ScriptedSession(toy, total=2), CrashingUser()),
+                _spec(lambda: ScriptedSession(toy, total=2), _always_true_user()),
+                _spec(lambda: ScriptedSession(toy, total=2), CrashingUser()),
             ]
         )
         assert results[0].status == "completed"
@@ -226,7 +230,7 @@ class TestFaultIsolation:
         # InteractionError that the fault boundary then contains.
         engine = SessionEngine()
         results = engine.run(
-            [(NoneProposingSession(toy, total=3), _always_true_user())]
+            [_spec(lambda: NoneProposingSession(toy, total=3), _always_true_user())]
         )
         assert results[0].failed
         assert "InteractionError" in results[0].error
@@ -245,10 +249,13 @@ class TestFaultIsolation:
         ]
         engine = SessionEngine()
         pairs = [
-            (trained_ea_3d.new_session(rng=0), users[0]),
-            (ExplodingSession(small_anti_3d, fail_at=1), _always_true_user()),
-            (trained_ea_3d.new_session(rng=1), users[1]),
-            (trained_ea_3d.new_session(rng=2), users[2]),
+            _spec(lambda: trained_ea_3d.new_session(rng=0), users[0]),
+            _spec(
+                lambda: ExplodingSession(small_anti_3d, fail_at=1),
+                _always_true_user(),
+            ),
+            _spec(lambda: trained_ea_3d.new_session(rng=1), users[1]),
+            _spec(lambda: trained_ea_3d.new_session(rng=2), users[2]),
         ]
         results = engine.run(pairs)
         assert len(results) == 4
@@ -269,8 +276,8 @@ class TestFaultIsolation:
 
         utilities = sample_training_utilities(3, 4, rng=88)
         pairs = [
-            (
-                trained_ea_3d.new_session(rng=seed),
+            _spec(
+                lambda seed=seed: trained_ea_3d.new_session(rng=seed),
                 NoisyUser(utilities[seed], error_rate=0.2, rng=seed),
             )
             for seed in range(3)
@@ -281,7 +288,12 @@ class TestFaultIsolation:
         bad_user = NoisyUser(
             utilities[3], error_rate=0.5, temperature=1e9, rng=123
         )
-        pairs.append((StrictConsistencySession(small_anti_3d, total=64), bad_user))
+        pairs.append(
+            _spec(
+                lambda: StrictConsistencySession(small_anti_3d, total=64),
+                bad_user,
+            )
+        )
         engine = SessionEngine()
         results = engine.run(pairs)
         assert len(results) == 4
@@ -298,8 +310,8 @@ class TestFaultIsolation:
         engine = SessionEngine()
         results = engine.run(
             [
-                (BatchableSession(toy, scorer), _always_true_user()),
-                (BatchableSession(toy, scorer), _always_true_user()),
+                _spec(lambda: BatchableSession(toy, scorer), _always_true_user()),
+                _spec(lambda: BatchableSession(toy, scorer), _always_true_user()),
             ]
         )
         assert all(r.failed for r in results)
@@ -330,7 +342,7 @@ class TestRecovery:
         user = PeriodicFlipUser(period=4)
         engine = SessionEngine(recovery=RecoveryPolicy())
         results = engine.run(
-            [(lambda: StrictConsistencySession(toy, total=5), user)]
+            [_spec(lambda: StrictConsistencySession(toy, total=5), user)]
         )
         result = results[0]
         assert result.status == "recovered"
@@ -360,7 +372,7 @@ class TestRecovery:
     def test_retries_exhaust_to_failed(self, toy):
         engine = SessionEngine(recovery=RecoveryPolicy(max_retries=1))
         results = engine.run(
-            [(lambda: ExplodingSession(toy, fail_at=1), _always_true_user())]
+            [_spec(lambda: ExplodingSession(toy, fail_at=1), _always_true_user())]
         )
         assert results[0].failed
         metrics = engine.last_metrics
@@ -374,7 +386,7 @@ class TestRecovery:
         engine = SessionEngine(recovery=RecoveryPolicy())
         results = engine.run(
             [
-                (
+                _spec(
                     lambda: ExplodingSession(toy, fail_at=1, error=ValueError),
                     _always_true_user(),
                 )
@@ -387,9 +399,10 @@ class TestRecovery:
         # Only factory-submitted pairs can be rebuilt; an eagerly
         # constructed session holds poisoned state.
         engine = SessionEngine(recovery=RecoveryPolicy())
-        results = engine.run(
-            [(ExplodingSession(toy, fail_at=1), _always_true_user())]
-        )
+        with pytest.warns(DeprecationWarning):
+            results = engine.run(
+                [(ExplodingSession(toy, fail_at=1), _always_true_user())]
+            )
         assert results[0].failed
         assert engine.last_metrics.retries == 0
         assert not engine.last_metrics.errors[0].retried
@@ -404,8 +417,11 @@ class TestWaveLatency:
     def test_finalized_in_same_wave(self, toy):
         delay = 0.1
         pairs = [
-            (SlowSession(toy, total=3, delay=delay), _always_true_user()),
-            (ScriptedSession(toy, total=1), _always_true_user()),
+            _spec(
+                lambda: SlowSession(toy, total=3, delay=delay),
+                _always_true_user(),
+            ),
+            _spec(lambda: ScriptedSession(toy, total=1), _always_true_user()),
         ]
         engine = SessionEngine()
         results = engine.run(pairs)
@@ -424,7 +440,10 @@ class TestWaveLatency:
 
     def test_interleaved_finishes_keep_input_order(self, toy):
         pairs = [
-            (ScriptedSession(toy, total=total), _always_true_user())
+            _spec(
+                lambda total=total: ScriptedSession(toy, total=total),
+                _always_true_user(),
+            )
             for total in (4, 1, 3, 2)
         ]
         engine = SessionEngine()

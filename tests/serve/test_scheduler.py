@@ -1,0 +1,480 @@
+"""ContinuousEngine: equivalence with the wave engine, plus scheduling.
+
+The continuous scheduler's contract has three parts:
+
+* **Equivalence** — per-session results are identical to the wave
+  engine's (and therefore to sequential ``run_session``) over the same
+  specs: scheduling order, admission timing and batch composition must
+  never perturb a session's transcript.
+* **Streaming lifecycle** — ``submit()`` / ``as_completed()`` /
+  ``drain()`` with input-order drain results, admission control
+  (``max_in_flight``) and backpressure (``max_pending``).
+* **Fault isolation and recovery** — the wave engine's guarantees,
+  extended to admission (a crashing factory fails only its ticket).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import UHRandomSession
+from repro.core.session import run_session
+from repro.data.utility import sample_training_utilities
+from repro.errors import ConfigurationError, EmptyRegionError
+from repro.serve import (
+    ContinuousEngine,
+    RecoveryPolicy,
+    SessionEngine,
+    SessionSpec,
+)
+from repro.serve.spec import OneShotFactory, coerce_spec
+from repro.users import OracleUser
+from tests.serve.test_faults import (
+    BatchableSession,
+    BrokenScorer,
+    CrashingUser,
+    ExplodingSession,
+    PeriodicFlipUser,
+    ScriptedSession,
+    StrictConsistencySession,
+    _always_true_user,
+    _spec,
+)
+
+N_USERS = 6
+
+
+def _hidden_users(dimension: int, n: int = N_USERS):
+    utilities = sample_training_utilities(dimension, n, rng=31_337)
+    return [OracleUser(u) for u in utilities]
+
+
+def _specs(make_algorithm, users):
+    return [
+        SessionSpec(
+            factory=lambda seed=seed: make_algorithm(seed),
+            user=user,
+            seed=seed,
+        )
+        for seed, user in enumerate(users)
+    ]
+
+
+def _outcome(result):
+    return (
+        result.recommendation_index,
+        result.rounds,
+        result.truncated,
+        result.status,
+    )
+
+
+class TestSessionSpec:
+    """The canonical unit of work and its legacy-tuple coercion."""
+
+    def test_factory_must_be_callable(self, toy):
+        with pytest.raises(ConfigurationError):
+            SessionSpec(
+                factory=ScriptedSession(toy, total=1),  # type: ignore[arg-type]
+                user=_always_true_user(),
+            )
+
+    def test_seed_and_tags_carried(self, toy):
+        spec = SessionSpec(
+            factory=lambda: ScriptedSession(toy, total=1),
+            user=_always_true_user(),
+            seed=41,
+            tags={"tenant": "acme"},
+        )
+        assert spec.seed == 41
+        assert spec.tags["tenant"] == "acme"
+        assert spec.retryable
+
+    def test_tuple_coercion_warns_and_wraps_eager_sessions(self, toy):
+        session = ScriptedSession(toy, total=1)
+        with pytest.warns(DeprecationWarning):
+            spec = coerce_spec((session, _always_true_user()))
+        assert isinstance(spec.factory, OneShotFactory)
+        assert not spec.retryable
+        assert spec.build() is session
+        # The wrapped instance holds real state: a second build must
+        # refuse rather than re-drive a poisoned session.
+        with pytest.raises(ConfigurationError):
+            spec.build()
+
+    def test_tuple_coercion_keeps_factories_retryable(self, toy):
+        with pytest.warns(DeprecationWarning):
+            spec = coerce_spec(
+                (lambda: ScriptedSession(toy, total=1), _always_true_user())
+            )
+        assert spec.retryable
+        assert spec.build().rounds == 0
+
+    def test_non_tuple_rejected(self):
+        with pytest.raises(ConfigurationError):
+            coerce_spec("not a session")  # type: ignore[arg-type]
+
+
+class TestEquivalence:
+    """Same specs ⇒ same per-session results, wave or continuous."""
+
+    def _run_both(self, make_algorithm, dimension, **continuous_kwargs):
+        users = _hidden_users(dimension)
+        wave = SessionEngine()
+        wave_results = wave.run(_specs(make_algorithm, users))
+        continuous_kwargs.setdefault("max_in_flight", 3)
+        with ContinuousEngine(**continuous_kwargs) as engine:
+            continuous_results = engine.run(_specs(make_algorithm, users))
+        assert [_outcome(r) for r in wave_results] == [
+            _outcome(r) for r in continuous_results
+        ]
+        for wave_result, cont_result in zip(
+            wave_results, continuous_results
+        ):
+            np.testing.assert_array_equal(
+                wave_result.recommendation, cont_result.recommendation
+            )
+        return wave_results, continuous_results
+
+    def test_ea_equivalent_to_wave(self, trained_ea_3d):
+        self._run_both(lambda seed: trained_ea_3d.new_session(rng=seed), 3)
+
+    def test_aa_equivalent_to_wave(self, trained_aa_3d):
+        self._run_both(lambda seed: trained_aa_3d.new_session(rng=seed), 3)
+
+    def test_baseline_equivalent_to_wave(self, small_anti_3d):
+        self._run_both(
+            lambda seed: UHRandomSession(
+                small_anti_3d, epsilon=0.1, rng=seed
+            ),
+            3,
+        )
+
+    def test_equivalent_to_sequential(self, trained_ea_3d):
+        users = _hidden_users(3)
+        sequential = [
+            run_session(trained_ea_3d.new_session(rng=seed), user)
+            for seed, user in enumerate(users)
+        ]
+        with ContinuousEngine(max_in_flight=2) as engine:
+            results = engine.run(
+                _specs(lambda seed: trained_ea_3d.new_session(rng=seed), users)
+            )
+        for seq, cont in zip(sequential, results):
+            assert seq.recommendation_index == cont.recommendation_index
+            assert seq.rounds == cont.rounds
+            assert seq.truncated == cont.truncated
+
+    def test_workers_do_not_change_results(self, trained_ea_3d):
+        users = _hidden_users(3)
+        make = lambda seed: trained_ea_3d.new_session(rng=seed)  # noqa: E731
+        with ContinuousEngine(max_in_flight=3) as inline:
+            inline_results = inline.run(_specs(make, users))
+        with ContinuousEngine(max_in_flight=3, workers=4) as pooled:
+            pooled_results = pooled.run(_specs(make, users))
+        assert [_outcome(r) for r in inline_results] == [
+            _outcome(r) for r in pooled_results
+        ]
+
+    def test_trace_equivalent_to_wave(self, trained_ea_3d):
+        users = _hidden_users(3, n=3)
+        make = lambda seed: trained_ea_3d.new_session(rng=seed)  # noqa: E731
+        wave_results = SessionEngine().run(_specs(make, users), trace=True)
+        with ContinuousEngine(max_in_flight=2) as engine:
+            continuous_results = engine.run(_specs(make, users), trace=True)
+        for wave_result, cont_result in zip(
+            wave_results, continuous_results
+        ):
+            assert [
+                (r.round_number, r.recommendation_index)
+                for r in wave_result.trace
+            ] == [
+                (r.round_number, r.recommendation_index)
+                for r in cont_result.trace
+            ]
+
+
+class TestStreamingLifecycle:
+    """submit / as_completed / drain semantics."""
+
+    def test_drain_returns_submission_order(self, toy):
+        with ContinuousEngine(max_in_flight=2) as engine:
+            for total in (4, 1, 3, 2):
+                engine.submit(
+                    _spec(
+                        lambda total=total: ScriptedSession(toy, total=total),
+                        _always_true_user(),
+                    )
+                )
+            results = engine.drain()
+        assert [r.rounds for r in results] == [4, 1, 3, 2]
+        assert [r.metrics.session_id for r in results] == [0, 1, 2, 3]
+
+    def test_as_completed_streams_everything(self, toy):
+        with ContinuousEngine(max_in_flight=2) as engine:
+            tickets = [
+                engine.submit(
+                    _spec(
+                        lambda total=total: ScriptedSession(toy, total=total),
+                        _always_true_user(),
+                    )
+                )
+                for total in (3, 1, 2)
+            ]
+            assert tickets == [0, 1, 2]
+            streamed = list(engine.as_completed())
+            # Completion order: shortest sessions finish first.
+            assert sorted(r.rounds for r in streamed) == [1, 2, 3]
+            assert streamed[0].rounds == 1
+            # drain() still reports the epoch, in submission order.
+            drained = engine.drain()
+            assert [r.rounds for r in drained] == [3, 1, 2]
+
+    def test_drain_epochs_are_independent(self, toy):
+        with ContinuousEngine(max_in_flight=4) as engine:
+            first = engine.run(
+                [_spec(lambda: ScriptedSession(toy, total=2),
+                       _always_true_user())]
+            )
+            second = engine.run(
+                [_spec(lambda: ScriptedSession(toy, total=3),
+                       _always_true_user())]
+            )
+        assert [r.rounds for r in first] == [2]
+        assert [r.rounds for r in second] == [3]
+        # Tickets keep counting across epochs.
+        assert second[0].metrics.session_id == 1
+
+    def test_closed_engine_refuses_work(self, toy):
+        engine = ContinuousEngine()
+        engine.close()
+        with pytest.raises(ConfigurationError):
+            engine.submit(
+                _spec(lambda: ScriptedSession(toy, total=1),
+                      _always_true_user())
+            )
+        engine.close()  # idempotent
+
+    def test_max_in_flight_bounds_batches(self, toy):
+        scorer_sessions = 8
+        with ContinuousEngine(max_in_flight=3) as engine:
+            scorer = _SharedScorer()
+            results = engine.run(
+                [
+                    _spec(
+                        lambda: BatchableSession(toy, scorer),
+                        _always_true_user(),
+                    )
+                    for _ in range(scorer_sessions)
+                ]
+            )
+        assert len(results) == scorer_sessions
+        assert engine.metrics.peak_batch <= 3
+        assert scorer.max_rows <= 3
+
+    def test_backpressure_bounds_pending_queue(self, toy):
+        with ContinuousEngine(max_in_flight=2, max_pending=3) as engine:
+            for _ in range(12):
+                engine.submit(
+                    _spec(lambda: ScriptedSession(toy, total=2),
+                          _always_true_user())
+                )
+                assert len(engine._pending) <= 3
+            results = engine.drain()
+        assert len(results) == 12
+
+    def test_occupancy_metric_populated(self, trained_ea_3d):
+        users = _hidden_users(3)
+        with ContinuousEngine(max_in_flight=2) as engine:
+            engine.run(
+                _specs(lambda seed: trained_ea_3d.new_session(rng=seed), users)
+            )
+        metrics = engine.last_metrics
+        assert metrics is not None
+        assert metrics.ticks > 0
+        assert metrics.in_flight_cap == 2
+        assert 0.0 < metrics.occupancy <= 1.0
+        assert metrics.occupancy == metrics.batched_rows / (
+            metrics.ticks * metrics.in_flight_cap
+        )
+        assert any(
+            line.startswith("ticks:") for line in metrics.summary_lines()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ContinuousEngine(max_in_flight=0)
+        with pytest.raises(ConfigurationError):
+            ContinuousEngine(max_pending=0)
+        with pytest.raises(ConfigurationError):
+            ContinuousEngine(workers=-1)
+
+
+class _SharedScorer:
+    """A q_values_many scorer recording the widest batch it saw."""
+
+    def __init__(self) -> None:
+        self.max_rows = 0
+
+    def q_values_many(self, items):
+        self.max_rows = max(self.max_rows, len(items))
+        return [np.zeros(len(item[1])) for item in items]
+
+
+class TestFaultIsolation:
+    """One bad ticket cannot take down the scheduler."""
+
+    def test_one_bad_session_does_not_kill_the_run(self, toy):
+        with ContinuousEngine(max_in_flight=2) as engine:
+            results = engine.run(
+                [
+                    _spec(lambda: ScriptedSession(toy, total=3),
+                          _always_true_user()),
+                    _spec(lambda: ExplodingSession(toy, fail_at=2),
+                          _always_true_user()),
+                    _spec(lambda: ScriptedSession(toy, total=5),
+                          _always_true_user()),
+                ]
+            )
+        assert [r.metrics.session_id for r in results] == [0, 1, 2]
+        assert results[0].status == "completed" and results[0].rounds == 3
+        assert results[2].status == "completed" and results[2].rounds == 5
+        assert results[1].failed
+        assert "EmptyRegionError" in results[1].error
+        metrics = engine.metrics
+        assert metrics.failed == 1
+        assert metrics.completed == 2
+        assert metrics.errors[0].session_id == 1
+
+    def test_crashing_user_fails_only_its_slot(self, toy):
+        with ContinuousEngine(max_in_flight=2) as engine:
+            results = engine.run(
+                [
+                    _spec(lambda: ScriptedSession(toy, total=2),
+                          _always_true_user()),
+                    _spec(lambda: ScriptedSession(toy, total=2),
+                          CrashingUser()),
+                ]
+            )
+        assert results[0].status == "completed"
+        assert results[1].failed
+        assert "RuntimeError" in results[1].error
+
+    def test_scorer_row_mismatch_fails_group(self, toy):
+        scorer = BrokenScorer()
+        with ContinuousEngine(max_in_flight=4) as engine:
+            results = engine.run(
+                [
+                    _spec(lambda: BatchableSession(toy, scorer),
+                          _always_true_user()),
+                    _spec(lambda: BatchableSession(toy, scorer),
+                          _always_true_user()),
+                ]
+            )
+        assert all(r.failed for r in results)
+        assert engine.metrics.failed == 2
+
+    def test_crashing_factory_fails_only_its_ticket(self, toy):
+        def bomb():
+            raise RuntimeError("factory exploded")
+
+        with ContinuousEngine(max_in_flight=2) as engine:
+            results = engine.run(
+                [
+                    _spec(lambda: ScriptedSession(toy, total=2),
+                          _always_true_user()),
+                    _spec(bomb, _always_true_user()),
+                    _spec(lambda: ScriptedSession(toy, total=3),
+                          _always_true_user()),
+                ]
+            )
+        assert results[0].status == "completed"
+        assert results[2].status == "completed"
+        assert results[1].failed
+        assert results[1].recommendation_index == -1
+        assert "factory exploded" in results[1].error
+
+    def test_stale_session_fails_only_its_ticket(self, toy):
+        stale = ScriptedSession(toy, total=2)
+        run_session(stale, _always_true_user())
+        with pytest.warns(DeprecationWarning):
+            specs = [
+                _spec(lambda: ScriptedSession(toy, total=2),
+                      _always_true_user()),
+                coerce_spec((stale, _always_true_user())),
+            ]
+        with ContinuousEngine(max_in_flight=2) as engine:
+            results = engine.run(specs)
+        assert results[0].status == "completed"
+        assert results[1].failed
+        assert "already been driven" in results[1].error
+
+
+class TestRecovery:
+    """RecoveryPolicy semantics under the continuous scheduler."""
+
+    def test_majority_vote_retry_recovers_the_session(self, toy):
+        user = PeriodicFlipUser(period=4)
+        with ContinuousEngine(recovery=RecoveryPolicy()) as engine:
+            results = engine.run(
+                [_spec(lambda: StrictConsistencySession(toy, total=5), user)]
+            )
+        result = results[0]
+        assert result.status == "recovered"
+        assert result.metrics.retries == 1
+        metrics = engine.metrics
+        assert metrics.retries == 1
+        assert metrics.recovered == 1
+        assert metrics.failed == 0
+        assert metrics.errors[0].retried
+
+    def test_retries_exhaust_to_failed(self, toy):
+        with ContinuousEngine(
+            recovery=RecoveryPolicy(max_retries=1)
+        ) as engine:
+            results = engine.run(
+                [_spec(lambda: ExplodingSession(toy, fail_at=1),
+                       _always_true_user())]
+            )
+        assert results[0].failed
+        assert engine.metrics.retries == 1
+        assert [e.attempt for e in engine.metrics.errors] == [0, 1]
+
+    def test_eager_sessions_cannot_be_retried(self, toy):
+        with pytest.warns(DeprecationWarning):
+            spec = coerce_spec(
+                (ExplodingSession(toy, fail_at=1), _always_true_user())
+            )
+        with ContinuousEngine(recovery=RecoveryPolicy()) as engine:
+            results = engine.run([spec])
+        assert results[0].failed
+        assert engine.metrics.retries == 0
+
+    def test_recovery_equivalent_to_wave(self, toy):
+        def build(engine_cls, **kwargs):
+            user = PeriodicFlipUser(period=4)
+            specs = [
+                _spec(lambda: StrictConsistencySession(toy, total=5), user),
+                _spec(lambda: ExplodingSession(toy, fail_at=1, error=ValueError),
+                      _always_true_user()),
+                _spec(lambda: ScriptedSession(toy, total=3),
+                      _always_true_user()),
+            ]
+            engine = engine_cls(recovery=RecoveryPolicy(), **kwargs)
+            results = engine.run(specs)
+            if isinstance(engine, ContinuousEngine):
+                engine.close()
+            return results
+
+        wave = build(SessionEngine)
+        continuous = build(ContinuousEngine, max_in_flight=2)
+        assert [r.status for r in wave] == [r.status for r in continuous]
+        assert [r.rounds for r in wave] == [r.rounds for r in continuous]
+
+
+class TestRecoveryRaisesOnMissing:
+    def test_empty_region_default_policy(self):
+        policy = RecoveryPolicy()
+        assert policy.should_retry(EmptyRegionError("x"), 0)
+        assert not policy.should_retry(ValueError("x"), 0)
