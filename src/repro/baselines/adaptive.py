@@ -28,6 +28,7 @@ from repro.errors import ConfigurationError
 from repro.geometry.hyperplane import preference_halfspace
 from repro.geometry.range import AmbientRange, RangeConfig
 from repro.geometry.vectors import top_point_index
+from repro.utils import rng as rng_state
 from repro.utils.rng import RngLike, ensure_rng
 
 _SPLIT_TOL = 1e-7
@@ -88,6 +89,34 @@ class AdaptiveSession(InteractiveAlgorithm):
 
     def recommend(self) -> int:
         return top_point_index(self.dataset.points, self.estimated_utility())
+
+    # -- state (checkpoint / resume) ----------------------------------------------
+
+    def _extra_state(self) -> dict:
+        asked = sorted(self._asked)
+        return {
+            "epsilon": float(self.epsilon),
+            "rng": rng_state.get_state(self._rng),
+            "range": self._range.get_state(),
+            "asked": np.array(asked, dtype=np.int64).reshape(len(asked), 2),
+            "e_min": np.array(self._e_min, dtype=float),
+            "e_max": np.array(self._e_max, dtype=float),
+            "center": np.array(self._center, dtype=float),
+            "no_progress": bool(self._no_progress),
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.epsilon = validate_epsilon(extra["epsilon"])
+        rng_state.set_state(self._rng, extra["rng"])
+        self._range.set_state(extra["range"])
+        self._asked = {
+            (int(pair[0]), int(pair[1]))
+            for pair in np.asarray(extra["asked"]).reshape(-1, 2)
+        }
+        self._e_min = np.array(extra["e_min"], dtype=float)
+        self._e_max = np.array(extra["e_max"], dtype=float)
+        self._center = np.array(extra["center"], dtype=float)
+        self._no_progress = bool(extra["no_progress"])
 
     # -- internals ---------------------------------------------------------------
 

@@ -29,6 +29,7 @@ from repro.core.session import InteractiveAlgorithm, Question, validate_epsilon
 from repro.data.datasets import Dataset
 from repro.geometry.hyperplane import preference_halfspace
 from repro.geometry.range import AmbientRange, RangeConfig
+from repro.utils import rng as rng_state
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -112,6 +113,32 @@ class SinglePassSession(InteractiveAlgorithm):
 
     def recommend(self) -> int:
         return self._champion
+
+    # -- state (checkpoint / resume) ----------------------------------------------
+
+    def _extra_state(self) -> dict:
+        return {
+            "epsilon": float(self.epsilon),
+            "rng": rng_state.get_state(self._rng),
+            "range": self._range.get_state(),
+            "champion": int(self._champion),
+            "stream": np.array(self._stream, dtype=np.int64),
+            "cursor": int(self._cursor),
+            "questions_asked": int(self._questions_asked),
+            "lo": np.array(self._lo, dtype=float),
+            "hi": np.array(self._hi, dtype=float),
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.epsilon = validate_epsilon(extra["epsilon"])
+        rng_state.set_state(self._rng, extra["rng"])
+        self._range.set_state(extra["range"])
+        self._champion = int(extra["champion"])
+        self._stream = [int(i) for i in np.asarray(extra["stream"])]
+        self._cursor = int(extra["cursor"])
+        self._questions_asked = int(extra["questions_asked"])
+        self._lo = np.array(extra["lo"], dtype=float)
+        self._hi = np.array(extra["hi"], dtype=float)
 
     # -- internals ---------------------------------------------------------------
 

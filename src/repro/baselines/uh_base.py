@@ -36,6 +36,7 @@ from repro.geometry.hyperplane import preference_halfspace
 from repro.geometry.polytope import UtilityPolytope
 from repro.geometry.range import ExactRange, RangeConfig
 from repro.geometry.vectors import top_point_index
+from repro.utils import rng as rng_state
 from repro.utils.rng import RngLike, ensure_rng
 
 #: The paper caps polytope-based methods at 10 attributes.
@@ -109,6 +110,33 @@ class UHBaseSession(InteractiveAlgorithm):
     @abc.abstractmethod
     def _select_pair(self) -> tuple[int, int]:
         """Choose the next pair of candidate indices to compare."""
+
+    # -- state (checkpoint / resume) ----------------------------------------------
+
+    def _extra_state(self) -> dict:
+        return {
+            "epsilon": float(self.epsilon),
+            "rng": rng_state.get_state(self._rng),
+            "range": self._range.get_state(),
+            "candidates": np.array(self._candidates, dtype=np.int64),
+            "recommendation": (
+                None
+                if self._recommendation is None
+                else int(self._recommendation)
+            ),
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.epsilon = validate_epsilon(extra["epsilon"])
+        rng_state.set_state(self._rng, extra["rng"])
+        self._range.set_state(extra["range"])
+        self._candidates = np.array(extra["candidates"], dtype=np.int64)
+        recommendation = extra["recommendation"]
+        self._recommendation = (
+            None if recommendation is None else int(recommendation)
+        )
+        # The vertex cache is derived state; refresh it from the range.
+        self._vertices = self._range.vertices()
 
     # -- shared internals ----------------------------------------------------------
 

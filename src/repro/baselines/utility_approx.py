@@ -95,6 +95,25 @@ class UtilityApproxSession(InteractiveAlgorithm):
     def recommend(self) -> int:
         return top_point_index(self.dataset.points, self.estimated_utility())
 
+    # -- state (checkpoint / resume) ----------------------------------------------
+
+    def _extra_state(self) -> dict:
+        return {
+            "epsilon": float(self.epsilon),
+            "tolerance": float(self.tolerance),
+            "lo": np.array(self._lo, dtype=float),
+            "hi": np.array(self._hi, dtype=float),
+            "active": None if self._active is None else int(self._active),
+        }
+
+    def _restore_extra(self, extra: dict) -> None:
+        self.epsilon = validate_epsilon(extra["epsilon"])
+        self.tolerance = float(extra["tolerance"])
+        self._lo = np.array(extra["lo"], dtype=float)
+        self._hi = np.array(extra["hi"], dtype=float)
+        active = extra["active"]
+        self._active = None if active is None else int(active)
+
     # -- internals ---------------------------------------------------------------
 
     def estimated_utility(self) -> np.ndarray:

@@ -17,7 +17,16 @@ Commands
               ``continuous`` (continuous batching with a bounded
               in-flight set; same per-session results).  ``--snapshot``
               additionally writes a versioned ``BENCH_*.json`` perf
-              snapshot.
+              snapshot.  With ``--http`` the benchmark instead drives
+              real HTTP sessions through :mod:`repro.server` and
+              reports request-latency percentiles
+              (``BENCH_serve_http.json``).
+``server``    Run the HTTP session service: ``POST /sessions``,
+              ``GET /sessions/{id}/question``, ``POST .../answer``,
+              ``GET .../recommendation``.  ``--store DIR`` checkpoints
+              every interactive session after each answer so a crashed
+              dialogue resumes bit-identically; ``--agent`` loads
+              trained EA/AA agents so RL families can be served.
 ``profile``   Run the serve-bench workload under a
               :class:`~repro.obs.tracer.Tracer` and export a Chrome
               ``trace_event`` file (plus an optional aggregate JSON):
@@ -35,6 +44,9 @@ Examples
     python -m repro serve-bench --dataset anti:2000:3 --sessions 64
     python -m repro serve-bench --dataset anti:2000:3 --sessions 1024 \
         --engine continuous --max-in-flight 64
+    python -m repro serve-bench --dataset anti:2000:3 --http \
+        --sessions 64 --mode oracle
+    python -m repro server --dataset anti:1000:4 --port 8080 --store runs/
     python -m repro profile --dataset anti:500:3 --out trace.json
 """
 
@@ -174,6 +186,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     dataset = _resolve_dataset(args.dataset)
+    if args.http:
+        return _serve_bench_http(args, dataset)
     print(
         f"serve-bench: training {args.algorithm} on {dataset.name} "
         f"({args.episodes} episodes), then serving {args.sessions} "
@@ -197,6 +211,88 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     if args.snapshot:
         written = report.write_snapshot(args.snapshot)
         print(f"snapshot written to {written}")
+    return 0
+
+
+def _serve_bench_http(args: argparse.Namespace, dataset) -> int:
+    from repro.server import run_http_bench, write_http_bench_snapshot
+
+    target = (
+        f"http://{args.host}:{args.port}"
+        if args.host and args.port
+        else "an in-process server"
+    )
+    print(
+        f"serve-bench --http: driving {args.sessions} {args.mode} "
+        f"sessions ({args.family}) against {target} ..."
+    )
+    report = run_http_bench(
+        dataset,
+        host=args.host,
+        port=args.port,
+        sessions=args.sessions,
+        concurrency=args.concurrency,
+        mode=args.mode,
+        algorithm=args.family,
+        epsilon=args.epsilon,
+        service_kwargs={
+            "max_in_flight": args.max_in_flight,
+            "workers": args.workers,
+        }
+        if not (args.host and args.port)
+        else None,
+    )
+    for line in report.summary_lines():
+        print(line)
+    for error in report.errors[:5]:
+        print(f"  error: {error}")
+    if args.snapshot:
+        written = write_http_bench_snapshot(
+            report,
+            args.snapshot,
+            dataset_name=dataset.name,
+            algorithm=args.family,
+        )
+        print(f"snapshot written to {written}")
+    return 0 if report.failed == 0 else 1
+
+
+def _cmd_server(args: argparse.Namespace) -> int:
+    from repro.persist import FileSessionStore
+    from repro.server import SessionService, run_server
+
+    dataset = _resolve_dataset(args.dataset)
+    agents: dict[str, object] = {}
+    agent_refs: dict[str, str] = {}
+    for path in args.agent or ():
+        agent = load_agent(path)
+        family = "ea" if type(agent).__name__ == "EAAgent" else "aa"
+        if agent.dataset.dimension != dataset.dimension:
+            raise ReproError(
+                f"agent {path} was trained on a {agent.dataset.dimension}-d "
+                f"dataset but the server dataset is {dataset.dimension}-d"
+            )
+        agents[family] = agent
+        agent_refs[family] = str(path)
+        print(f"loaded {family} agent from {path}")
+    store = FileSessionStore(args.store) if args.store else None
+    if store is not None:
+        print(f"checkpointing sessions under {args.store}")
+    service = SessionService(
+        dataset,
+        agents=agents,
+        agent_refs=agent_refs,
+        store=store,
+        epsilon=args.epsilon,
+        max_rounds=args.max_rounds,
+        max_in_flight=args.max_in_flight,
+        workers=args.workers,
+    )
+    print(
+        f"session service over {dataset.name} "
+        f"({len(dataset.points)} points, {dataset.dimension}-d)"
+    )
+    run_server(service, args.host, args.port)
     return 0
 
 
@@ -324,7 +420,78 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a BENCH_*.json perf snapshot (directory or .json path)",
     )
+    serve.add_argument(
+        "--http",
+        action="store_true",
+        help="benchmark over real HTTP via repro.server instead of "
+        "in-process engines; reports latency percentiles",
+    )
+    serve.add_argument(
+        "--concurrency",
+        type=int,
+        default=16,
+        help="--http: concurrent client sessions (default 16)",
+    )
+    serve.add_argument(
+        "--mode",
+        choices=("interactive", "oracle"),
+        default="interactive",
+        help="--http: client-driven dialogue or scheduler-side oracle "
+        "sessions (default interactive)",
+    )
+    serve.add_argument(
+        "--family",
+        default="uh-random",
+        help="--http: session family served (default uh-random; RL "
+        "families need an external --host/--port server with agents)",
+    )
+    serve.add_argument(
+        "--host",
+        default=None,
+        help="--http: target an already-running server (with --port)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="--http: target server port (with --host)",
+    )
     serve.set_defaults(handler=_cmd_serve_bench)
+
+    server = commands.add_parser(
+        "server", help="run the HTTP session service"
+    )
+    server.add_argument("--dataset", required=True)
+    server.add_argument("--host", default="127.0.0.1")
+    server.add_argument("--port", type=int, default=8000)
+    server.add_argument("--epsilon", type=float, default=0.1)
+    server.add_argument(
+        "--agent",
+        action="append",
+        default=None,
+        help="trained agent npz to serve RL families (repeatable; the "
+        "family is inferred from the file)",
+    )
+    server.add_argument(
+        "--store",
+        default=None,
+        help="directory for per-answer session checkpoints (enables "
+        'crash-resume via POST /sessions {"resume": id})',
+    )
+    server.add_argument("--max-rounds", type=int, default=128)
+    server.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=64,
+        help="oracle-mode scheduler: max sessions live at once",
+    )
+    server.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="oracle-mode scheduler: thread-pool size (default 0: inline)",
+    )
+    server.set_defaults(handler=_cmd_server)
 
     profile = commands.add_parser(
         "profile", help="trace the serve workload and export a Chrome trace"

@@ -23,6 +23,7 @@ from repro.core.session import (
     InteractiveAlgorithm,
     Question,
     SessionResult,
+    TranscriptEntry,
     run_session,
 )
 
@@ -41,5 +42,6 @@ __all__ = [
     "MajorityVoteSession",
     "Question",
     "SessionResult",
+    "TranscriptEntry",
     "run_session",
 ]

@@ -38,11 +38,17 @@ from repro.core.environment import EnvObservation, InteractiveEnvironment, RLPol
 from repro.core.session import validate_epsilon
 from repro.core.trainer import TrainingLog, train_agent
 from repro.data.datasets import Dataset
-from repro.errors import ConfigurationError, EmptyRegionError, InteractionError
+from repro.errors import (
+    ConfigurationError,
+    EmptyRegionError,
+    InteractionError,
+    PersistenceError,
+)
 from repro.geometry.hyperplane import PreferenceHalfspace, preference_halfspace
 from repro.geometry.range import AmbientRange, RangeConfig
 from repro.geometry.vectors import top_point_index
 from repro.rl.dqn import DQNAgent, DQNConfig
+from repro.utils import rng as rng_state
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 #: Margin an LP optimum must clear to certify a non-empty intersection.
@@ -156,6 +162,46 @@ class AAEnvironment(InteractiveEnvironment):
     def halfspaces(self) -> tuple[PreferenceHalfspace, ...]:
         """Learned half-spaces (read-only view for tests/metrics)."""
         return self._range.halfspaces
+
+    # -- state (checkpoint / resume) ---------------------------------------------
+
+    def get_state(self) -> dict:
+        state = getattr(self, "_state", None)
+        asked = sorted(self._asked)
+        return {
+            "kind": "aa",
+            "rng": rng_state.get_state(self._rng),
+            "range": self._range.get_state(),
+            "pairs": np.array(self._pairs, dtype=np.int64).reshape(
+                len(self._pairs), 2
+            ),
+            "asked": np.array(asked, dtype=np.int64).reshape(len(asked), 2),
+            "midpoint": np.array(self._midpoint, dtype=float),
+            "terminal": bool(self._terminal),
+            "state": None if state is None else np.array(state, dtype=float),
+        }
+
+    def set_state(self, state: dict) -> None:
+        if state.get("kind") != "aa":
+            raise PersistenceError(
+                f"environment state kind {state.get('kind')!r} is not 'aa'"
+            )
+        rng_state.set_state(self._rng, state["rng"])
+        self._range.set_state(state["range"])
+        self._pairs = [
+            (int(pair[0]), int(pair[1]))
+            for pair in np.asarray(state["pairs"]).reshape(-1, 2)
+        ]
+        self._asked = {
+            (int(pair[0]), int(pair[1]))
+            for pair in np.asarray(state["asked"]).reshape(-1, 2)
+        }
+        self._midpoint = np.array(state["midpoint"], dtype=float)
+        self._terminal = bool(state["terminal"])
+        encoded = state["state"]
+        self._state = (
+            None if encoded is None else np.array(encoded, dtype=float)
+        )
 
     # -- internals ---------------------------------------------------------------
 

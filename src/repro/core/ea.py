@@ -37,6 +37,7 @@ from repro.errors import (
     ConfigurationError,
     EmptyRegionError,
     InteractionError,
+    PersistenceError,
     VertexEnumerationError,
 )
 from repro.geometry.hyperplane import preference_halfspace
@@ -44,6 +45,7 @@ from repro.geometry.polytope import UtilityPolytope
 from repro.geometry.range import ExactRange, RangeConfig
 from repro.geometry.vectors import top_point_index
 from repro.rl.dqn import DQNAgent, DQNConfig
+from repro.utils import rng as rng_state
 from repro.utils.rng import RngLike, ensure_rng, spawn_rngs
 
 #: EA relies on explicit polytopes; beyond this many attributes the
@@ -200,6 +202,40 @@ class EAEnvironment(InteractiveEnvironment):
     def halfspaces(self) -> tuple:
         """Half-spaces learned so far (read-only view for tests/metrics)."""
         return self._range.halfspaces
+
+    # -- state (checkpoint / resume) ---------------------------------------------
+
+    def get_state(self) -> dict:
+        state = getattr(self, "_state", None)
+        return {
+            "kind": "ea",
+            "rng": rng_state.get_state(self._rng),
+            "range": self._range.get_state(),
+            "pairs": np.array(self._pairs, dtype=np.int64).reshape(
+                len(self._pairs), 2
+            ),
+            "recommendation": int(self._recommendation),
+            "terminal": bool(self._terminal),
+            "state": None if state is None else np.array(state, dtype=float),
+        }
+
+    def set_state(self, state: dict) -> None:
+        if state.get("kind") != "ea":
+            raise PersistenceError(
+                f"environment state kind {state.get('kind')!r} is not 'ea'"
+            )
+        rng_state.set_state(self._rng, state["rng"])
+        self._range.set_state(state["range"])
+        self._pairs = [
+            (int(pair[0]), int(pair[1]))
+            for pair in np.asarray(state["pairs"]).reshape(-1, 2)
+        ]
+        self._recommendation = int(state["recommendation"])
+        self._terminal = bool(state["terminal"])
+        encoded = state["state"]
+        self._state = (
+            None if encoded is None else np.array(encoded, dtype=float)
+        )
 
     # -- internals ---------------------------------------------------------------
 

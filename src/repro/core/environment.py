@@ -20,12 +20,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
 from repro.core.session import CandidateBatch, InteractiveAlgorithm, Question
 from repro.data.datasets import Dataset
-from repro.errors import InteractionError
+from repro.errors import InteractionError, PersistenceError
 from repro.rl.dqn import DQNAgent
 
 
@@ -91,6 +92,18 @@ class InteractiveEnvironment(abc.ABC):
     @abc.abstractmethod
     def recommend(self) -> int:
         """Dataset index of the current best returnable point."""
+
+    def get_state(self) -> dict[str, Any]:
+        """The environment's mutable state (override to support snapshots)."""
+        raise PersistenceError(
+            f"{type(self).__name__} does not support snapshots"
+        )
+
+    def set_state(self, state: dict[str, Any]) -> None:
+        """Restore state captured by :meth:`get_state`."""
+        raise PersistenceError(
+            f"{type(self).__name__} does not support snapshots"
+        )
 
     def action_features(self, index_i: int, index_j: int) -> np.ndarray:
         """Default pair encoding: the two points concatenated.
@@ -175,6 +188,53 @@ class RLPolicy(InteractiveAlgorithm):
 
     def recommend(self) -> int:
         return self.environment.recommend()
+
+    def _extra_state(self) -> dict[str, Any]:
+        observation = self._observation
+        return {
+            "choice": None if self._choice is None else int(self._choice),
+            "observation": {
+                "state": np.array(observation.state, dtype=float),
+                "actions": (
+                    None
+                    if observation.actions is None
+                    else np.array(observation.actions, dtype=float)
+                ),
+                "pairs": (
+                    None
+                    if observation.pairs is None
+                    else np.array(observation.pairs, dtype=np.int64).reshape(
+                        len(observation.pairs), 2
+                    )
+                ),
+                "terminal": bool(observation.terminal),
+            },
+            "environment": self.environment.get_state(),
+        }
+
+    def _restore_extra(self, extra: dict[str, Any]) -> None:
+        observation = extra["observation"]
+        pairs = observation["pairs"]
+        self._observation = EnvObservation(
+            state=np.array(observation["state"], dtype=float),
+            actions=(
+                None
+                if observation["actions"] is None
+                else np.array(observation["actions"], dtype=float)
+            ),
+            pairs=(
+                None
+                if pairs is None
+                else [
+                    (int(pair[0]), int(pair[1]))
+                    for pair in np.asarray(pairs).reshape(-1, 2)
+                ]
+            ),
+            terminal=bool(observation["terminal"]),
+        )
+        choice = extra["choice"]
+        self._choice = None if choice is None else int(choice)
+        self.environment.set_state(extra["environment"])
 
     @property
     def halfspaces(self) -> tuple:

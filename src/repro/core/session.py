@@ -14,7 +14,7 @@ from __future__ import annotations
 import abc
 from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -22,6 +22,7 @@ from repro.data.datasets import Dataset
 from repro.errors import (
     ConfigurationError,
     InteractionError,
+    PersistenceError,
     SessionFailedError,
 )
 from repro.users.oracle import User
@@ -75,6 +76,22 @@ class RoundRecord:
     round_number: int
     elapsed_seconds: float
     recommendation_index: int
+
+
+@dataclass(frozen=True)
+class TranscriptEntry:
+    """One answered round: the asked pair and the user's choice.
+
+    The transcript is the session's dialogue history — what
+    :mod:`repro.persist` snapshots alongside the algorithm state so a
+    resumed session carries its full provenance.  ``round_number`` is the
+    1-based round the answer completed.
+    """
+
+    round_number: int
+    index_i: int
+    index_j: int
+    prefers_first: bool
 
 
 @dataclass(frozen=True)
@@ -175,6 +192,17 @@ class InteractiveAlgorithm(abc.ABC):
         """Whether the stopping condition has been reached."""
         return self._done
 
+    @property
+    def pending_question(self) -> Question | None:
+        """The asked-but-unanswered question, if any.
+
+        Non-``None`` between :meth:`next_question` and :meth:`observe` —
+        the window a server checkpoint can fall into.  Engines use this
+        to re-ask the open question of a resumed session instead of
+        proposing a new one (which would consume RNG twice).
+        """
+        return self._pending
+
     def next_question(self) -> Question:
         """Select the question for the current round."""
         if self._done:
@@ -231,6 +259,80 @@ class InteractiveAlgorithm(abc.ABC):
         """Build the question for candidate ``choice`` (scoring hook)."""
         raise InteractionError(
             "this algorithm does not expose scorable candidates"
+        )
+
+    # -- state (checkpoint / resume) ------------------------------------------
+
+    def get_state(self) -> dict[str, Any]:
+        """The session's full mutable state as a nested dict.
+
+        Leaves are numpy arrays and JSON-able scalars only, so the dict
+        serialises through :mod:`repro.persist`'s npz format without
+        pickling.  The protocol fields (round counter, stopping flag,
+        pending question) live in the base dict; everything
+        family-specific — utility range, RNG stream, candidate
+        book-keeping — comes from the :meth:`_extra_state` hook.
+
+        Raises
+        ------
+        PersistenceError
+            If the concrete algorithm does not implement the state hooks
+            (e.g. :class:`~repro.core.robust.MajorityVoteSession`).
+        """
+        pending = self._pending
+        return {
+            "class": type(self).__name__,
+            "rounds": int(self.rounds),
+            "done": bool(self._done),
+            "pending": None
+            if pending is None
+            else {
+                "index_i": int(pending.index_i),
+                "index_j": int(pending.index_j),
+                "p_i": np.array(pending.p_i, dtype=float),
+                "p_j": np.array(pending.p_j, dtype=float),
+            },
+            "extra": self._extra_state(),
+        }
+
+    def set_state(self, state: dict[str, Any]) -> None:
+        """Overwrite this instance's state with a :meth:`get_state` dict.
+
+        The instance must be of the same concrete class (and built
+        against an equal dataset); every mutable field is replaced, so
+        whatever the constructor did — RNG draws, initial enumerations —
+        is irrelevant to the restored behaviour.
+        """
+        if state.get("class") != type(self).__name__:
+            raise PersistenceError(
+                f"session state class {state.get('class')!r} does not "
+                f"match {type(self).__name__}"
+            )
+        self.rounds = int(state["rounds"])
+        self._done = bool(state["done"])
+        pending = state["pending"]
+        self._pending = (
+            None
+            if pending is None
+            else Question(
+                index_i=int(pending["index_i"]),
+                index_j=int(pending["index_j"]),
+                p_i=np.array(pending["p_i"], dtype=float),
+                p_j=np.array(pending["p_j"], dtype=float),
+            )
+        )
+        self._restore_extra(state["extra"])
+
+    def _extra_state(self) -> dict[str, Any]:
+        """Family-specific half of :meth:`get_state` (override to support)."""
+        raise PersistenceError(
+            f"{type(self).__name__} does not support snapshots"
+        )
+
+    def _restore_extra(self, extra: dict[str, Any]) -> None:
+        """Family-specific half of :meth:`set_state` (override to support)."""
+        raise PersistenceError(
+            f"{type(self).__name__} does not support snapshots"
         )
 
     # -- hooks ---------------------------------------------------------------

@@ -53,6 +53,15 @@ class ConfigurationError(ReproError):
     """An algorithm or experiment was configured with invalid parameters."""
 
 
+class PersistenceError(ReproError):
+    """A session snapshot could not be captured, stored or restored.
+
+    Examples: snapshotting an algorithm family that does not implement
+    the state protocol, loading a snapshot written by an incompatible
+    format version, or resuming an RL session without its agent.
+    """
+
+
 class SessionFailedError(ReproError):
     """A served session ended with ``status == "failed"``.
 

@@ -36,14 +36,16 @@ hit-and-run samples — is bit-identical to the from-scratch path.
 from __future__ import annotations
 
 import abc
+import dataclasses
 from collections.abc import Iterator, Sequence
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 from scipy.spatial import ConvexHull, QhullError
 
-from repro.errors import ConfigurationError, EmptyRegionError
+from repro.errors import ConfigurationError, EmptyRegionError, PersistenceError
 from repro.geometry import lp, simplex
 from repro.geometry.hyperplane import PreferenceHalfspace
 from repro.geometry.lp import LPBackend
@@ -235,6 +237,64 @@ class UtilityRange(abc.ABC):
                 )
         return applied
 
+    # -- state (checkpoint / resume) -----------------------------------------
+
+    #: Discriminator written into state dicts; overridden per subclass.
+    _STATE_KIND = ""
+
+    def get_state(self) -> dict[str, Any]:
+        """The range's full mutable state as arrays and JSON-able scalars.
+
+        The dict round-trips through :meth:`set_state` on a freshly
+        constructed range of the same class and dimension, restoring the
+        half-space list, the maintained vertex set (for
+        :class:`ExactRange`), the policy knobs and the counters — enough
+        for a resumed session to continue bit-identically.  The injected
+        LP backend is *not* part of the state (it is an execution
+        concern, like the LP cache).
+        """
+        return {
+            "kind": self._STATE_KIND,
+            "dimension": self._dimension,
+            "config": dataclasses.asdict(self.config),
+            "stats": dataclasses.asdict(self.stats),
+            **self._body_state(),
+        }
+
+    def set_state(self, state: dict[str, Any]) -> None:
+        """Restore state captured by :meth:`get_state` (same class + d)."""
+        if state.get("kind") != self._STATE_KIND:
+            raise PersistenceError(
+                f"range state kind {state.get('kind')!r} does not match "
+                f"{type(self).__name__} (expected {self._STATE_KIND!r})"
+            )
+        if int(state["dimension"]) != self._dimension:
+            raise PersistenceError(
+                f"range state dimension {state['dimension']} does not "
+                f"match range dimension {self._dimension}"
+            )
+        self.config = RangeConfig(
+            prune_above=int(state["config"]["prune_above"]),
+            on_infeasible=str(state["config"]["on_infeasible"]),
+            max_halfspaces=(
+                None
+                if state["config"]["max_halfspaces"] is None
+                else int(state["config"]["max_halfspaces"])
+            ),
+        )
+        self.stats = RangeStats(
+            **{key: int(value) for key, value in state["stats"].items()}
+        )
+        self._restore_body(state)
+
+    @abc.abstractmethod
+    def _body_state(self) -> dict[str, Any]:
+        """Subclass part of :meth:`get_state`."""
+
+    @abc.abstractmethod
+    def _restore_body(self, state: dict[str, Any]) -> None:
+        """Subclass part of :meth:`set_state`."""
+
     # -- internals -----------------------------------------------------------
 
     @contextmanager
@@ -414,6 +474,44 @@ class ExactRange(UtilityRange):
             self._commit(narrowed, clipped)
             return True
 
+    # -- state ---------------------------------------------------------------
+
+    _STATE_KIND = "exact"
+
+    def _body_state(self) -> dict[str, Any]:
+        a_rows, b_rows = self._polytope.constraints
+        normals, winners, losers = halfspaces_to_arrays(
+            self._polytope.halfspaces, self._dimension
+        )
+        return {
+            "a": a_rows,
+            "b": b_rows,
+            "hs_normals": normals,
+            "hs_winners": winners,
+            "hs_losers": losers,
+            "reduced": (
+                None if self._reduced is None else self._reduced.copy()
+            ),
+        }
+
+    def _restore_body(self, state: dict[str, Any]) -> None:
+        halfspaces = halfspaces_from_arrays(
+            state["hs_normals"], state["hs_winners"], state["hs_losers"]
+        )
+        self._polytope = UtilityPolytope(
+            np.array(state["a"], dtype=float),
+            np.array(state["b"], dtype=float),
+            self._dimension,
+            halfspaces=halfspaces,
+        )
+        reduced = state["reduced"]
+        self._reduced = None if reduced is None else np.array(
+            reduced, dtype=float
+        )
+        # Rounded ambient vertices are a pure function of the reduced
+        # set; recompute lazily rather than store them twice.
+        self._ambient = None
+
     # -- internals -----------------------------------------------------------
 
     def _commit(self, polytope: UtilityPolytope, reduced: np.ndarray) -> None:
@@ -510,11 +608,69 @@ class AmbientRange(UtilityRange):
         """The inner-sphere centre of the range (ambient coordinates)."""
         return self.inner_sphere()[0]
 
+    # -- state ---------------------------------------------------------------
+
+    _STATE_KIND = "ambient"
+
+    def _body_state(self) -> dict[str, Any]:
+        normals, winners, losers = halfspaces_to_arrays(
+            self._halfspaces, self._dimension
+        )
+        return {
+            "hs_normals": normals,
+            "hs_winners": winners,
+            "hs_losers": losers,
+        }
+
+    def _restore_body(self, state: dict[str, Any]) -> None:
+        self._halfspaces = list(
+            halfspaces_from_arrays(
+                state["hs_normals"], state["hs_winners"], state["hs_losers"]
+            )
+        )
+
     def __repr__(self) -> str:
         return (
             f"AmbientRange(d={self._dimension}, "
             f"answers={len(self._halfspaces)})"
         )
+
+
+def halfspaces_to_arrays(
+    halfspaces: Sequence[PreferenceHalfspace], dimension: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pack half-spaces into ``(normals (k, d), winners (k,), losers (k,))``.
+
+    The array triple is the snapshot representation used by
+    :mod:`repro.persist`; :func:`halfspaces_from_arrays` inverts it
+    exactly (the unit normal cached on each half-space is derived, so
+    only the raw normal travels).
+    """
+    if not halfspaces:
+        return (
+            np.empty((0, dimension), dtype=float),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+    normals = np.array([h.normal for h in halfspaces], dtype=float)
+    winners = np.array([h.winner_index for h in halfspaces], dtype=np.int64)
+    losers = np.array([h.loser_index for h in halfspaces], dtype=np.int64)
+    return normals, winners, losers
+
+
+def halfspaces_from_arrays(
+    normals: np.ndarray, winners: np.ndarray, losers: np.ndarray
+) -> tuple[PreferenceHalfspace, ...]:
+    """Rebuild the half-space tuple packed by :func:`halfspaces_to_arrays`."""
+    normals = np.asarray(normals, dtype=float)
+    return tuple(
+        PreferenceHalfspace(
+            normals[k].copy(),
+            winner_index=int(winners[k]),
+            loser_index=int(losers[k]),
+        )
+        for k in range(normals.shape[0])
+    )
 
 
 def _unique_raw(points: np.ndarray) -> np.ndarray:
@@ -599,4 +755,6 @@ __all__ = [
     "ExactRange",
     "AmbientRange",
     "LPBackend",
+    "halfspaces_to_arrays",
+    "halfspaces_from_arrays",
 ]

@@ -1,0 +1,67 @@
+"""Persistent sessions: snapshots, stores, checkpoint/resume.
+
+ROADMAP item 4: millions of users means a session outlives any single
+process.  This package makes a running
+:class:`~repro.core.session.InteractiveAlgorithm` a first-class,
+storable object:
+
+* :class:`SessionSnapshot` — the full state of one session at a round
+  boundary (or mid-round, with the pending question): utility-range
+  vertices and half-spaces, RNG stream, transcript, round counter, and
+  an opaque agent reference for the RL families.
+* :func:`save_snapshot` / :func:`load_snapshot` /
+  :func:`snapshot_to_bytes` / :func:`snapshot_from_bytes` — a compact
+  versioned npz codec (schema header in a JSON ``meta`` entry, arrays
+  alongside), following the :mod:`repro.rl.serialization` pattern:
+  ``allow_pickle=False`` end to end, format-version gated.
+* :func:`capture_session` / :func:`restore_session` — between an
+  algorithm instance and a snapshot.  Restoration builds a fresh
+  session through the registry, then overwrites every mutable field, so
+  the resumed session continues **bit-identically**: same remaining
+  transcript, same recommendation.
+* :class:`SessionStore` — the storage seam, with
+  :class:`MemorySessionStore` (both implementations exercise the same
+  byte codec) and :class:`FileSessionStore` (one ``<id>.npz`` per
+  session, safe across processes).
+* :func:`resumed_spec` — wraps a snapshot as a
+  :class:`~repro.serve.spec.SessionSpec` that both serving engines
+  admit mid-session (``resumed=True`` bypasses the fresh-algorithm
+  check).
+
+The engines integrate through
+:meth:`repro.serve.scheduler.ContinuousEngine.checkpoint` /
+:meth:`~repro.serve.scheduler.ContinuousEngine.resume` and
+:class:`repro.serve.engine.SessionEngine`'s ``store``/
+``checkpoint_every`` hooks; the HTTP front end
+(:mod:`repro.server`) checkpoints after every answer.
+"""
+
+from repro.persist.snapshot import (
+    SessionSnapshot,
+    capture_session,
+    load_snapshot,
+    restore_session,
+    resumed_spec,
+    save_snapshot,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+)
+from repro.persist.store import (
+    FileSessionStore,
+    MemorySessionStore,
+    SessionStore,
+)
+
+__all__ = [
+    "FileSessionStore",
+    "MemorySessionStore",
+    "SessionSnapshot",
+    "SessionStore",
+    "capture_session",
+    "load_snapshot",
+    "restore_session",
+    "resumed_spec",
+    "save_snapshot",
+    "snapshot_from_bytes",
+    "snapshot_to_bytes",
+]

@@ -1,0 +1,438 @@
+"""The versioned session-snapshot format and capture/restore logic.
+
+A snapshot is one ``.npz`` archive (or its in-memory bytes) holding:
+
+``meta``
+    A JSON document in a zero-dimensional string array: format version,
+    session identity (id, family, epsilon, round counter, agent
+    reference), the dataset header, and the *state tree* — the nested
+    dict produced by
+    :meth:`repro.core.session.InteractiveAlgorithm.get_state` with every
+    numpy array replaced by an ``{"__array__": "a<k>"}`` placeholder.
+``a0`` .. ``a<n>``
+    The arrays lifted out of the state tree, bit-exact.
+``transcript_round`` / ``transcript_i`` / ``transcript_j`` /
+``transcript_answer``
+    The dialogue history as parallel arrays.
+``dataset_points``
+    The dataset itself, for the self-contained baseline families.  RL
+    snapshots store only the dataset header plus ``agent_ref`` and
+    require the trained agent at restore time (the agent npz already
+    carries the dataset; duplicating it per session would bloat every
+    checkpoint).
+
+Everything is loaded with ``allow_pickle=False`` and gated on
+``format_version``, mirroring :mod:`repro.rl.serialization`.
+
+Restoration never replays construction: :func:`restore_session` builds a
+fresh session through the registry (constructor side effects — RNG
+draws, initial enumerations — happen against a throwaway seed) and then
+overwrites the complete mutable state, so the resumed session continues
+bit-identically to the uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, BinaryIO
+
+import numpy as np
+
+from repro.core.session import InteractiveAlgorithm, TranscriptEntry
+from repro.data.datasets import Dataset
+from repro.errors import PersistenceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.serve.spec import SessionSpec
+    from repro.users.oracle import User
+
+_FORMAT_VERSION = 1
+_KIND = "session-snapshot"
+
+#: Session classes shipped by this package -> registry family names.
+#: Custom registered families must pass ``family=`` to
+#: :func:`capture_session` explicitly.
+_FAMILY_BY_CLASS = {
+    "EASession": "ea",
+    "AASession": "aa",
+    "UHRandomSession": "uh-random",
+    "UHSimplexSession": "uh-simplex",
+    "SinglePassSession": "single-pass",
+    "UtilityApproxSession": "utility-approx",
+    "AdaptiveSession": "adaptive",
+}
+
+
+@dataclass(frozen=True)
+class SessionSnapshot:
+    """Everything needed to resume one interactive session.
+
+    Attributes
+    ----------
+    session_id:
+        Caller-chosen identifier; the key under a
+        :class:`~repro.persist.store.SessionStore`.
+    family:
+        Registry name of the algorithm family (``"ea"``, ``"uh-random"``,
+        ...), consumed by :func:`restore_session`.
+    epsilon:
+        The session's regret threshold (needed to rebuild the instance).
+    rounds:
+        Answered rounds at capture time (mirrors ``state["rounds"]``;
+        kept at the top level so stores can report progress without
+        decoding the state tree).
+    state:
+        The :meth:`~repro.core.session.InteractiveAlgorithm.get_state`
+        tree: numpy arrays + JSON-able scalars.
+    transcript:
+        The answered rounds so far, in order.
+    agent_ref:
+        Opaque reference to the trained agent an RL session runs on
+        (typically the path the agent npz was saved to); ``None`` for
+        the self-contained baselines.
+    dataset:
+        The dataset for self-contained families; ``None`` when only the
+        header travels (RL families).
+    dataset_meta:
+        Always-present header ``{"name", "n", "dimension"}`` used to
+        validate the dataset/agent supplied at restore time.
+    """
+
+    session_id: str
+    family: str
+    epsilon: float
+    rounds: int
+    state: dict[str, Any]
+    transcript: tuple[TranscriptEntry, ...] = ()
+    agent_ref: str | None = None
+    dataset: Dataset | None = None
+    dataset_meta: dict[str, Any] = field(default_factory=dict)
+
+
+# -- capture / restore --------------------------------------------------------
+
+
+def _session_epsilon(algorithm: InteractiveAlgorithm) -> float:
+    """The session's epsilon (baselines keep it; RL policies via config)."""
+    epsilon = getattr(algorithm, "epsilon", None)
+    if epsilon is None:
+        environment = getattr(algorithm, "environment", None)
+        config = getattr(environment, "config", None)
+        epsilon = getattr(config, "epsilon", None)
+    if epsilon is None:
+        raise PersistenceError(
+            f"cannot determine epsilon for {type(algorithm).__name__}"
+        )
+    return float(epsilon)
+
+
+def capture_session(
+    algorithm: InteractiveAlgorithm,
+    *,
+    session_id: str,
+    family: str | None = None,
+    transcript: tuple[TranscriptEntry, ...] | list[TranscriptEntry] = (),
+    agent_ref: str | None = None,
+) -> SessionSnapshot:
+    """Snapshot a live session.
+
+    ``family`` is inferred from the session class for the seven shipped
+    families; custom registered families must name theirs.  The RL
+    families store only the dataset header (the agent carries the
+    dataset); pass ``agent_ref`` so the restore side knows which agent
+    to load.
+    """
+    from repro.registry import canonical_session_name, session_needs_agent
+
+    if family is None:
+        family = _FAMILY_BY_CLASS.get(type(algorithm).__name__)
+        if family is None:
+            raise PersistenceError(
+                f"cannot infer the registry family of "
+                f"{type(algorithm).__name__}; pass family= explicitly"
+            )
+    family = canonical_session_name(family)
+    dataset = algorithm.dataset
+    stored_dataset = None if session_needs_agent(family) else dataset
+    return SessionSnapshot(
+        session_id=str(session_id),
+        family=family,
+        epsilon=_session_epsilon(algorithm),
+        rounds=int(algorithm.rounds),
+        state=algorithm.get_state(),
+        transcript=tuple(transcript),
+        agent_ref=agent_ref,
+        dataset=stored_dataset,
+        dataset_meta={
+            "name": dataset.name,
+            "n": dataset.n,
+            "dimension": dataset.dimension,
+        },
+    )
+
+
+def restore_session(
+    snapshot: SessionSnapshot,
+    *,
+    agent: Any | None = None,
+    dataset: Dataset | None = None,
+) -> InteractiveAlgorithm:
+    """Rebuild the live session a snapshot describes.
+
+    Baseline families restore self-contained (their dataset travels in
+    the snapshot; ``dataset=`` overrides it).  RL families require the
+    trained ``agent=`` the session ran on — the same agent object or one
+    loaded from ``snapshot.agent_ref`` via
+    :func:`repro.rl.serialization.load_agent`.
+
+    The returned instance is mid-session: ``rounds``/``finished``/the
+    pending question match capture time exactly, and driving it forward
+    reproduces the uninterrupted run bit for bit.
+    """
+    from repro.registry import make_session, session_needs_agent
+
+    meta = snapshot.dataset_meta
+    if session_needs_agent(snapshot.family):
+        if agent is None:
+            raise PersistenceError(
+                f"snapshot {snapshot.session_id!r} is an RL session "
+                f"({snapshot.family}); pass the trained agent "
+                f"(agent_ref={snapshot.agent_ref!r})"
+            )
+        target = agent.dataset
+    else:
+        target = dataset if dataset is not None else snapshot.dataset
+        if target is None:
+            raise PersistenceError(
+                f"snapshot {snapshot.session_id!r} carries no dataset; "
+                "pass dataset= explicitly"
+            )
+    if meta and (
+        target.n != int(meta["n"])
+        or target.dimension != int(meta["dimension"])
+    ):
+        raise PersistenceError(
+            f"dataset {target.name!r} ({target.n} x {target.dimension}) "
+            f"does not match snapshot {snapshot.session_id!r} "
+            f"({meta['n']} x {meta['dimension']})"
+        )
+    kwargs: dict[str, Any] = {}
+    if session_needs_agent(snapshot.family):
+        kwargs["agent"] = agent
+    # rng=0 is a throwaway seed: set_state overwrites the stream.
+    algorithm = make_session(
+        snapshot.family, target, snapshot.epsilon, rng=0, **kwargs
+    )
+    algorithm.set_state(snapshot.state)
+    return algorithm
+
+
+def resumed_spec(
+    snapshot: SessionSnapshot,
+    user: "User",
+    *,
+    agent: Any | None = None,
+    dataset: Dataset | None = None,
+    tags: dict[str, object] | None = None,
+) -> "SessionSpec":
+    """A :class:`~repro.serve.spec.SessionSpec` resuming ``snapshot``.
+
+    Both engines admit the resulting spec mid-session (``resumed=True``
+    bypasses their fresh-algorithm check); an engine retry rebuilds from
+    the same snapshot, i.e. rolls back to the checkpoint.  The
+    snapshot's transcript travels in ``tags["prior_transcript"]`` so a
+    later engine checkpoint carries the full history across the gap.
+    """
+    from repro.serve.spec import SessionSpec
+
+    spec_tags: dict[str, object] = {
+        "session_id": snapshot.session_id,
+        "prior_transcript": snapshot.transcript,
+    }
+    if tags:
+        spec_tags.update(tags)
+    return SessionSpec(
+        factory=lambda: restore_session(snapshot, agent=agent, dataset=dataset),
+        user=user,
+        tags=spec_tags,
+        resumed=True,
+    )
+
+
+# -- state-tree codec ---------------------------------------------------------
+
+
+def _flatten(node: Any, arrays: dict[str, np.ndarray]) -> Any:
+    """JSON-able mirror of a state tree; arrays lifted into ``arrays``."""
+    if node is None or isinstance(node, (bool, int, float, str)):
+        return node
+    if isinstance(node, np.generic):
+        return node.item()
+    if isinstance(node, np.ndarray):
+        key = f"a{len(arrays)}"
+        arrays[key] = node
+        return {"__array__": key}
+    if isinstance(node, dict):
+        out = {}
+        for key, value in node.items():
+            if not isinstance(key, str):
+                raise PersistenceError(
+                    f"state dict keys must be strings, got {key!r}"
+                )
+            out[key] = _flatten(value, arrays)
+        return out
+    if isinstance(node, (list, tuple)):
+        return [_flatten(item, arrays) for item in node]
+    raise PersistenceError(
+        f"state trees may contain arrays and JSON scalars only, "
+        f"got {type(node).__name__}"
+    )
+
+
+def _unflatten(node: Any, archive: Any) -> Any:
+    """Inverse of :func:`_flatten` against a loaded npz archive."""
+    if isinstance(node, dict):
+        if set(node) == {"__array__"}:
+            return np.array(archive[node["__array__"]])
+        return {key: _unflatten(value, archive) for key, value in node.items()}
+    if isinstance(node, list):
+        return [_unflatten(item, archive) for item in node]
+    return node
+
+
+# -- npz codec ----------------------------------------------------------------
+
+
+def save_snapshot(
+    snapshot: SessionSnapshot, target: str | Path | BinaryIO
+) -> Path | None:
+    """Write ``snapshot`` to a path (``.npz`` appended) or binary stream.
+
+    Returns the path written, or ``None`` for stream targets.
+    """
+    arrays: dict[str, np.ndarray] = {}
+    state_tree = _flatten(snapshot.state, arrays)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "kind": _KIND,
+        "session_id": snapshot.session_id,
+        "family": snapshot.family,
+        "epsilon": snapshot.epsilon,
+        "rounds": snapshot.rounds,
+        "agent_ref": snapshot.agent_ref,
+        "state": state_tree,
+        "dataset": {
+            **snapshot.dataset_meta,
+            "stored": snapshot.dataset is not None,
+            "attribute_names": (
+                list(snapshot.dataset.attribute_names)
+                if snapshot.dataset is not None
+                else []
+            ),
+        },
+    }
+    transcript = snapshot.transcript
+    payload: dict[str, np.ndarray] = {
+        "meta": np.array(json.dumps(meta)),
+        "transcript_round": np.array(
+            [entry.round_number for entry in transcript], dtype=np.int64
+        ),
+        "transcript_i": np.array(
+            [entry.index_i for entry in transcript], dtype=np.int64
+        ),
+        "transcript_j": np.array(
+            [entry.index_j for entry in transcript], dtype=np.int64
+        ),
+        "transcript_answer": np.array(
+            [entry.prefers_first for entry in transcript], dtype=bool
+        ),
+        **arrays,
+    }
+    if snapshot.dataset is not None:
+        payload["dataset_points"] = snapshot.dataset.points
+    if isinstance(target, (str, Path)):
+        path = Path(target)
+        if path.suffix != ".npz":
+            path = path.with_suffix(path.suffix + ".npz")
+        np.savez_compressed(path, **payload)
+        return path
+    np.savez_compressed(target, **payload)
+    return None
+
+
+def load_snapshot(source: str | Path | BinaryIO) -> SessionSnapshot:
+    """Load a snapshot written by :func:`save_snapshot`."""
+    try:
+        archive_cm = np.load(source, allow_pickle=False)
+    except (ValueError, OSError, EOFError) as error:
+        raise PersistenceError(
+            f"not a session snapshot: {error}"
+        ) from error
+    with archive_cm as archive:
+        try:
+            meta = json.loads(str(archive["meta"]))
+        except (KeyError, json.JSONDecodeError) as error:
+            raise PersistenceError(
+                f"not a session snapshot: {error}"
+            ) from error
+        if meta.get("kind") != _KIND:
+            raise PersistenceError(
+                f"not a session snapshot (kind={meta.get('kind')!r})"
+            )
+        version = meta.get("format_version")
+        if version != _FORMAT_VERSION:
+            raise PersistenceError(
+                f"snapshot format version {version} is not supported "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        state = _unflatten(meta["state"], archive)
+        transcript = tuple(
+            TranscriptEntry(
+                round_number=int(round_number),
+                index_i=int(index_i),
+                index_j=int(index_j),
+                prefers_first=bool(answer),
+            )
+            for round_number, index_i, index_j, answer in zip(
+                archive["transcript_round"],
+                archive["transcript_i"],
+                archive["transcript_j"],
+                archive["transcript_answer"],
+            )
+        )
+        dataset_meta = dict(meta["dataset"])
+        stored = bool(dataset_meta.pop("stored", False))
+        attribute_names = dataset_meta.pop("attribute_names", [])
+        dataset = None
+        if stored:
+            dataset = Dataset(
+                np.array(archive["dataset_points"], dtype=float),
+                name=str(dataset_meta["name"]),
+                attribute_names=tuple(str(n) for n in attribute_names),
+            )
+    return SessionSnapshot(
+        session_id=str(meta["session_id"]),
+        family=str(meta["family"]),
+        epsilon=float(meta["epsilon"]),
+        rounds=int(meta["rounds"]),
+        state=state,
+        transcript=transcript,
+        agent_ref=meta["agent_ref"],
+        dataset=dataset,
+        dataset_meta=dataset_meta,
+    )
+
+
+def snapshot_to_bytes(snapshot: SessionSnapshot) -> bytes:
+    """The snapshot as npz bytes (what :class:`MemorySessionStore` keeps)."""
+    buffer = io.BytesIO()
+    save_snapshot(snapshot, buffer)
+    return buffer.getvalue()
+
+
+def snapshot_from_bytes(blob: bytes) -> SessionSnapshot:
+    """Inverse of :func:`snapshot_to_bytes`."""
+    return load_snapshot(io.BytesIO(blob))

@@ -1,0 +1,143 @@
+"""Session stores: where snapshots live between requests.
+
+A :class:`SessionStore` maps session ids to
+:class:`~repro.persist.snapshot.SessionSnapshot` payloads.  Two
+implementations ship:
+
+* :class:`MemorySessionStore` — a dict of npz bytes.  It still routes
+  through the byte codec (not a dict of live objects), so everything a
+  file-backed deployment would hit — array dtype round trips, JSON
+  scalar coercion, format versioning — is exercised in fast tests.
+* :class:`FileSessionStore` — one ``<id>.npz`` per session under a
+  root directory.  Writes go through a temp file + :func:`os.replace`
+  so a crash mid-checkpoint leaves the previous snapshot intact, and a
+  fresh process pointed at the same directory resumes every session.
+
+Ids are restricted to ``[A-Za-z0-9._-]`` (no separators), so an id can
+never escape the store's root directory.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import threading
+from abc import ABC, abstractmethod
+from pathlib import Path
+
+from repro.errors import PersistenceError
+from repro.persist.snapshot import (
+    SessionSnapshot,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+)
+
+_ID_PATTERN = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+
+
+def _check_id(session_id: str) -> str:
+    if not _ID_PATTERN.match(session_id) or session_id in {".", ".."}:
+        raise PersistenceError(
+            f"invalid session id {session_id!r}: ids are 1-128 characters "
+            "from [A-Za-z0-9._-]"
+        )
+    return session_id
+
+
+class SessionStore(ABC):
+    """Keyed storage for session snapshots.
+
+    Implementations are safe for concurrent use from multiple threads of
+    one process; :class:`FileSessionStore` additionally survives process
+    restarts.
+    """
+
+    @abstractmethod
+    def put(self, snapshot: SessionSnapshot) -> None:
+        """Store ``snapshot`` under ``snapshot.session_id`` (upsert)."""
+
+    @abstractmethod
+    def get(self, session_id: str) -> SessionSnapshot:
+        """The stored snapshot, or :class:`PersistenceError` if absent."""
+
+    @abstractmethod
+    def delete(self, session_id: str) -> None:
+        """Drop a stored snapshot; missing ids are a no-op."""
+
+    @abstractmethod
+    def ids(self) -> tuple[str, ...]:
+        """All stored session ids, sorted."""
+
+    def __contains__(self, session_id: str) -> bool:
+        return str(session_id) in self.ids()
+
+
+class MemorySessionStore(SessionStore):
+    """In-process store holding encoded snapshot bytes."""
+
+    def __init__(self) -> None:
+        self._blobs: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+
+    def put(self, snapshot: SessionSnapshot) -> None:
+        blob = snapshot_to_bytes(snapshot)
+        with self._lock:
+            self._blobs[_check_id(snapshot.session_id)] = blob
+
+    def get(self, session_id: str) -> SessionSnapshot:
+        with self._lock:
+            blob = self._blobs.get(str(session_id))
+        if blob is None:
+            raise PersistenceError(f"no stored session {session_id!r}")
+        return snapshot_from_bytes(blob)
+
+    def delete(self, session_id: str) -> None:
+        with self._lock:
+            self._blobs.pop(str(session_id), None)
+
+    def ids(self) -> tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._blobs))
+
+
+class FileSessionStore(SessionStore):
+    """One ``<id>.npz`` per session under ``root`` (created on demand)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    def _path(self, session_id: str) -> Path:
+        return self.root / f"{_check_id(str(session_id))}.npz"
+
+    def put(self, snapshot: SessionSnapshot) -> None:
+        path = self._path(snapshot.session_id)
+        blob = snapshot_to_bytes(snapshot)
+        temp = path.with_name(path.name + ".tmp")
+        with self._lock:
+            temp.write_bytes(blob)
+            os.replace(temp, path)
+
+    def get(self, session_id: str) -> SessionSnapshot:
+        path = self._path(session_id)
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            raise PersistenceError(
+                f"no stored session {session_id!r} under {self.root}"
+            ) from None
+        return snapshot_from_bytes(blob)
+
+    def delete(self, session_id: str) -> None:
+        path = self._path(session_id)
+        with self._lock:
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def ids(self) -> tuple[str, ...]:
+        return tuple(
+            sorted(p.name[: -len(".npz")] for p in self.root.glob("*.npz"))
+        )

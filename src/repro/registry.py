@@ -113,6 +113,11 @@ def canonical_session_name(name: str) -> str:
     return key
 
 
+def session_needs_agent(name: str) -> bool:
+    """Whether family ``name`` is an RL policy requiring a trained agent."""
+    return _REGISTRY[canonical_session_name(name)].needs_agent
+
+
 def make_session(
     name: str,
     dataset: Dataset,

@@ -33,7 +33,7 @@ from repro.serve.bench import ServeBenchReport, run_serve_bench
 from repro.serve.engine import RecoveryPolicy, SessionEngine
 from repro.serve.metrics import EngineMetrics, SessionError, SessionMetrics
 from repro.serve.scheduler import ContinuousEngine
-from repro.serve.spec import SessionSpec
+from repro.serve.spec import SessionSpec, reset_tuple_deprecation_warnings
 
 __all__ = [
     "ContinuousEngine",
@@ -44,5 +44,6 @@ __all__ = [
     "SessionError",
     "SessionMetrics",
     "SessionSpec",
+    "reset_tuple_deprecation_warnings",
     "run_serve_bench",
 ]

@@ -44,7 +44,7 @@ import time
 from collections.abc import Callable, Iterator, Sequence
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -56,15 +56,24 @@ from repro.core.session import (
     Question,
     RoundRecord,
     SessionResult,
+    TranscriptEntry,
     _failed_session_result,
 )
-from repro.errors import ConfigurationError, EmptyRegionError, InteractionError
+from repro.errors import (
+    ConfigurationError,
+    EmptyRegionError,
+    InteractionError,
+    PersistenceError,
+)
 from repro.geometry.lp import LPCache, use_cache
 from repro.obs.tracer import Tracer, active_tracer
 from repro.serve.metrics import EngineMetrics, SessionError, SessionMetrics
-from repro.serve.spec import SessionSource, coerce_specs
+from repro.serve.spec import SessionSource, SessionSpec, coerce_specs
 from repro.users.oracle import User
 from repro.utils.timing import Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.persist.store import SessionStore
 
 
 @dataclass(frozen=True)
@@ -125,6 +134,10 @@ class _Slot:
     records: list[RoundRecord] = field(default_factory=list)
     question: Question | None = None
     batch: CandidateBatch | None = None
+    spec: SessionSpec | None = None
+    #: Answered rounds since admission (resumed sessions prepend their
+    #: snapshot's history at checkpoint time).
+    transcript: list[TranscriptEntry] = field(default_factory=list)
 
     @property
     def agent_seconds(self) -> float:
@@ -151,6 +164,17 @@ class SessionEngine:
         without retrying.  Pass a :class:`RecoveryPolicy` to re-drive
         matching failures wrapped in
         :class:`~repro.core.robust.MajorityVoteSession`.
+    store:
+        Optional :class:`~repro.persist.SessionStore` for periodic
+        checkpoints; required when ``checkpoint_every`` is set.
+    checkpoint_every:
+        ``0`` (default) disables periodic checkpoints.  ``N > 0``
+        snapshots every surviving session to ``store`` after each
+        ``N``-th wave, so a crashed run resumes from at most ``N``
+        rounds back.  Sessions are keyed by ``tags["session_id"]``
+        (falling back to ``"session-<index>"``); sessions that do not
+        support snapshots (e.g. a recovery retry under majority voting)
+        are skipped.
 
     Examples
     --------
@@ -171,9 +195,21 @@ class SessionEngine:
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         lp_cache: LPCache | bool | None = True,
         recovery: RecoveryPolicy | None = None,
+        store: "SessionStore | None" = None,
+        checkpoint_every: int = 0,
     ) -> None:
         if max_rounds < 1:
             raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
+        if checkpoint_every < 0:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if checkpoint_every > 0 and store is None:
+            raise ConfigurationError(
+                "checkpoint_every needs a store to checkpoint into"
+            )
+        self.store = store
+        self.checkpoint_every = int(checkpoint_every)
         self.max_rounds = int(max_rounds)
         if isinstance(lp_cache, LPCache):
             self.lp_cache: LPCache | None = lp_cache
@@ -240,7 +276,10 @@ class SessionEngine:
                 slots = []
                 for index, spec in enumerate(specs):
                     algorithm = spec.build()
-                    if algorithm.rounds != 0:
+                    # A resumed spec is *supposed* to arrive mid-session;
+                    # everything else with rounds != 0 is an accidentally
+                    # re-submitted live instance.
+                    if algorithm.rounds != 0 and not spec.resumed:
                         raise InteractionError(
                             "SessionEngine.run() requires fresh algorithms; "
                             f"session {index} has already been driven"
@@ -252,6 +291,7 @@ class SessionEngine:
                             user=spec.user,
                             metrics=SessionMetrics(session_id=index),
                             source=spec.factory if spec.retryable else None,
+                            spec=spec,
                         )
                     )
                 metrics.sessions = len(slots)
@@ -263,6 +303,7 @@ class SessionEngine:
                         active = self._wave(
                             active, results, metrics, trace, started
                         )
+                        self._maybe_checkpoint(active, metrics.waves)
                         continue
                     with tracer.span(
                         "engine.wave",
@@ -272,6 +313,7 @@ class SessionEngine:
                         active = self._wave(
                             active, results, metrics, trace, started
                         )
+                    self._maybe_checkpoint(active, metrics.waves)
         finally:
             metrics.wall_seconds = time.perf_counter() - started
             if cache is not None:
@@ -291,6 +333,33 @@ class SessionEngine:
         return [result for result in results if result is not None]
 
     # -- internals -----------------------------------------------------------
+
+    def _maybe_checkpoint(self, active: list[_Slot], wave: int) -> None:
+        """Snapshot every surviving slot at ``checkpoint_every`` boundaries."""
+        every = self.checkpoint_every
+        if every == 0 or self.store is None or wave % every != 0:
+            return
+        from repro.persist import capture_session
+
+        for slot in active:
+            spec = slot.spec
+            tags = spec.tags if spec is not None else {}
+            tagged = tags.get("session_id")
+            session_id = (
+                str(tagged) if tagged is not None else f"session-{slot.index}"
+            )
+            prior = tags.get("prior_transcript") or ()
+            try:
+                snapshot = capture_session(
+                    slot.algorithm,
+                    session_id=session_id,
+                    transcript=tuple(prior) + tuple(slot.transcript),  # type: ignore[arg-type]
+                )
+            except PersistenceError:
+                # Not every algorithm snapshots (majority-vote retries);
+                # periodic checkpointing is best-effort by design.
+                continue
+            self.store.put(snapshot)
 
     @contextmanager
     def _slot_op(self, slot: _Slot, op: str) -> Iterator[None]:
@@ -342,14 +411,23 @@ class SessionEngine:
                     self._finalize(slot, results, metrics, True, started)
                     continue
                 with self._slot_op(slot, "select"):
-                    batch = algorithm.candidate_batch()
-                    if batch is None:
-                        slot.question = algorithm.next_question()
+                    pending = algorithm.pending_question
+                    if pending is not None:
+                        # A resumed session checkpointed between ask and
+                        # answer: re-ask the open question rather than
+                        # proposing a new one, which would consume the
+                        # RNG stream twice.
+                        slot.question = pending
                         slot.watch.stop()
                     else:
-                        slot.watch.stop()
-                        slot.batch = batch
-                        batchable.append(slot)
+                        batch = algorithm.candidate_batch()
+                        if batch is None:
+                            slot.question = algorithm.next_question()
+                            slot.watch.stop()
+                        else:
+                            slot.watch.stop()
+                            slot.batch = batch
+                            batchable.append(slot)
                 advancing.append(slot)
             except Exception as error:  # noqa: BLE001 -- slot fault boundary
                 self._fail(slot, error, results, metrics, started, replacements)
@@ -371,6 +449,14 @@ class SessionEngine:
                     slot.algorithm.observe(answer)
                     slot.watch.stop()
                 slot.question = None
+                slot.transcript.append(
+                    TranscriptEntry(
+                        round_number=slot.algorithm.rounds,
+                        index_i=question.index_i,
+                        index_j=question.index_j,
+                        prefers_first=answer,
+                    )
+                )
                 slot.metrics.rounds = slot.algorithm.rounds
                 metrics.rounds_total += 1
                 if trace:
@@ -563,6 +649,7 @@ class SessionEngine:
             metrics=SessionMetrics(session_id=slot.index, retries=attempt),
             source=slot.source,
             attempt=attempt,
+            spec=slot.spec,
         )
 
     def _finalize(

@@ -51,13 +51,15 @@ re-drive factory-built failures under majority voting.
 
 from __future__ import annotations
 
+import asyncio
 import contextvars
+import threading
 import time
 from collections.abc import Callable, Iterator, Sequence
 from concurrent.futures import Future, ThreadPoolExecutor
 from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -69,15 +71,21 @@ from repro.core.session import (
     Question,
     RoundRecord,
     SessionResult,
+    TranscriptEntry,
     _failed_session_result,
 )
-from repro.errors import ConfigurationError, InteractionError
+from repro.errors import ConfigurationError, InteractionError, PersistenceError
 from repro.geometry.lp import LPCache, use_cache
 from repro.obs.tracer import Tracer, active_tracer
 from repro.serve.engine import RecoveryPolicy
 from repro.serve.metrics import EngineMetrics, SessionError, SessionMetrics
 from repro.serve.spec import SessionSource, SessionSpec, coerce_spec
 from repro.utils.timing import Stopwatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.persist import SessionSnapshot
+    from repro.persist.store import SessionStore
+    from repro.users.oracle import User
 
 
 @dataclass
@@ -97,11 +105,22 @@ class _Task:
     question: Question | None = None
     batch: CandidateBatch | None = None
     submitted_at: float = 0.0
+    #: Answered rounds since admission (resumed sessions prepend their
+    #: snapshot's history at checkpoint time).
+    transcript: list[TranscriptEntry] = field(default_factory=list)
 
     @property
     def agent_seconds(self) -> float:
         """Own agent time plus this session's share of batched scoring."""
         return self.watch.elapsed + self.shared_seconds
+
+
+def _resolve_future(
+    future: "asyncio.Future[SessionResult]", result: SessionResult
+) -> None:
+    """Resolve an asubmit future on its own loop (cancel-safe)."""
+    if not future.done():
+        future.set_result(result)
 
 
 class ContinuousEngine:
@@ -134,6 +153,10 @@ class ContinuousEngine:
         ``observe``, per-round ``recommend``).  ``0`` (default) runs
         everything inline on the driver thread; results are identical
         either way.
+    store:
+        Optional :class:`~repro.persist.SessionStore`.  When set,
+        :meth:`checkpoint` persists snapshots to it and :meth:`resume`
+        accepts bare session ids.
 
     Examples
     --------
@@ -154,6 +177,7 @@ class ContinuousEngine:
         max_in_flight: int = 64,
         max_pending: int | None = None,
         workers: int = 0,
+        store: "SessionStore | None" = None,
     ) -> None:
         if max_rounds < 1:
             raise ValueError(f"max_rounds must be >= 1, got {max_rounds}")
@@ -203,6 +227,17 @@ class ContinuousEngine:
         self._cache_hits0 = cache.hits if cache else 0
         self._cache_misses0 = cache.misses if cache else 0
         self._tracer: Tracer | None = None
+        self.store = store
+        # -- async front door (asubmit) --
+        # One re-entrant lock serialises every scheduler mutation, so the
+        # background driver thread that services async waiters can
+        # interleave safely with synchronous submit/drain callers.
+        self._lock = threading.RLock()
+        self._waiters: dict[
+            int, tuple[asyncio.AbstractEventLoop, "asyncio.Future[Any]"]
+        ] = {}
+        self._driver: threading.Thread | None = None
+        self._wake = threading.Event()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -218,15 +253,28 @@ class ContinuousEngine:
         Idempotent.  Unfinished sessions are abandoned (their tickets
         never produce results), so :meth:`drain` first if you care.
         """
-        if self._closed:
-            return
-        self._closed = True
-        self.last_metrics = self.metrics
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-        self._pending.clear()
-        self._in_flight.clear()
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self.last_metrics = self.metrics
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None
+            self._pending.clear()
+            self._in_flight.clear()
+            waiters = list(self._waiters.values())
+            self._waiters.clear()
+        self._wake.set()
+        driver = self._driver
+        if driver is not None and driver.is_alive():
+            driver.join(timeout=5.0)
+        self._driver = None
+        for loop, future in waiters:
+            try:
+                loop.call_soon_threadsafe(future.cancel)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
 
     def submit(self, session: SessionSource, trace: bool = False) -> int:
         """Queue one session for service; return its ticket.
@@ -238,8 +286,16 @@ class ContinuousEngine:
         If the pending queue exceeds ``max_pending``, scheduler ticks
         run inline until it no longer does (backpressure).
         """
-        self._check_open()
-        spec = coerce_spec(session)
+        with self._lock:
+            self._check_open()
+            ticket = self._submit_spec(coerce_spec(session), trace)
+            if self.max_pending is not None:
+                while len(self._pending) > self.max_pending:
+                    self._tick()
+            return ticket
+
+    def _submit_spec(self, spec: SessionSpec, trace: bool) -> int:
+        """Queue a coerced spec (caller holds the lock); no backpressure."""
         ticket = self._next_ticket
         self._next_ticket += 1
         task = _Task(
@@ -254,10 +310,62 @@ class ContinuousEngine:
         self.metrics.sessions += 1
         self._epoch.append(ticket)
         self._pending.append(task)
-        if self.max_pending is not None:
-            while len(self._pending) > self.max_pending:
-                self._tick()
         return ticket
+
+    def asubmit(
+        self, session: SessionSource, trace: bool = False
+    ) -> "asyncio.Future[SessionResult]":
+        """Submit from asyncio; the returned future resolves to the result.
+
+        The async front door for service layers (ROADMAP item 1b): call
+        from a running event loop, ``await`` the future, and a
+        background driver thread runs scheduler ticks while async
+        waiters exist — many concurrent ``asubmit`` calls ride the same
+        continuous batch.  The future carries the session's ticket as
+        ``future.ticket`` (usable with :meth:`checkpoint`).
+
+        Async tickets are *consumed* by their future: they are excluded
+        from :meth:`drain`/:meth:`as_completed`, which keep reporting
+        synchronous submissions only.  ``max_pending`` backpressure is
+        not applied here — an event loop must not block — so async
+        callers bound their own concurrency (the HTTP layer does).
+        """
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[SessionResult]" = loop.create_future()
+        with self._lock:
+            self._check_open()
+            ticket = self._submit_spec(coerce_spec(session), trace)
+            self._epoch.remove(ticket)
+            self._waiters[ticket] = (loop, future)
+            self._ensure_driver()
+        future.ticket = ticket  # type: ignore[attr-defined]
+        self._wake.set()
+        return future
+
+    def _ensure_driver(self) -> None:
+        """Start the waiter-servicing driver thread if it is not running."""
+        if self._driver is not None and self._driver.is_alive():
+            return
+        self._driver = threading.Thread(
+            target=self._drive, name="repro-serve-driver", daemon=True
+        )
+        self._driver.start()
+
+    def _drive(self) -> None:
+        """Driver loop: tick while async waiters have live sessions."""
+        while not self._closed:
+            ticked = False
+            with self._lock:
+                if (
+                    not self._closed
+                    and self._waiters
+                    and (self._pending or self._in_flight)
+                ):
+                    self._tick()
+                    ticked = True
+            if not ticked:
+                self._wake.wait(timeout=0.05)
+                self._wake.clear()
 
     def as_completed(self) -> Iterator[SessionResult]:
         """Yield results as sessions finish (completion order).
@@ -268,21 +376,120 @@ class ContinuousEngine:
         order).
         """
         while True:
-            while self._completed:
-                yield self._completed.pop(0)
-            if not (self._pending or self._in_flight):
-                return
-            self._tick()
+            with self._lock:
+                completed, self._completed = self._completed, []
+            yield from completed
+            with self._lock:
+                if not (self._pending or self._in_flight):
+                    if not self._completed:
+                        return
+                    continue
+                self._tick()
 
     def drain(self) -> list[SessionResult]:
-        """Run until idle; return all undrained results in submit order."""
-        self._check_open()
-        while self._pending or self._in_flight:
+        """Run until idle; return all undrained results in submit order.
+
+        Async (:meth:`asubmit`) tickets are excluded — their results are
+        consumed by their futures.
+        """
+        with self._lock:
+            self._check_open()
+            while self._pending or self._in_flight:
+                self._tick()
+            self._completed.clear()
+            epoch, self._epoch = self._epoch, []
+            self.last_metrics = self.metrics
+            return [self._results.pop(ticket) for ticket in epoch]
+
+    def step(self) -> None:
+        """Run one scheduler tick (admission plus at most one round per
+        in-flight session).  The manual-stepping front door service
+        layers and tests use to advance work without draining."""
+        with self._lock:
+            self._check_open()
             self._tick()
-        self._completed.clear()
-        epoch, self._epoch = self._epoch, []
-        self.last_metrics = self.metrics
-        return [self._results.pop(ticket) for ticket in epoch]
+
+    # -- checkpoint / resume -------------------------------------------------
+
+    def _find_task(self, ticket: int) -> _Task:
+        for task in self._in_flight:
+            if task.ticket == ticket:
+                return task
+        for task in self._pending:
+            if task.ticket == ticket:
+                raise PersistenceError(
+                    f"ticket {ticket} has not been admitted yet; "
+                    "run step() (or a drain) before checkpointing"
+                )
+        raise PersistenceError(f"no live session with ticket {ticket}")
+
+    def checkpoint(
+        self,
+        ticket: int,
+        *,
+        session_id: str | None = None,
+        agent_ref: str | None = None,
+    ) -> "SessionSnapshot":
+        """Snapshot a live (in-flight) session by ticket.
+
+        ``session_id`` defaults to the spec's ``tags["session_id"]`` or
+        ``"ticket-<n>"``.  The snapshot's transcript covers every round
+        answered so far, including rounds from before a resume.  When
+        the engine has a ``store``, the snapshot is persisted to it.
+        """
+        from repro.persist import capture_session
+
+        with self._lock:
+            task = self._find_task(ticket)
+            if session_id is None:
+                tagged = task.spec.tags.get("session_id")
+                session_id = (
+                    str(tagged) if tagged is not None else f"ticket-{ticket}"
+                )
+            prior = task.spec.tags.get("prior_transcript") or ()
+            transcript = tuple(prior) + tuple(task.transcript)  # type: ignore[arg-type]
+            snapshot = capture_session(
+                task.algorithm,
+                session_id=session_id,
+                transcript=transcript,
+                agent_ref=agent_ref,
+            )
+            if self.store is not None:
+                self.store.put(snapshot)
+            return snapshot
+
+    def resume(
+        self,
+        snapshot_or_id: "SessionSnapshot | str",
+        user: "User",
+        *,
+        agent: Any | None = None,
+        dataset: Any | None = None,
+        trace: bool = False,
+    ) -> int:
+        """Admit a checkpointed session mid-flight; return its ticket.
+
+        Accepts a :class:`~repro.persist.SessionSnapshot` or, when the
+        engine has a ``store``, a bare session id.  The session resumes
+        bit-identically — same remaining transcript, same
+        recommendation — and a later :meth:`checkpoint` carries the full
+        history across the gap.
+        """
+        from repro.persist import resumed_spec
+
+        if isinstance(snapshot_or_id, str):
+            if self.store is None:
+                raise PersistenceError(
+                    "resume by id needs a store; pass store= to the "
+                    "engine or resume from a SessionSnapshot"
+                )
+            snapshot = self.store.get(snapshot_or_id)
+        else:
+            snapshot = snapshot_or_id
+        spec = resumed_spec(snapshot, user, agent=agent, dataset=dataset)
+        with self._lock:
+            self._check_open()
+            return self._submit_spec(spec, trace)
 
     def run(
         self,
@@ -370,7 +577,10 @@ class ContinuousEngine:
             task = self._pending.pop(0)
             try:
                 task.algorithm = task.spec.build()
-                if task.algorithm.rounds != 0:
+                # A resumed spec is *supposed* to arrive mid-session;
+                # everything else with rounds != 0 is an accidentally
+                # re-submitted live instance.
+                if task.algorithm.rounds != 0 and not task.spec.resumed:
                     raise InteractionError(
                         "ContinuousEngine requires fresh algorithms; "
                         f"ticket {task.ticket} has already been driven"
@@ -504,6 +714,14 @@ class ContinuousEngine:
         algorithm = task.algorithm
         with self._task_op(task, "select"):
             task.watch.start()
+            pending = algorithm.pending_question
+            if pending is not None:
+                # A resumed session checkpointed between ask and answer:
+                # re-ask the open question rather than proposing a new
+                # one, which would consume the RNG stream twice.
+                task.question = pending
+                task.watch.stop()
+                return
             batch = algorithm.candidate_batch()
             if batch is None:
                 task.question = algorithm.next_question()
@@ -526,6 +744,14 @@ class ContinuousEngine:
             task.algorithm.observe(answer)
             task.watch.stop()
         task.question = None
+        task.transcript.append(
+            TranscriptEntry(
+                round_number=task.algorithm.rounds,
+                index_i=question.index_i,
+                index_j=question.index_j,
+                prefers_first=answer,
+            )
+        )
         if task.trace:
             task.records.append(
                 RoundRecord(
@@ -784,7 +1010,19 @@ class ContinuousEngine:
         )
 
     def _deliver(self, task: _Task, result: SessionResult) -> None:
-        """File a finished result for :meth:`as_completed` and :meth:`drain`."""
+        """File a finished result for :meth:`as_completed` and :meth:`drain`.
+
+        Async (:meth:`asubmit`) tickets are diverted to their waiting
+        future instead, resolved on the waiter's event loop.
+        """
+        self.metrics.per_session.append(task.metrics)
+        waiter = self._waiters.pop(task.ticket, None)
+        if waiter is not None:
+            loop, future = waiter
+            try:
+                loop.call_soon_threadsafe(_resolve_future, future, result)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+            return
         self._results[task.ticket] = result
         self._completed.append(result)
-        self.metrics.per_session.append(task.metrics)

@@ -24,6 +24,7 @@ factory the engines recognise as non-retryable.
 
 from __future__ import annotations
 
+import sys
 import warnings
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
@@ -92,12 +93,21 @@ class SessionSpec:
         Free-form caller metadata (tenant, experiment arm, priority
         class, ...) carried through unchanged.  The engines never
         interpret tags either.
+    resumed:
+        The factory restores a mid-flight session from a
+        :class:`~repro.persist.SessionSnapshot` (see
+        :func:`repro.persist.resumed_spec`).  Engines normally reject
+        algorithms that arrive with ``rounds != 0`` — the tell-tale of
+        an accidentally re-submitted instance — but a resumed spec is
+        *supposed* to arrive mid-session, so this flag relaxes that
+        admission check.
     """
 
     factory: Callable[[], InteractiveAlgorithm]
     user: User
     seed: int | None = None
     tags: Mapping[str, object] = field(default_factory=dict)
+    resumed: bool = False
 
     def __post_init__(self) -> None:
         if not callable(self.factory):
@@ -117,13 +127,45 @@ class SessionSpec:
         return self.factory()
 
 
+#: Call sites (filename, lineno) that already received the legacy-tuple
+#: DeprecationWarning.  A loop submitting 10k tuples would otherwise
+#: emit 10k identical warnings from one source line, drowning real ones.
+_WARNED_SITES: set[tuple[str, int]] = set()
+
+
+def _warn_legacy_tuple(stacklevel: int) -> None:
+    """Emit the legacy-tuple warning once per caller source line."""
+    try:
+        frame = sys._getframe(stacklevel)
+        site = (frame.f_code.co_filename, frame.f_lineno)
+    except ValueError:  # stack shallower than stacklevel
+        site = None
+    if site is not None:
+        if site in _WARNED_SITES:
+            return
+        _WARNED_SITES.add(site)
+    warnings.warn(
+        "passing (algorithm, user) tuples to engine.run() is deprecated; "
+        "submit repro.serve.SessionSpec instances instead",
+        DeprecationWarning,
+        stacklevel=stacklevel + 1,
+    )
+
+
+def reset_tuple_deprecation_warnings() -> None:
+    """Forget which call sites were warned (test isolation hook)."""
+    _WARNED_SITES.clear()
+
+
 def coerce_spec(source: SessionSource, *, stacklevel: int = 3) -> SessionSpec:
     """Normalise one submission into a :class:`SessionSpec`.
 
     Specs pass through unchanged.  Legacy ``(algorithm_or_factory,
     user)`` tuples are converted — factories directly, eager instances
     via :class:`OneShotFactory` — after emitting a
-    :class:`DeprecationWarning` pointing callers at the spec form.
+    :class:`DeprecationWarning` pointing callers at the spec form.  The
+    warning fires once per call *site*, not once per tuple, so batch
+    submissions surface a single actionable line.
     """
     if isinstance(source, SessionSpec):
         return source
@@ -132,12 +174,7 @@ def coerce_spec(source: SessionSource, *, stacklevel: int = 3) -> SessionSpec:
             "each session must be a SessionSpec or a legacy "
             f"(algorithm, user) tuple, got {type(source).__name__}"
         )
-    warnings.warn(
-        "passing (algorithm, user) tuples to engine.run() is deprecated; "
-        "submit repro.serve.SessionSpec instances instead",
-        DeprecationWarning,
-        stacklevel=stacklevel,
-    )
+    _warn_legacy_tuple(stacklevel)
     head, user = source
     if callable(head):
         return SessionSpec(factory=head, user=user)

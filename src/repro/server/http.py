@@ -1,0 +1,221 @@
+"""A minimal HTTP/1.1 codec over asyncio streams.
+
+The service layer (:mod:`repro.server.app`) needs exactly four verbs on
+a handful of JSON endpoints; depending on a web framework for that would
+add the repo's first third-party service dependency.  This module
+implements the slice of HTTP/1.1 the service uses, directly on
+``asyncio`` streams:
+
+* :func:`read_request` — parse one request (method, target, headers,
+  ``Content-Length`` body) from a stream, with size caps so a
+  misbehaving client cannot balloon memory;
+* :class:`Request` / :class:`Response` — plain dataclasses with JSON
+  helpers;
+* :func:`render_response` — serialise a response with
+  ``Content-Length`` so connections can be kept alive;
+* :func:`request` — a tiny asyncio client for the load generator and
+  the tests (same codec both directions).
+
+Chunked transfer encoding, multipart bodies, TLS and HTTP/2 are out of
+scope — put a real proxy in front for those.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+from repro.errors import DataError
+
+#: Caps keeping a hostile/buggy client from ballooning server memory.
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class BadRequestError(DataError):
+    """The peer sent something that is not parseable HTTP."""
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body parsed as JSON (an empty body is ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as error:
+            raise BadRequestError(f"request body is not JSON: {error}") from None
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should stay open after the response."""
+        return self.headers.get("connection", "keep-alive") != "close"
+
+
+@dataclass
+class Response:
+    """One HTTP response ready for :func:`render_response`."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def json(cls, payload: Any, status: int = 200) -> "Response":
+        """A JSON response (the service's only body type)."""
+        return cls(
+            status=status,
+            body=(json.dumps(payload) + "\n").encode(),
+        )
+
+    @classmethod
+    def error(cls, status: int, message: str) -> "Response":
+        """The service's uniform error shape: ``{"error": ...}``."""
+        return cls.json({"error": message}, status=status)
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request from ``reader``; ``None`` on a clean EOF.
+
+    Raises
+    ------
+    BadRequestError
+        On malformed request lines/headers, oversized headers, or a
+        body larger than :data:`MAX_BODY_BYTES`.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise BadRequestError("truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise BadRequestError("request head exceeds the header cap") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise BadRequestError("request head exceeds the header cap")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise BadRequestError(f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise BadRequestError(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise BadRequestError("malformed Content-Length") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise BadRequestError(f"body of {length} bytes exceeds the cap")
+    body = await reader.readexactly(length) if length else b""
+    return Request(
+        method=method.upper(),
+        path=unquote(split.path) or "/",
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(response: Response, *, keep_alive: bool = True) -> bytes:
+    """Serialise ``response``, always with an explicit ``Content-Length``."""
+    reason = _REASONS.get(response.status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {response.status} {reason}",
+        f"Content-Type: {response.content_type}",
+        f"Content-Length: {len(response.body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in response.headers.items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + response.body
+
+
+async def request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Any | None = None,
+    *,
+    reader: asyncio.StreamReader | None = None,
+    writer: asyncio.StreamWriter | None = None,
+) -> tuple[int, Any]:
+    """One client request; returns ``(status, parsed_json_or_bytes)``.
+
+    Pass an existing ``reader``/``writer`` pair to reuse a keep-alive
+    connection (the load generator does); otherwise a connection is
+    opened and closed around the single request.
+    """
+    own_connection = writer is None
+    if own_connection:
+        reader, writer = await asyncio.open_connection(host, port)
+    assert reader is not None and writer is not None
+    body = b"" if payload is None else json.dumps(payload).encode()
+    head = (
+        f"{method.upper()} {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'close' if own_connection else 'keep-alive'}\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+    try:
+        status_line = await reader.readline()
+        parts = status_line.decode("latin-1").split(" ", 2)
+        if len(parts) < 2:
+            raise BadRequestError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        raw = await reader.readexactly(length) if length else b""
+    finally:
+        if own_connection:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+    try:
+        return status, json.loads(raw) if raw else {}
+    except json.JSONDecodeError:
+        return status, raw

@@ -1,0 +1,322 @@
+"""HTTP load generator for :class:`~repro.server.app.SessionService`.
+
+Drives many concurrent sessions end-to-end over real HTTP — create,
+question/answer loop (interactive mode) or scheduler-side dialogue
+(oracle mode), recommendation — and reports request-latency percentiles
+(p50/p95/p99) plus failure counts.  This is the ``serve-bench --http``
+backend and the CI server-smoke check.
+
+The target is either an already-running server (``host``/``port``) or,
+by default, an in-process :class:`~repro.server.app.SessionService` on
+an ephemeral port — the self-contained form used by tests and CI, which
+still exercises the full HTTP codec through real sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.data.datasets import Dataset
+from repro.data.utility import sample_training_utilities
+from repro.errors import DataError
+from repro.server.http import request
+
+
+@dataclass
+class HttpBenchReport:
+    """What one load-generation run measured."""
+
+    mode: str
+    sessions: int
+    concurrency: int
+    completed: int = 0
+    failed: int = 0
+    requests: int = 0
+    rounds_total: int = 0
+    wall_seconds: float = 0.0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    max_ms: float = 0.0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def sessions_per_second(self) -> float:
+        """End-to-end session throughput."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable report for the CLI."""
+        return [
+            f"http bench ({self.mode}): {self.completed}/{self.sessions} "
+            f"sessions completed, {self.failed} failed",
+            f"  requests: {self.requests} over {self.wall_seconds:.2f}s "
+            f"({self.rounds_total} rounds answered)",
+            f"  latency: p50 {self.p50_ms:.2f}ms  p95 {self.p95_ms:.2f}ms  "
+            f"p99 {self.p99_ms:.2f}ms  max {self.max_ms:.2f}ms",
+            f"  throughput: {self.sessions_per_second:.1f} sessions/s",
+        ]
+
+    def timings(self) -> dict[str, float]:
+        """The snapshot ``timings`` block (``BENCH_serve_http.json``)."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+            "sessions_per_second": self.sessions_per_second,
+        }
+
+
+class _Client:
+    """One load-generating client: drives one session over HTTP."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        report: HttpBenchReport,
+        latencies: list[float],
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.report = report
+        self.latencies = latencies
+
+    async def call(
+        self, method: str, path: str, payload: Any | None = None
+    ) -> tuple[int, Any]:
+        started = time.perf_counter()
+        status, body = await request(
+            self.host, self.port, method, path, payload
+        )
+        self.latencies.append((time.perf_counter() - started) * 1000.0)
+        self.report.requests += 1
+        return status, body
+
+    async def drive(
+        self,
+        *,
+        mode: str,
+        algorithm: str,
+        epsilon: float,
+        seed: int,
+        utility: np.ndarray,
+        max_rounds: int,
+    ) -> int:
+        """Run one session to its recommendation; returns rounds answered."""
+        create: dict[str, Any] = {
+            "algorithm": algorithm,
+            "epsilon": epsilon,
+            "seed": seed,
+        }
+        if mode == "oracle":
+            create["mode"] = "oracle"
+            create["utility"] = [float(x) for x in utility]
+        status, body = await self.call("POST", "/sessions", create)
+        if status != 201 or not isinstance(body, dict):
+            raise DataError(f"create failed with {status}: {body}")
+        session_id = body["session_id"]
+        base = f"/sessions/{session_id}"
+        if mode == "oracle":
+            status, body = await self.call("GET", f"{base}/recommendation")
+            if status != 200 or body.get("status") not in (
+                "completed",
+                "truncated",
+                "recovered",
+            ):
+                raise DataError(
+                    f"oracle recommendation failed with {status}: {body}"
+                )
+            return int(body.get("rounds", 0))
+        rounds = 0
+        while not body.get("finished", False) and rounds < max_rounds:
+            status, question = await self.call("GET", f"{base}/question")
+            if status != 200:
+                raise DataError(f"question failed with {status}: {question}")
+            p_i = np.asarray(question["p_i"], dtype=float)
+            p_j = np.asarray(question["p_j"], dtype=float)
+            prefers = bool(float(utility @ p_i) >= float(utility @ p_j))
+            status, body = await self.call(
+                "POST", f"{base}/answer", {"prefers_first": prefers}
+            )
+            if status != 200:
+                raise DataError(f"answer failed with {status}: {body}")
+            rounds += 1
+        status, body = await self.call("GET", f"{base}/recommendation")
+        if status != 200:
+            raise DataError(f"recommendation failed with {status}: {body}")
+        return rounds
+
+
+async def _run_clients(
+    host: str,
+    port: int,
+    report: HttpBenchReport,
+    *,
+    mode: str,
+    algorithm: str,
+    epsilon: float,
+    utilities: np.ndarray,
+    max_rounds: int,
+) -> list[float]:
+    latencies: list[float] = []
+    semaphore = asyncio.Semaphore(report.concurrency)
+
+    async def one(seed: int) -> None:
+        async with semaphore:
+            client = _Client(host, port, report, latencies)
+            try:
+                # Await first, then add: `x += await f()` reads x before
+                # the await, losing concurrent updates.
+                rounds = await client.drive(
+                    mode=mode,
+                    algorithm=algorithm,
+                    epsilon=epsilon,
+                    seed=seed,
+                    utility=utilities[seed % len(utilities)],
+                    max_rounds=max_rounds,
+                )
+                report.rounds_total += rounds
+                report.completed += 1
+            except Exception as error:  # noqa: BLE001 -- client boundary
+                report.failed += 1
+                report.errors.append(
+                    f"session {seed}: {type(error).__name__}: {error}"
+                )
+
+    await asyncio.gather(*(one(seed) for seed in range(report.sessions)))
+    return latencies
+
+
+def run_http_bench(
+    dataset: Dataset | None = None,
+    *,
+    host: str | None = None,
+    port: int | None = None,
+    sessions: int = 32,
+    concurrency: int = 16,
+    mode: str = "interactive",
+    algorithm: str = "uh-random",
+    epsilon: float = 0.1,
+    max_rounds: int = 64,
+    utility_seed: int = 42,
+    service_kwargs: dict[str, Any] | None = None,
+) -> HttpBenchReport:
+    """Load-test a session server; returns latency/throughput stats.
+
+    With ``host``/``port`` the run targets an external server (whose
+    dataset must match ``utility`` dimensionality — pass the same
+    ``dataset``).  Without them, an in-process
+    :class:`~repro.server.app.SessionService` over ``dataset`` is
+    started on an ephemeral port for the duration of the run.
+    """
+    if mode not in ("interactive", "oracle"):
+        raise DataError(f"mode must be interactive|oracle, got {mode!r}")
+    if dataset is None and (host is None or port is None):
+        raise DataError("run_http_bench needs a dataset or a host+port")
+    report = HttpBenchReport(
+        mode=mode, sessions=int(sessions), concurrency=int(concurrency)
+    )
+    dimension = dataset.dimension if dataset is not None else None
+
+    async def _main() -> list[float]:
+        service = None
+        server = None
+        target_host, target_port = host, port
+        try:
+            if target_host is None or target_port is None:
+                from repro.server.app import SessionService
+
+                assert dataset is not None
+                service = SessionService(
+                    dataset,
+                    epsilon=epsilon,
+                    max_rounds=max_rounds,
+                    **(service_kwargs or {}),
+                )
+                server = await service.serve("127.0.0.1", 0)
+                bound = server.sockets[0].getsockname()
+                target_host, target_port = bound[0], bound[1]
+                probe_dim = dataset.dimension
+            else:
+                _, health = await request(
+                    target_host, target_port, "GET", "/healthz"
+                )
+                if not isinstance(health, dict):
+                    raise DataError(f"target is not a session server: {health}")
+                probe_dim = dimension
+            if probe_dim is None:
+                raise DataError(
+                    "pass dataset= so utilities match the server's "
+                    "dimensionality"
+                )
+            utilities = sample_training_utilities(
+                probe_dim, max(1, min(sessions, 64)), rng=utility_seed
+            )
+            return await _run_clients(
+                target_host,
+                target_port,
+                report,
+                mode=mode,
+                algorithm=algorithm,
+                epsilon=epsilon,
+                utilities=utilities,
+                max_rounds=max_rounds,
+            )
+        finally:
+            if server is not None:
+                server.close()
+                await server.wait_closed()
+            if service is not None:
+                service.close()
+
+    started = time.perf_counter()
+    latencies = asyncio.run(_main())
+    report.wall_seconds = time.perf_counter() - started
+    if latencies:
+        values = np.asarray(latencies, dtype=float)
+        report.p50_ms = float(np.percentile(values, 50))
+        report.p95_ms = float(np.percentile(values, 95))
+        report.p99_ms = float(np.percentile(values, 99))
+        report.max_ms = float(values.max())
+    return report
+
+
+def write_http_bench_snapshot(
+    report: HttpBenchReport,
+    target: str,
+    *,
+    dataset_name: str = "",
+    algorithm: str = "",
+) -> str:
+    """Emit the versioned ``BENCH_serve_http.json`` snapshot."""
+    from repro.obs import write_snapshot
+
+    path = write_snapshot(
+        target,
+        "serve_http",
+        config={
+            "mode": report.mode,
+            "sessions": report.sessions,
+            "concurrency": report.concurrency,
+            "dataset": dataset_name,
+            "algorithm": algorithm,
+        },
+        timings=report.timings(),
+        counters={
+            "completed": report.completed,
+            "failed": report.failed,
+            "requests": report.requests,
+            "rounds_total": report.rounds_total,
+        },
+    )
+    return str(path)

@@ -10,6 +10,9 @@ noise.
 
 from __future__ import annotations
 
+import copy
+from typing import Any
+
 import numpy as np
 
 RngLike = int | None | np.random.Generator | np.random.SeedSequence
@@ -53,3 +56,37 @@ def spawn_rngs(seed: RngLike, count: int) -> list[np.random.Generator]:
     else:
         sequence = np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in sequence.spawn(count)]
+
+
+def get_state(rng: np.random.Generator) -> dict[str, Any]:
+    """A deep copy of ``rng``'s bit-generator state.
+
+    The returned dict is exactly what numpy exposes as
+    ``rng.bit_generator.state``; for the default ``PCG64`` stream it
+    contains only ints and strings, so it survives a JSON round-trip
+    unchanged (Python ints are arbitrary precision).  Mutating the
+    generator afterwards does not affect the copy.
+
+    Examples
+    --------
+    >>> gen = ensure_rng(7)
+    >>> state = get_state(gen)
+    >>> first = gen.integers(1000)
+    >>> _ = set_state(gen, state)
+    >>> int(gen.integers(1000)) == int(first)
+    True
+    """
+    return copy.deepcopy(rng.bit_generator.state)
+
+
+def set_state(
+    rng: np.random.Generator, state: dict[str, Any]
+) -> np.random.Generator:
+    """Restore ``rng`` to a state captured by :func:`get_state`.
+
+    Returns ``rng`` so calls compose (``set_state(ensure_rng(0), s)``).
+    The state dict is deep-copied on the way in: the caller's copy stays
+    valid even after the generator advances.
+    """
+    rng.bit_generator.state = copy.deepcopy(state)
+    return rng

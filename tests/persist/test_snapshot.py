@@ -1,0 +1,199 @@
+"""Unit tests for the snapshot codec and capture/restore logic."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.session import TranscriptEntry
+from repro.data import synthetic_dataset
+from repro.data.utility import sample_training_utilities
+from repro.errors import PersistenceError
+from repro.persist import (
+    SessionSnapshot,
+    capture_session,
+    load_snapshot,
+    restore_session,
+    save_snapshot,
+    snapshot_from_bytes,
+    snapshot_to_bytes,
+)
+from repro.registry import make_session
+from repro.users import OracleUser
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_dataset("anti", 200, 3, rng=7)
+
+
+@pytest.fixture(scope="module")
+def utility():
+    return sample_training_utilities(3, 1, rng=11)[0]
+
+
+def _drive(session, user, rounds):
+    """Answer ``rounds`` questions; returns the transcript entries."""
+    transcript = []
+    for _ in range(rounds):
+        if session.finished:
+            break
+        question = session.next_question()
+        answer = bool(user.prefers(question.p_i, question.p_j))
+        session.observe(answer)
+        transcript.append(
+            TranscriptEntry(
+                round_number=session.rounds,
+                index_i=question.index_i,
+                index_j=question.index_j,
+                prefers_first=answer,
+            )
+        )
+    return transcript
+
+
+def _mid_session(dataset, utility, family="uh-random", rounds=2):
+    session = make_session(family, dataset, 0.1, rng=42)
+    transcript = _drive(session, OracleUser(utility), rounds)
+    return session, transcript
+
+
+class TestByteCodec:
+    def test_round_trip_preserves_identity(self, dataset, utility):
+        session, transcript = _mid_session(dataset, utility)
+        snapshot = capture_session(
+            session, session_id="t-1", transcript=tuple(transcript)
+        )
+        loaded = snapshot_from_bytes(snapshot_to_bytes(snapshot))
+        assert loaded.session_id == "t-1"
+        assert loaded.family == "uh-random"
+        assert loaded.epsilon == pytest.approx(0.1)
+        assert loaded.rounds == snapshot.rounds
+        assert loaded.transcript == tuple(transcript)
+        assert loaded.agent_ref is None
+        assert loaded.dataset_meta == snapshot.dataset_meta
+
+    def test_state_arrays_are_bit_exact(self, dataset, utility):
+        session, _ = _mid_session(dataset, utility)
+        snapshot = capture_session(session, session_id="t-2")
+        loaded = snapshot_from_bytes(snapshot_to_bytes(snapshot))
+        resumed = restore_session(loaded)
+        original_state = session.get_state()
+        resumed_state = resumed.get_state()
+
+        def assert_equal(a, b):
+            assert type(a) is type(b) or (
+                isinstance(a, np.ndarray) and isinstance(b, np.ndarray)
+            )
+            if isinstance(a, np.ndarray):
+                assert a.dtype == b.dtype
+                np.testing.assert_array_equal(a, b)
+            elif isinstance(a, dict):
+                assert a.keys() == b.keys()
+                for key in a:
+                    assert_equal(a[key], b[key])
+            elif isinstance(a, (list, tuple)):
+                assert len(a) == len(b)
+                for x, y in zip(a, b):
+                    assert_equal(x, y)
+            else:
+                assert a == b
+
+        assert_equal(original_state, resumed_state)
+
+    def test_file_round_trip_appends_npz(self, dataset, utility, tmp_path):
+        session, _ = _mid_session(dataset, utility)
+        snapshot = capture_session(session, session_id="t-3")
+        written = save_snapshot(snapshot, tmp_path / "snap")
+        assert str(written).endswith(".npz")
+        loaded = load_snapshot(written)
+        assert loaded.session_id == "t-3"
+        assert loaded.rounds == snapshot.rounds
+
+    def test_binary_io_round_trip(self, dataset, utility):
+        session, _ = _mid_session(dataset, utility)
+        snapshot = capture_session(session, session_id="t-4")
+        buffer = io.BytesIO()
+        save_snapshot(snapshot, buffer)
+        buffer.seek(0)
+        assert load_snapshot(buffer).session_id == "t-4"
+
+
+def _tamper_meta(blob: bytes, **overrides) -> bytes:
+    """Rewrite the ``meta`` JSON inside an encoded snapshot."""
+    with np.load(io.BytesIO(blob), allow_pickle=False) as archive:
+        entries = {name: archive[name] for name in archive.files}
+    meta = json.loads(str(entries["meta"][()]))
+    meta.update(overrides)
+    entries["meta"] = np.array(json.dumps(meta))
+    out = io.BytesIO()
+    np.savez(out, **entries)
+    return out.getvalue()
+
+
+class TestFormatGates:
+    def test_future_version_is_rejected(self, dataset, utility):
+        session, _ = _mid_session(dataset, utility)
+        blob = snapshot_to_bytes(capture_session(session, session_id="v"))
+        bad = _tamper_meta(blob, format_version=999)
+        with pytest.raises(PersistenceError, match="version"):
+            snapshot_from_bytes(bad)
+
+    def test_wrong_kind_is_rejected(self, dataset, utility):
+        session, _ = _mid_session(dataset, utility)
+        blob = snapshot_to_bytes(capture_session(session, session_id="k"))
+        bad = _tamper_meta(blob, kind="not-a-snapshot")
+        with pytest.raises(PersistenceError):
+            snapshot_from_bytes(bad)
+
+    def test_garbage_bytes_are_rejected(self):
+        with pytest.raises(PersistenceError):
+            snapshot_from_bytes(b"definitely not an npz archive")
+
+
+class TestRestoreGuards:
+    def test_rl_restore_requires_agent(self):
+        snapshot = SessionSnapshot(
+            session_id="rl-1",
+            family="ea",
+            epsilon=0.1,
+            rounds=0,
+            state={},
+            agent_ref="agents/ea.npz",
+            dataset_meta={"name": "x", "n": 10, "dimension": 3},
+        )
+        with pytest.raises(PersistenceError, match="agent"):
+            restore_session(snapshot)
+
+    def test_dataset_shape_mismatch_is_rejected(self, dataset, utility):
+        session, _ = _mid_session(dataset, utility)
+        snapshot = capture_session(session, session_id="m")
+        other = synthetic_dataset("anti", 120, 3, rng=9)
+        with pytest.raises(PersistenceError, match="does not match"):
+            restore_session(snapshot, dataset=other)
+
+
+class TestMidRoundCapture:
+    def test_pending_question_round_trips(self, dataset, utility):
+        session, _ = _mid_session(dataset, utility, rounds=2)
+        asked = session.next_question()  # ask, do not answer
+        snapshot = snapshot_from_bytes(
+            snapshot_to_bytes(capture_session(session, session_id="p"))
+        )
+        resumed = restore_session(snapshot)
+        pending = resumed.pending_question
+        assert pending is not None
+        assert (pending.index_i, pending.index_j) == (
+            asked.index_i,
+            asked.index_j,
+        )
+        # Both copies answer the same question and stay in lockstep.
+        user = OracleUser(utility)
+        answer = bool(user.prefers(asked.p_i, asked.p_j))
+        session.observe(answer)
+        resumed.observe(answer)
+        assert resumed.rounds == session.rounds
+        assert resumed.finished == session.finished

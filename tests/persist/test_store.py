@@ -1,0 +1,104 @@
+"""SessionStore implementations: both run the same byte codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import synthetic_dataset
+from repro.data.utility import sample_training_utilities
+from repro.errors import PersistenceError
+from repro.persist import (
+    FileSessionStore,
+    MemorySessionStore,
+    capture_session,
+)
+from repro.registry import make_session
+from repro.users import OracleUser
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return synthetic_dataset("anti", 150, 3, rng=3)
+
+
+def _snapshot(dataset, session_id, rounds=1):
+    session = make_session("uh-random", dataset, 0.1, rng=5)
+    user = OracleUser(sample_training_utilities(3, 1, rng=17)[0])
+    for _ in range(rounds):
+        question = session.next_question()
+        session.observe(user.prefers(question.p_i, question.p_j))
+    return capture_session(session, session_id=session_id)
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemorySessionStore()
+    return FileSessionStore(tmp_path / "sessions")
+
+
+class TestStoreContract:
+    def test_put_get_round_trip(self, store, dataset):
+        snapshot = _snapshot(dataset, "alpha")
+        store.put(snapshot)
+        loaded = store.get("alpha")
+        assert loaded.session_id == "alpha"
+        assert loaded.rounds == snapshot.rounds
+        assert loaded.transcript == snapshot.transcript
+
+    def test_put_is_upsert(self, store, dataset):
+        store.put(_snapshot(dataset, "alpha", rounds=1))
+        later = _snapshot(dataset, "alpha", rounds=3)
+        store.put(later)
+        assert store.get("alpha").rounds == later.rounds
+        assert store.ids() == ("alpha",)
+
+    def test_ids_sorted_and_contains(self, store, dataset):
+        for name in ("b", "a", "c"):
+            store.put(_snapshot(dataset, name))
+        assert store.ids() == ("a", "b", "c")
+        assert "b" in store
+        assert "zzz" not in store
+
+    def test_missing_id_raises(self, store):
+        with pytest.raises(PersistenceError, match="no stored session"):
+            store.get("missing")
+
+    def test_delete_is_idempotent(self, store, dataset):
+        store.put(_snapshot(dataset, "gone"))
+        store.delete("gone")
+        store.delete("gone")
+        assert store.ids() == ()
+
+    @pytest.mark.parametrize(
+        "bad_id",
+        ["", "a/b", "../escape", "a" * 129, "sp ace", ".", ".."],
+    )
+    def test_invalid_ids_are_rejected(self, store, dataset, bad_id):
+        snapshot = _snapshot(dataset, "ok")
+        object.__setattr__(snapshot, "session_id", bad_id)
+        with pytest.raises(PersistenceError, match="invalid session id"):
+            store.put(snapshot)
+
+
+class TestFileStore:
+    def test_survives_reopen(self, tmp_path, dataset):
+        root = tmp_path / "sessions"
+        FileSessionStore(root).put(_snapshot(dataset, "persist-me"))
+        reopened = FileSessionStore(root)
+        assert reopened.get("persist-me").session_id == "persist-me"
+
+    def test_one_npz_per_session(self, tmp_path, dataset):
+        root = tmp_path / "sessions"
+        store = FileSessionStore(root)
+        store.put(_snapshot(dataset, "one"))
+        store.put(_snapshot(dataset, "two"))
+        assert sorted(p.name for p in root.glob("*")) == [
+            "one.npz",
+            "two.npz",
+        ]
+
+    def test_traversal_cannot_escape_root(self, tmp_path, dataset):
+        store = FileSessionStore(tmp_path / "sessions")
+        with pytest.raises(PersistenceError):
+            store.get("../../etc/passwd")

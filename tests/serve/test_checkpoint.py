@@ -1,0 +1,191 @@
+"""Engine-level checkpoint/resume and the async front door.
+
+Covers the :mod:`repro.persist` integration of both engines:
+
+* ``ContinuousEngine.checkpoint(ticket)`` / ``.resume(...)`` — a
+  session interrupted mid-flight (even across engine instances, i.e. a
+  simulated process restart) finishes bit-identically;
+* ``SessionEngine(store=..., checkpoint_every=N)`` — periodic
+  checkpoints during ``run()``, with transcripts contiguous across a
+  resume gap;
+* ``ContinuousEngine.asubmit`` — many concurrent asyncio submissions
+  ride one scheduler and resolve to correct results, excluded from
+  ``drain()``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.baselines import UHRandomSession
+from repro.core.session import run_session
+from repro.data.utility import sample_training_utilities
+from repro.errors import ConfigurationError, PersistenceError
+from repro.persist import MemorySessionStore, resumed_spec
+from repro.serve import ContinuousEngine, SessionEngine, SessionSpec
+from repro.users import OracleUser
+
+EPSILON = 0.1
+
+
+def _user(seed=0):
+    return OracleUser(sample_training_utilities(3, 1, rng=50 + seed)[0])
+
+
+def _spec(dataset, seed=0, session_id=None):
+    tags = {"session_id": session_id} if session_id else {}
+    return SessionSpec(
+        factory=lambda: UHRandomSession(dataset, EPSILON, rng=9 + seed),
+        user=_user(seed),
+        seed=seed,
+        tags=tags,
+    )
+
+
+class TestContinuousCheckpoint:
+    def test_resume_across_engine_instances(self, small_anti_3d):
+        reference = run_session(
+            UHRandomSession(small_anti_3d, EPSILON, rng=9), _user()
+        )
+
+        store = MemorySessionStore()
+        with ContinuousEngine(store=store) as engine:
+            ticket = engine.submit(_spec(small_anti_3d, session_id="s1"))
+            for _ in range(3):
+                engine.step()
+            engine.checkpoint(ticket)
+        assert "s1" in store  # persisted before the "crash"
+
+        with ContinuousEngine(store=store) as fresh:
+            fresh.resume("s1", _user())
+            (result,) = fresh.drain()
+        assert result.rounds == reference.rounds
+        assert result.recommendation_index == reference.recommendation_index
+        np.testing.assert_array_equal(
+            result.recommendation, reference.recommendation
+        )
+
+    def test_checkpoint_after_resume_has_contiguous_transcript(
+        self, small_anti_3d
+    ):
+        store = MemorySessionStore()
+        with ContinuousEngine(store=store) as engine:
+            ticket = engine.submit(_spec(small_anti_3d, session_id="s2"))
+            for _ in range(2):
+                engine.step()
+            engine.checkpoint(ticket)
+
+        with ContinuousEngine(store=store) as fresh:
+            ticket = fresh.resume("s2", _user())
+            fresh.step()
+            snapshot = fresh.checkpoint(ticket)
+            fresh.drain()
+        rounds = [entry.round_number for entry in snapshot.transcript]
+        assert rounds == list(range(1, len(rounds) + 1))
+
+    def test_resume_by_id_needs_a_store(self, small_anti_3d):
+        with ContinuousEngine() as engine:
+            with pytest.raises(PersistenceError, match="store"):
+                engine.resume("anything", _user())
+
+    def test_checkpoint_unknown_ticket_raises(self, small_anti_3d):
+        with ContinuousEngine() as engine:
+            with pytest.raises(PersistenceError, match="no live session"):
+                engine.checkpoint(12345)
+
+    def test_checkpoint_before_admission_raises(self, small_anti_3d):
+        with ContinuousEngine() as engine:
+            ticket = engine.submit(_spec(small_anti_3d))
+            with pytest.raises(PersistenceError, match="not been admitted"):
+                engine.checkpoint(ticket)
+            engine.drain()
+
+
+class TestWaveCheckpoint:
+    def test_checkpoint_every_needs_store(self):
+        with pytest.raises(ConfigurationError, match="store"):
+            SessionEngine(checkpoint_every=2)
+
+    def test_periodic_checkpoints_are_written(self, small_anti_3d):
+        store = MemorySessionStore()
+        engine = SessionEngine(store=store, checkpoint_every=1)
+        engine.run([_spec(small_anti_3d, session_id="wave-1")])
+        snapshot = store.get("wave-1")
+        assert snapshot.rounds > 0
+        assert snapshot.family == "uh-random"
+
+    def test_truncated_run_resumes_identically(self, small_anti_3d):
+        reference = run_session(
+            UHRandomSession(small_anti_3d, EPSILON, rng=9), _user()
+        )
+
+        store = MemorySessionStore()
+        short = SessionEngine(max_rounds=3, store=store, checkpoint_every=1)
+        (truncated,) = short.run([_spec(small_anti_3d, session_id="wave-2")])
+        assert truncated.truncated
+
+        snapshot = store.get("wave-2")
+        (result,) = SessionEngine().run([resumed_spec(snapshot, _user())])
+        assert result.rounds == reference.rounds
+        assert result.recommendation_index == reference.recommendation_index
+
+
+class TestAsubmit:
+    def test_many_concurrent_waiters(self, small_anti_3d):
+        async def main(engine):
+            futures = [
+                engine.asubmit(_spec(small_anti_3d, seed=seed))
+                for seed in range(12)
+            ]
+            return await asyncio.gather(*futures)
+
+        with ContinuousEngine(max_in_flight=8) as engine:
+            results = asyncio.run(main(engine))
+            assert len(results) == 12
+            for seed, result in enumerate(results):
+                assert result.status == "completed"
+                reference = run_session(
+                    UHRandomSession(small_anti_3d, EPSILON, rng=9 + seed),
+                    _user(seed),
+                )
+                assert result.rounds == reference.rounds
+                assert (
+                    result.recommendation_index
+                    == reference.recommendation_index
+                )
+            # Async tickets are consumed by their futures.
+            assert engine.drain() == []
+
+    def test_future_carries_ticket_for_checkpoint(self, small_anti_3d):
+        store = MemorySessionStore()
+
+        async def main(engine):
+            future = engine.asubmit(_spec(small_anti_3d, session_id="a1"))
+            result = await future
+            return future.ticket, result
+
+        with ContinuousEngine(store=store) as engine:
+            ticket, result = asyncio.run(main(engine))
+        assert isinstance(ticket, int)
+        assert result.status == "completed"
+
+    def test_asubmit_mixes_with_sync_submissions(self, small_anti_3d):
+        async def main(engine):
+            future = engine.asubmit(_spec(small_anti_3d, seed=0))
+            return await future
+
+        with ContinuousEngine() as engine:
+            sync_ticket = engine.submit(_spec(small_anti_3d, seed=1))
+            async_result = asyncio.run(main(engine))
+            results = engine.drain()
+        assert async_result.status == "completed"
+        # drain() reports only the synchronous ticket.
+        assert len(results) == 1
+        reference = run_session(
+            UHRandomSession(small_anti_3d, EPSILON, rng=10), _user(1)
+        )
+        assert results[0].rounds == reference.rounds
+        assert sync_ticket >= 0

@@ -1,0 +1,79 @@
+"""The legacy ``(algorithm, user)`` tuple warns once per call site."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.baselines import UHRandomSession
+from repro.serve import (
+    ContinuousEngine,
+    SessionEngine,
+    reset_tuple_deprecation_warnings,
+)
+from repro.users import OracleUser
+
+
+def _tuple_source(dataset):
+    user = OracleUser([0.5, 0.3, 0.2])
+    return (lambda: UHRandomSession(dataset, 0.1, rng=4), user)
+
+
+def _run_wave(dataset):
+    # One distinct call site for the wave engine.
+    return SessionEngine(max_rounds=8).run([_tuple_source(dataset)])
+
+
+def _run_continuous(dataset):
+    # One distinct call site for the continuous engine.
+    with ContinuousEngine(max_rounds=8) as engine:
+        return engine.run([_tuple_source(dataset)])
+
+
+@pytest.mark.parametrize("runner", [_run_wave, _run_continuous])
+def test_legacy_tuple_warns_through_engine(small_anti_3d, runner):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        results = runner(small_anti_3d)
+    assert len(results) == 1
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert "SessionSpec" in str(deprecations[0].message)
+
+
+@pytest.mark.parametrize("runner", [_run_wave, _run_continuous])
+def test_warning_fires_once_per_call_site(small_anti_3d, runner):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        runner(small_anti_3d)  # first call from this site: warns
+        runner(small_anti_3d)  # same site again: silent
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+
+
+def test_distinct_call_sites_each_warn(small_anti_3d):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _run_wave(small_anti_3d)
+        _run_continuous(small_anti_3d)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 2
+
+
+def test_reset_reopens_all_sites(small_anti_3d):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        _run_wave(small_anti_3d)
+        reset_tuple_deprecation_warnings()
+        _run_wave(small_anti_3d)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 2

@@ -1,0 +1,411 @@
+"""SessionService endpoint behaviour over real sockets.
+
+Every test talks to an in-process asyncio server through the same
+client codec the load generator uses, so the full request path —
+parsing, routing, fault mapping, keep-alive — is exercised, not just
+the handler functions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+
+import numpy as np
+import pytest
+
+from repro.core.session import run_session
+from repro.data.utility import sample_training_utilities
+from repro.persist import MemorySessionStore
+from repro.registry import make_session
+from repro.server import SessionService
+from repro.server.http import request
+from repro.users import OracleUser
+
+EPSILON = 0.1
+
+
+@contextlib.asynccontextmanager
+async def serving(dataset, **kwargs):
+    service = SessionService(dataset, epsilon=EPSILON, **kwargs)
+    server = await service.serve("127.0.0.1", 0)
+    bound = server.sockets[0].getsockname()
+    try:
+        yield service, bound[0], bound[1]
+    finally:
+        server.close()
+        await server.wait_closed()
+        service.close()
+
+
+def _utility(seed=0):
+    return sample_training_utilities(3, 1, rng=60 + seed)[0]
+
+
+async def _drive_over_http(host, port, session_id, utility, cap=40):
+    """Answer questions until the server reports the session finished."""
+    base = f"/sessions/{session_id}"
+    transcript = []
+    finished = False
+    while not finished and len(transcript) < cap:
+        status, question = await request(host, port, "GET", f"{base}/question")
+        assert status == 200, question
+        p_i = np.asarray(question["p_i"], dtype=float)
+        p_j = np.asarray(question["p_j"], dtype=float)
+        answer = bool(float(utility @ p_i) >= float(utility @ p_j))
+        status, body = await request(
+            host, port, "POST", f"{base}/answer", {"prefers_first": answer}
+        )
+        assert status == 200, body
+        transcript.append(
+            (body["rounds"], question["index_i"], question["index_j"], answer)
+        )
+        finished = body["finished"]
+    return transcript
+
+
+def _reference(dataset, seed, utility):
+    session = make_session("uh-random", dataset, EPSILON, rng=seed)
+    result = run_session(session, OracleUser(utility))
+    return result
+
+
+class TestInteractiveFlow:
+    def test_matches_sequential_run_exactly(self, small_anti_3d):
+        utility = _utility()
+
+        async def main():
+            async with serving(small_anti_3d) as (_, host, port):
+                status, body = await request(
+                    host,
+                    port,
+                    "POST",
+                    "/sessions",
+                    {"algorithm": "uh-random", "seed": 21},
+                )
+                assert status == 201, body
+                sid = body["session_id"]
+                await _drive_over_http(host, port, sid, utility)
+                status, rec = await request(
+                    host, port, "GET", f"/sessions/{sid}/recommendation"
+                )
+                assert status == 200, rec
+                return rec
+
+        rec = asyncio.run(main())
+        reference = _reference(small_anti_3d, 21, utility)
+        assert rec["status"] == "completed"
+        assert rec["rounds"] == reference.rounds
+        assert rec["index"] == reference.recommendation_index
+        np.testing.assert_allclose(
+            np.asarray(rec["point"]), reference.recommendation
+        )
+
+    def test_question_get_is_idempotent(self, small_anti_3d):
+        async def main():
+            async with serving(small_anti_3d) as (_, host, port):
+                _, body = await request(
+                    host, port, "POST", "/sessions", {"seed": 4}
+                )
+                sid = body["session_id"]
+                _, first = await request(
+                    host, port, "GET", f"/sessions/{sid}/question"
+                )
+                _, second = await request(
+                    host, port, "GET", f"/sessions/{sid}/question"
+                )
+                return first, second
+
+        first, second = asyncio.run(main())
+        assert (first["index_i"], first["index_j"]) == (
+            second["index_i"],
+            second["index_j"],
+        )
+        assert first["round"] == second["round"]
+
+    def test_delete_forgets_the_session(self, small_anti_3d):
+        async def main():
+            async with serving(small_anti_3d) as (_, host, port):
+                _, body = await request(host, port, "POST", "/sessions", {})
+                sid = body["session_id"]
+                status, _ = await request(
+                    host, port, "DELETE", f"/sessions/{sid}"
+                )
+                assert status == 200
+                status, _ = await request(
+                    host, port, "GET", f"/sessions/{sid}/question"
+                )
+                return status
+
+        assert asyncio.run(main()) == 404
+
+
+class TestOracleMode:
+    def test_matches_sequential_run_exactly(self, small_anti_3d):
+        utility = _utility(3)
+
+        async def main():
+            async with serving(small_anti_3d) as (_, host, port):
+                status, body = await request(
+                    host,
+                    port,
+                    "POST",
+                    "/sessions",
+                    {
+                        "algorithm": "uh-random",
+                        "seed": 33,
+                        "mode": "oracle",
+                        "utility": [float(x) for x in utility],
+                    },
+                )
+                assert status == 201, body
+                assert body["mode"] == "oracle"
+                sid = body["session_id"]
+                status, rec = await request(
+                    host, port, "GET", f"/sessions/{sid}/recommendation"
+                )
+                assert status == 200, rec
+                return rec
+
+        rec = asyncio.run(main())
+        reference = _reference(small_anti_3d, 33, utility)
+        assert rec["status"] == "completed"
+        assert rec["rounds"] == reference.rounds
+        assert rec["index"] == reference.recommendation_index
+
+    def test_oracle_rejects_wrong_utility_shape(self, small_anti_3d):
+        async def main():
+            async with serving(small_anti_3d) as (_, host, port):
+                status, body = await request(
+                    host,
+                    port,
+                    "POST",
+                    "/sessions",
+                    {"mode": "oracle", "utility": [0.5, 0.5]},
+                )
+                return status, body
+
+        status, body = asyncio.run(main())
+        assert status == 400
+        assert "weights" in body["error"]
+
+    def test_oracle_session_rejects_interactive_verbs(self, small_anti_3d):
+        utility = _utility(5)
+
+        async def main():
+            async with serving(small_anti_3d) as (_, host, port):
+                _, body = await request(
+                    host,
+                    port,
+                    "POST",
+                    "/sessions",
+                    {"mode": "oracle", "utility": [float(x) for x in utility]},
+                )
+                sid = body["session_id"]
+                status, _ = await request(
+                    host, port, "GET", f"/sessions/{sid}/question"
+                )
+                return status
+
+        assert asyncio.run(main()) == 409
+
+
+class TestFaultMapping:
+    def test_unknown_session_is_404(self, small_anti_3d):
+        async def main():
+            async with serving(small_anti_3d) as (_, host, port):
+                status, _ = await request(
+                    host, port, "GET", "/sessions/nope/question"
+                )
+                return status
+
+        assert asyncio.run(main()) == 404
+
+    def test_unknown_endpoint_is_404(self, small_anti_3d):
+        async def main():
+            async with serving(small_anti_3d) as (_, host, port):
+                status, _ = await request(host, port, "GET", "/frobnicate")
+                return status
+
+        assert asyncio.run(main()) == 404
+
+    def test_answer_without_open_question_is_409(self, small_anti_3d):
+        async def main():
+            async with serving(small_anti_3d) as (_, host, port):
+                _, body = await request(host, port, "POST", "/sessions", {})
+                sid = body["session_id"]
+                status, body = await request(
+                    host,
+                    port,
+                    "POST",
+                    f"/sessions/{sid}/answer",
+                    {"prefers_first": True},
+                )
+                return status, body
+
+        status, body = asyncio.run(main())
+        assert status == 409
+        assert "no open question" in body["error"]
+
+    def test_early_recommendation_is_409_unless_forced(self, small_anti_3d):
+        async def main():
+            async with serving(small_anti_3d) as (_, host, port):
+                _, body = await request(
+                    host, port, "POST", "/sessions", {"seed": 8}
+                )
+                sid = body["session_id"]
+                blocked, _ = await request(
+                    host, port, "GET", f"/sessions/{sid}/recommendation"
+                )
+                forced, rec = await request(
+                    host,
+                    port,
+                    "GET",
+                    f"/sessions/{sid}/recommendation?force=1",
+                )
+                return blocked, forced, rec
+
+        blocked, forced, rec = asyncio.run(main())
+        assert blocked == 409
+        assert forced == 200
+        assert rec["status"] == "running"
+
+    def test_unknown_algorithm_is_400(self, small_anti_3d):
+        async def main():
+            async with serving(small_anti_3d) as (_, host, port):
+                status, body = await request(
+                    host,
+                    port,
+                    "POST",
+                    "/sessions",
+                    {"algorithm": "does-not-exist"},
+                )
+                return status, body
+
+        status, body = asyncio.run(main())
+        assert status == 400
+        assert "error" in body
+
+    def test_rl_family_without_agent_is_400(self, small_anti_3d):
+        async def main():
+            async with serving(small_anti_3d) as (_, host, port):
+                status, body = await request(
+                    host, port, "POST", "/sessions", {"algorithm": "ea"}
+                )
+                return status, body
+
+        status, body = asyncio.run(main())
+        assert status == 400
+        assert "agent" in body["error"]
+
+    def test_resume_without_store_is_400(self, small_anti_3d):
+        async def main():
+            async with serving(small_anti_3d) as (_, host, port):
+                status, body = await request(
+                    host, port, "POST", "/sessions", {"resume": "x"}
+                )
+                return status, body
+
+        status, body = asyncio.run(main())
+        assert status == 400
+        assert "store" in body["error"]
+
+
+class TestCrashResume:
+    def test_dialogue_survives_a_service_restart(self, small_anti_3d):
+        """Answer k rounds against one service instance, kill it, resume
+        the same session id on a second instance sharing the store, and
+        the stitched dialogue must equal the uninterrupted local run."""
+        utility = _utility(9)
+        store = MemorySessionStore()
+
+        async def first_half():
+            async with serving(small_anti_3d, store=store) as (_, host, port):
+                _, body = await request(
+                    host, port, "POST", "/sessions", {"seed": 77}
+                )
+                sid = body["session_id"]
+                base = f"/sessions/{sid}"
+                head = []
+                for _ in range(2):
+                    _, question = await request(
+                        host, port, "GET", f"{base}/question"
+                    )
+                    p_i = np.asarray(question["p_i"], dtype=float)
+                    p_j = np.asarray(question["p_j"], dtype=float)
+                    answer = bool(float(utility @ p_i) >= float(utility @ p_j))
+                    _, body = await request(
+                        host,
+                        port,
+                        "POST",
+                        f"{base}/answer",
+                        {"prefers_first": answer},
+                    )
+                    head.append(
+                        (
+                            body["rounds"],
+                            question["index_i"],
+                            question["index_j"],
+                            answer,
+                        )
+                    )
+                return sid, head
+
+        async def second_half(sid):
+            async with serving(small_anti_3d, store=store) as (_, host, port):
+                status, body = await request(
+                    host, port, "POST", "/sessions", {"resume": sid}
+                )
+                assert status == 200, body
+                assert body["resumed"] is True
+                assert body["rounds"] == 2
+                tail = await _drive_over_http(host, port, sid, utility)
+                _, rec = await request(
+                    host, port, "GET", f"/sessions/{sid}/recommendation"
+                )
+                return tail, rec
+
+        sid, head = asyncio.run(first_half())
+        tail, rec = asyncio.run(second_half(sid))
+
+        reference = _reference(small_anti_3d, 77, utility)
+        session = make_session("uh-random", small_anti_3d, EPSILON, rng=77)
+        local = []
+        user = OracleUser(utility)
+        while not session.finished:
+            question = session.next_question()
+            answer = bool(user.prefers(question.p_i, question.p_j))
+            session.observe(answer)
+            local.append(
+                (session.rounds, question.index_i, question.index_j, answer)
+            )
+        assert head + tail == local
+        assert rec["rounds"] == reference.rounds
+        assert rec["index"] == reference.recommendation_index
+
+    def test_resume_of_unknown_id_is_404(self, small_anti_3d):
+        async def main():
+            async with serving(
+                small_anti_3d, store=MemorySessionStore()
+            ) as (_, host, port):
+                status, _ = await request(
+                    host, port, "POST", "/sessions", {"resume": "ghost"}
+                )
+                return status
+
+        assert asyncio.run(main()) == 404
+
+
+class TestHealthz:
+    def test_reports_dataset_and_session_counts(self, small_anti_3d):
+        async def main():
+            async with serving(small_anti_3d) as (_, host, port):
+                _, before = await request(host, port, "GET", "/healthz")
+                await request(host, port, "POST", "/sessions", {})
+                _, after = await request(host, port, "GET", "/healthz")
+                return before, after
+
+        before, after = asyncio.run(main())
+        assert before["status"] == "ok"
+        assert before["interactive_sessions"] == 0
+        assert after["interactive_sessions"] == 1

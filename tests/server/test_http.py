@@ -1,0 +1,108 @@
+"""The hand-rolled HTTP/1.1 codec, both directions."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.server.http import (
+    MAX_BODY_BYTES,
+    BadRequestError,
+    Request,
+    Response,
+    read_request,
+    render_response,
+)
+
+
+def _parse(raw: bytes):
+    async def main():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(main())
+
+
+class TestReadRequest:
+    def test_parses_method_path_query_headers_body(self):
+        raw = (
+            b"POST /sessions/s1/answer?force=1 HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 24\r\n"
+            b"\r\n"
+            b'{"prefers_first": false}'
+        )
+        request = _parse(raw)
+        assert request.method == "POST"
+        assert request.path == "/sessions/s1/answer"
+        assert request.query == {"force": "1"}
+        assert request.headers["content-type"] == "application/json"
+        assert request.json() == {"prefers_first": False}
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_empty_body_parses_as_empty_object(self):
+        request = _parse(b"GET /healthz HTTP/1.1\r\n\r\n")
+        assert request.json() == {}
+
+    def test_malformed_request_line_rejected(self):
+        with pytest.raises(BadRequestError, match="request line"):
+            _parse(b"NONSENSE\r\n\r\n")
+
+    def test_truncated_head_rejected(self):
+        with pytest.raises(BadRequestError, match="truncated"):
+            _parse(b"GET / HTTP/1.1\r\nHost: x")
+
+    def test_oversized_body_rejected(self):
+        raw = (
+            b"POST / HTTP/1.1\r\n"
+            + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+        )
+        with pytest.raises(BadRequestError, match="exceeds the cap"):
+            _parse(raw)
+
+    def test_malformed_content_length_rejected(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n"
+        with pytest.raises(BadRequestError, match="Content-Length"):
+            _parse(raw)
+
+    def test_non_json_body_raises_on_json_access(self):
+        raw = (
+            b"POST / HTTP/1.1\r\nContent-Length: 3\r\n\r\nxyz"
+        )
+        request = _parse(raw)
+        with pytest.raises(BadRequestError, match="not JSON"):
+            request.json()
+
+
+class TestKeepAlive:
+    def test_default_is_keep_alive(self):
+        assert Request(method="GET", path="/").keep_alive
+
+    def test_connection_close_honoured(self):
+        request = Request(
+            method="GET", path="/", headers={"connection": "close"}
+        )
+        assert not request.keep_alive
+
+
+class TestRenderResponse:
+    def test_json_response_has_content_length(self):
+        raw = render_response(Response.json({"ok": True}))
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert b"Connection: keep-alive" in head
+
+    def test_error_shape_is_uniform(self):
+        raw = render_response(
+            Response.error(404, "nope"), keep_alive=False
+        )
+        assert b"HTTP/1.1 404 Not Found" in raw
+        assert b'{"error": "nope"}' in raw
+        assert b"Connection: close" in raw

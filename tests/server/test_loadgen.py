@@ -1,0 +1,80 @@
+"""The HTTP load generator: 16 concurrent sessions, zero failures."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import DataError
+from repro.persist import MemorySessionStore
+from repro.server import run_http_bench, write_http_bench_snapshot
+
+
+class TestRunHttpBench:
+    def test_16_concurrent_interactive_sessions(self, small_anti_3d):
+        report = run_http_bench(
+            small_anti_3d,
+            sessions=16,
+            concurrency=16,
+            mode="interactive",
+        )
+        assert report.completed == 16
+        assert report.failed == 0
+        assert report.errors == []
+        assert report.rounds_total > 0
+        assert report.requests > 2 * 16  # create + rounds + recommendation
+        assert report.p50_ms > 0
+        assert report.p99_ms >= report.p95_ms >= report.p50_ms
+
+    def test_16_concurrent_oracle_sessions(self, small_anti_3d):
+        report = run_http_bench(
+            small_anti_3d,
+            sessions=16,
+            concurrency=16,
+            mode="oracle",
+        )
+        assert report.completed == 16
+        assert report.failed == 0
+        assert report.rounds_total > 0
+        # Oracle mode: exactly create + recommendation per session.
+        assert report.requests == 2 * 16
+
+    def test_store_collects_one_checkpoint_per_session(self, small_anti_3d):
+        store = MemorySessionStore()
+        report = run_http_bench(
+            small_anti_3d,
+            sessions=4,
+            concurrency=4,
+            mode="interactive",
+            service_kwargs={"store": store},
+        )
+        assert report.failed == 0
+        assert len(store.ids()) == 4
+
+    def test_rejects_unknown_mode(self, small_anti_3d):
+        with pytest.raises(DataError, match="mode"):
+            run_http_bench(small_anti_3d, mode="chaos")
+
+    def test_needs_dataset_or_target(self):
+        with pytest.raises(DataError, match="dataset"):
+            run_http_bench()
+
+
+class TestSnapshot:
+    def test_emits_versioned_bench_json(self, small_anti_3d, tmp_path):
+        report = run_http_bench(
+            small_anti_3d, sessions=2, concurrency=2, mode="oracle"
+        )
+        written = write_http_bench_snapshot(
+            report,
+            str(tmp_path),
+            dataset_name=small_anti_3d.name,
+            algorithm="uh-random",
+        )
+        assert written.endswith("BENCH_serve_http.json")
+        payload = json.loads(open(written).read())
+        assert payload["config"]["mode"] == "oracle"
+        assert payload["counters"]["completed"] == 2
+        assert payload["counters"]["failed"] == 0
+        assert payload["timings"]["p50_ms"] >= 0

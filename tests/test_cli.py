@@ -168,3 +168,59 @@ class TestServeBenchSnapshot:
         assert snapshot["config"]["sessions"] == 2
         # No tracer installed: the obs section is empty, by design.
         assert snapshot["obs"] == {}
+
+
+class TestServeBenchHttp:
+    def test_http_flag_runs_loadgen_and_writes_snapshot(
+        self, tmp_path, capsys
+    ):
+        import json
+
+        code = main(
+            [
+                "serve-bench",
+                "--dataset", "anti:250:3",
+                "--http",
+                "--sessions", "4",
+                "--concurrency", "4",
+                "--mode", "oracle",
+                "--snapshot", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4/4 sessions completed, 0 failed" in out
+        assert "latency: p50" in out
+        snapshot = json.loads(
+            (tmp_path / "BENCH_serve_http.json").read_text()
+        )
+        assert snapshot["counters"]["completed"] == 4
+        assert snapshot["counters"]["failed"] == 0
+        assert snapshot["config"]["mode"] == "oracle"
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--dataset", "car", "--http"]
+        )
+        assert args.http is True
+        assert args.mode == "interactive"
+        assert args.family == "uh-random"
+        assert args.host is None and args.port is None
+
+
+class TestServerParser:
+    def test_server_parses(self):
+        args = build_parser().parse_args(
+            [
+                "server",
+                "--dataset", "anti:500:3",
+                "--port", "9000",
+                "--store", "runs/",
+                "--agent", "a.npz",
+                "--agent", "b.npz",
+            ]
+        )
+        assert args.port == 9000
+        assert args.store == "runs/"
+        assert args.agent == ["a.npz", "b.npz"]
+        assert args.handler.__name__ == "_cmd_server"

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.rng import ensure_rng, get_state, set_state, spawn_rngs
 
 
 class TestEnsureRng:
@@ -51,3 +51,45 @@ class TestSpawnRngs:
 
     def test_zero_count(self):
         assert spawn_rngs(0, 0) == []
+
+
+class TestStateRoundTrip:
+    def test_restore_replays_the_stream(self):
+        gen = ensure_rng(7)
+        state = get_state(gen)
+        first = gen.uniform(size=16)
+        set_state(gen, state)
+        np.testing.assert_array_equal(gen.uniform(size=16), first)
+
+    def test_state_is_a_deep_copy(self):
+        gen = ensure_rng(3)
+        state = get_state(gen)
+        before = dict(state)
+        gen.uniform(size=100)  # advancing must not mutate the copy
+        assert state == before
+
+    def test_set_state_copies_on_the_way_in(self):
+        gen = ensure_rng(5)
+        state = get_state(gen)
+        set_state(gen, state)
+        gen.uniform(size=10)
+        # The caller's dict still restores the original position.
+        replay = set_state(ensure_rng(0), state)
+        original = set_state(ensure_rng(1), state)
+        np.testing.assert_array_equal(
+            replay.uniform(size=8), original.uniform(size=8)
+        )
+
+    def test_state_survives_json(self):
+        import json
+
+        gen = ensure_rng(11)
+        state = json.loads(json.dumps(get_state(gen)))
+        restored = set_state(ensure_rng(0), state)
+        np.testing.assert_array_equal(
+            restored.uniform(size=8), ensure_rng(11).uniform(size=8)
+        )
+
+    def test_returns_the_generator(self):
+        gen = ensure_rng(2)
+        assert set_state(gen, get_state(gen)) is gen
