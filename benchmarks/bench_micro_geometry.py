@@ -160,6 +160,78 @@ def test_micro_range_rebuild_update(benchmark, d):
     assert poly.vertices().shape[1] == d
 
 
+def _stacked_bounds_systems(
+    sessions: int, d: int, answers: int, seed: int = 6
+) -> list:
+    """The ambient-bounds probes of ``sessions`` concurrent mid-session
+    ranges, as one flat list of :class:`~repro.geometry.lp.LPSystem`
+    (``2d`` probes per session) — the workload the serving engines hand
+    to ``solve_many`` every wave."""
+    rng = np.random.default_rng(seed)
+    base_sets = []
+    while len(base_sets) < min(sessions, 16):
+        spaces: list = []
+        while len(spaces) < answers:
+            a, b = rng.uniform(0.05, 1.0, size=(2, d))
+            if np.allclose(a, b):
+                continue
+            trial = spaces + [preference_halfspace(a, b)]
+            if lp.ambient_is_feasible(trial, d):
+                spaces = trial
+        base_sets.append(spaces)
+    systems: list = []
+    for i in range(sessions):
+        systems.extend(
+            lp.ambient_bounds_systems(base_sets[i % len(base_sets)], d)
+        )
+    return systems
+
+
+@pytest.fixture(scope="module")
+def wave_bounds_systems():
+    return _stacked_bounds_systems(sessions=256, d=5, answers=10)
+
+
+def test_micro_bounds_sequential(wave_bounds_systems, benchmark):
+    """Per-probe HiGHS calls: the pre-batching per-LP path."""
+    backend = lp.ScipyHighsBackend()
+
+    def sequential():
+        return [
+            backend.solve_raw(
+                s.c, s.a_ub, s.b_ub, s.a_eq, s.b_eq, s.bounds
+            )
+            for s in wave_bounds_systems
+        ]
+
+    results = benchmark.pedantic(sequential, rounds=2, iterations=1)
+    assert len(results) == len(wave_bounds_systems)
+
+
+def test_micro_bounds_batched(wave_bounds_systems, benchmark):
+    """Block-diagonal stacking via ``BatchLPBackend.solve_many_raw``."""
+    backend = lp.BatchLPBackend()
+
+    def batched():
+        return backend.solve_many_raw(wave_bounds_systems)
+
+    results = benchmark.pedantic(batched, rounds=2, iterations=1)
+    assert len(results) == len(wave_bounds_systems)
+    # The stacked objective must decompose exactly: bound probes are
+    # value-consumed, and their optimal values must be bit-equal to the
+    # per-LP path's.  The optimiser point ``x`` may legitimately differ
+    # on degenerate systems (alternative optima) — which is exactly why
+    # only status- and value-consumed probe kinds are ever batched.
+    reference = lp.ScipyHighsBackend()
+    for system, outcome in zip(wave_bounds_systems[:20], results[:20]):
+        assert isinstance(outcome, lp.LPResult)
+        expected = reference.solve_raw(
+            system.c, system.a_ub, system.b_ub,
+            system.a_eq, system.b_eq, system.bounds,
+        )
+        assert outcome.value == expected.value
+
+
 def test_micro_skyline(benchmark):
     points = anti_correlated(5_000, 4, rng=3)
     indices = benchmark(lambda: skyline_indices(points))

@@ -9,6 +9,10 @@ Two subcommands, wired into ``.github/workflows/ci.yml``:
     * a small, fixed-seed EA serve-bench (traced, so the snapshot
       carries span aggregates);
     * the clip-vs-rebuild micro-geometry comparison;
+    * the batched-LP comparison — 256 concurrent sessions' stacked
+      ambient-bounds probes solved per-probe and block-diagonally
+      (``batch_mismatches`` must be 0, ``batch_speedup`` is
+      ratio-gated);
     * the continuous-scheduler workload — ``serve-bench --engine
       continuous`` at 1024 concurrent sessions — recording its batch
       occupancy *and* replaying the identical specs through the wave
@@ -79,6 +83,21 @@ CONTINUOUS_CONFIG = {
 #: 1024-session workload (an absolute gate, not baseline-relative).
 OCCUPANCY_FLOOR = 0.9
 
+#: The batched-LP workload: the stacked ambient-bounds probes of 256
+#: concurrent sessions (``2d`` probes each), solved once per probe and
+#: once block-diagonally via ``BatchLPBackend.solve_many_raw``.  The
+#: optimal values must agree bitwise probe by probe
+#: (``batch_mismatches == 0``); the wall-clock ratio is the
+#: ``batch_speedup`` gate.
+BATCH_CONFIG = {
+    "answers": 10,
+    "base_sets": 16,
+    "dimension": 5,
+    "repeats": 2,
+    "seed": 6,
+    "sessions": 256,
+}
+
 #: Counters compared exactly against the baseline (seed-deterministic).
 EXACT_COUNTERS = (
     "lp_hit_rate",
@@ -92,6 +111,14 @@ EXACT_COUNTERS = (
     "continuous_rounds_total",
     "continuous_ticks",
     "equiv_mismatches",
+    "batch_mismatches",
+)
+
+#: Best-of timing ratios gated against ``baseline / max_slowdown``
+#: (candidate speedups may lose at most half their margin by default).
+SPEEDUP_FLOORS = (
+    "clip_speedup",
+    "batch_speedup",
 )
 
 #: Timings gated by ratio only (candidate may be up to ``max_slowdown``
@@ -156,6 +183,83 @@ def _micro_clip_vs_rebuild(d: int, answers: int, repeats: int) -> dict:
             rebuild_seconds / clip_seconds if clip_seconds > 0 else 0.0
         ),
     }
+
+
+def _micro_batched_bounds(repeats: int) -> tuple[dict, dict]:
+    """Counters/timings for the batched-LP workload (:data:`BATCH_CONFIG`).
+
+    Builds the ambient-bounds probe stack of 256 concurrent sessions
+    and solves it twice — one HiGHS call per probe, then block-
+    diagonally through ``BatchLPBackend.solve_many_raw`` — counting
+    probes whose optimal value (or status) is not bitwise identical.
+    Bound probes are value-consumed, so value bit-equality is the
+    contract the serving engines rely on; the optimiser point may
+    legitimately differ on degenerate systems (alternative optima).
+    """
+    import numpy as np
+
+    from repro.geometry import lp
+    from repro.geometry.hyperplane import preference_halfspace
+
+    cfg = BATCH_CONFIG
+    d = cfg["dimension"]
+    rng = np.random.default_rng(cfg["seed"])
+    base_sets: list[list] = []
+    while len(base_sets) < cfg["base_sets"]:
+        spaces: list = []
+        while len(spaces) < cfg["answers"]:
+            a, b = rng.uniform(0.05, 1.0, size=(2, d))
+            if np.allclose(a, b):
+                continue
+            trial = spaces + [preference_halfspace(a, b)]
+            if lp.ambient_is_feasible(trial, d):
+                spaces = trial
+        base_sets.append(spaces)
+    systems: list = []
+    for i in range(cfg["sessions"]):
+        systems.extend(
+            lp.ambient_bounds_systems(base_sets[i % len(base_sets)], d)
+        )
+    solo = lp.ScipyHighsBackend()
+    stacked = lp.BatchLPBackend()
+
+    def sequential() -> list:
+        return [
+            solo.solve_raw(s.c, s.a_ub, s.b_ub, s.a_eq, s.b_eq, s.bounds)
+            for s in systems
+        ]
+
+    def batched() -> list:
+        return stacked.solve_many_raw(systems)
+
+    def best_of(work):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            result = work()
+            best = min(best, time.perf_counter() - started)
+        return best, result
+
+    seq_seconds, seq_results = best_of(sequential)
+    stack_seconds, stack_results = best_of(batched)
+    mismatches = 0
+    for ours, ref in zip(stack_results, seq_results):
+        ours_ok = isinstance(ours, lp.LPResult)
+        ref_ok = isinstance(ref, lp.LPResult)
+        if ours_ok != ref_ok or (ours_ok and ours.value != ref.value):
+            mismatches += 1
+    counters = {
+        "batch_mismatches": mismatches,
+        "batch_probes": len(systems),
+    }
+    timings = {
+        "batch_seq_seconds": seq_seconds,
+        "batch_stack_seconds": stack_seconds,
+        "batch_speedup": (
+            seq_seconds / stack_seconds if stack_seconds > 0 else 0.0
+        ),
+    }
+    return counters, timings
 
 
 def _continuous_gate() -> tuple[dict, dict]:
@@ -233,16 +337,25 @@ def run_gate(out: Path) -> Path:
         GATE_CONFIG["answers"],
         GATE_CONFIG["micro_repeats"],
     )
+    batch_counters, batch_timings = _micro_batched_bounds(
+        BATCH_CONFIG["repeats"]
+    )
     continuous_counters, continuous_timings = _continuous_gate()
     timings = dict(sections["timings"])
     timings.update(micro)
+    timings.update(batch_timings)
     timings.update(continuous_timings)
     counters = dict(sections["counters"])
+    counters.update(batch_counters)
     counters.update(continuous_counters)
     return write_snapshot(
         out,
         "ci",
-        config={**GATE_CONFIG, "continuous": CONTINUOUS_CONFIG},
+        config={
+            **GATE_CONFIG,
+            "batch": BATCH_CONFIG,
+            "continuous": CONTINUOUS_CONFIG,
+        },
         timings=timings,
         counters=counters,
         obs=aggregate_report(tracer),
@@ -295,6 +408,13 @@ def check_gate(
             f"continuous engine diverged from the wave engine on "
             f"{mismatches} of {CONTINUOUS_CONFIG['sessions']} sessions"
         )
+    batch_mismatches = got_counters.get("batch_mismatches")
+    if batch_mismatches != 0:
+        failures.append(
+            f"batched LP solve diverged from the per-probe path on "
+            f"{batch_mismatches} of {got_counters.get('batch_probes')} "
+            "stacked bound probes"
+        )
     got_timings = candidate.get("timings", {})
     want_timings = baseline.get("timings", {})
     for key in RATIO_TIMINGS:
@@ -315,24 +435,25 @@ def check_gate(
                 f"timing {key} = {got:.4f}s exceeds "
                 f"{max_slowdown:.1f}x baseline ({want:.4f}s)"
             )
-    got_speedup = got_timings.get("clip_speedup")
-    want_speedup = want_timings.get("clip_speedup")
-    if isinstance(got_speedup, (int, float)) and isinstance(
-        want_speedup, (int, float)
-    ):
-        floor = want_speedup / max_slowdown
-        status = "ok" if got_speedup >= floor else "FAIL"
-        print(
-            f"  [{status}] clip_speedup: {got_speedup:.2f}x "
-            f"(baseline {want_speedup:.2f}x, floor {floor:.2f}x)"
-        )
-        if got_speedup < floor:
-            failures.append(
-                f"clip-vs-rebuild speedup {got_speedup:.2f}x fell below "
-                f"{floor:.2f}x (baseline {want_speedup:.2f}x)"
+    for key in SPEEDUP_FLOORS:
+        got_speedup = got_timings.get(key)
+        want_speedup = want_timings.get(key)
+        if isinstance(got_speedup, (int, float)) and isinstance(
+            want_speedup, (int, float)
+        ):
+            floor = want_speedup / max_slowdown
+            status = "ok" if got_speedup >= floor else "FAIL"
+            print(
+                f"  [{status}] {key}: {got_speedup:.2f}x "
+                f"(baseline {want_speedup:.2f}x, floor {floor:.2f}x)"
             )
-    else:
-        failures.append("clip_speedup missing from candidate or baseline")
+            if got_speedup < floor:
+                failures.append(
+                    f"{key} {got_speedup:.2f}x fell below "
+                    f"{floor:.2f}x (baseline {want_speedup:.2f}x)"
+                )
+        else:
+            failures.append(f"{key} missing from candidate or baseline")
     if failures:
         print("\nperf gate FAILED:")
         for failure in failures:

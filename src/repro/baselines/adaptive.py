@@ -25,8 +25,7 @@ import numpy as np
 from repro.core.session import InteractiveAlgorithm, Question, validate_epsilon
 from repro.data.datasets import Dataset
 from repro.errors import ConfigurationError
-from repro.geometry.hyperplane import preference_halfspace
-from repro.geometry.range import AmbientRange, RangeConfig
+from repro.geometry.range import AmbientRange, RangeConfig, UpdatePreview
 from repro.geometry.vectors import top_point_index
 from repro.utils import rng as rng_state
 from repro.utils.rng import RngLike, ensure_rng
@@ -64,17 +63,7 @@ class AdaptiveSession(InteractiveAlgorithm):
         return self.question_for(*pair)
 
     def _update(self, question: Question, prefers_first: bool) -> None:
-        winner, loser = (
-            (question.index_i, question.index_j)
-            if prefers_first
-            else (question.index_j, question.index_i)
-        )
-        halfspace = preference_halfspace(
-            self.dataset.points[winner],
-            self.dataset.points[loser],
-            winner_index=winner,
-            loser_index=loser,
-        )
+        halfspace = self.answer_halfspace(question, prefers_first)
         # A contradictory answer is dropped; the consistent set stands.
         self._range.update(halfspace)
         self._asked.add(
@@ -82,6 +71,16 @@ class AdaptiveSession(InteractiveAlgorithm):
              max(question.index_i, question.index_j))
         )
         self._refresh()
+
+    def probe_preview(self, prefers_first: bool) -> UpdatePreview | None:
+        if self._pending is None:
+            return None
+        # _refresh() recomputes the outer rectangle after every answer.
+        return UpdatePreview(
+            self._range,
+            self.answer_halfspace(self._pending, prefers_first),
+            bounds=True,
+        )
 
     def _finished(self) -> bool:
         width = float(np.linalg.norm(self._e_max - self._e_min))

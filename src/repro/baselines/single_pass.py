@@ -27,8 +27,7 @@ import numpy as np
 
 from repro.core.session import InteractiveAlgorithm, Question, validate_epsilon
 from repro.data.datasets import Dataset
-from repro.geometry.hyperplane import preference_halfspace
-from repro.geometry.range import AmbientRange, RangeConfig
+from repro.geometry.range import AmbientRange, RangeConfig, UpdatePreview
 from repro.utils import rng as rng_state
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -86,17 +85,8 @@ class SinglePassSession(InteractiveAlgorithm):
         return self.question_for(self._champion, challenger)
 
     def _update(self, question: Question, prefers_first: bool) -> None:
-        winner, loser = (
-            (question.index_i, question.index_j)
-            if prefers_first
-            else (question.index_j, question.index_i)
-        )
-        halfspace = preference_halfspace(
-            self.dataset.points[winner],
-            self.dataset.points[loser],
-            winner_index=winner,
-            loser_index=loser,
-        )
+        winner = question.index_i if prefers_first else question.index_j
+        halfspace = self.answer_halfspace(question, prefers_first)
         if self._range.update(halfspace):
             self._questions_asked += 1
             if (
@@ -107,6 +97,21 @@ class SinglePassSession(InteractiveAlgorithm):
         self._champion = winner
         self._cursor += 1
         self._advance()
+
+    def probe_preview(self, prefers_first: bool) -> UpdatePreview | None:
+        if self._pending is None:
+            return None
+        # Bounds are refreshed only on the box schedule; mirror the
+        # counter bump a successful update would apply.
+        asked = self._questions_asked + 1
+        refresh = (
+            asked <= _BOX_REFRESH_EAGER or asked % _BOX_REFRESH_PERIOD == 0
+        )
+        return UpdatePreview(
+            self._range,
+            self.answer_halfspace(self._pending, prefers_first),
+            bounds=refresh,
+        )
 
     def _finished(self) -> bool:
         return self._cursor >= len(self._stream)

@@ -32,9 +32,8 @@ from repro.errors import (
     EmptyRegionError,
     VertexEnumerationError,
 )
-from repro.geometry.hyperplane import preference_halfspace
 from repro.geometry.polytope import UtilityPolytope
-from repro.geometry.range import ExactRange, RangeConfig
+from repro.geometry.range import ExactRange, RangeConfig, UpdatePreview
 from repro.geometry.vectors import top_point_index
 from repro.utils import rng as rng_state
 from repro.utils.rng import RngLike, ensure_rng
@@ -80,22 +79,20 @@ class UHBaseSession(InteractiveAlgorithm):
         return self.question_for(index_i, index_j)
 
     def _update(self, question: Question, prefers_first: bool) -> None:
-        winner, loser = (
-            (question.index_i, question.index_j)
-            if prefers_first
-            else (question.index_j, question.index_i)
-        )
-        halfspace = preference_halfspace(
-            self.dataset.points[winner],
-            self.dataset.points[loser],
-            winner_index=winner,
-            loser_index=loser,
-        )
+        halfspace = self.answer_halfspace(question, prefers_first)
         if not self._range.update(halfspace):
             # Contradictory (noisy) answer; keep the last consistent range.
             self._recommendation = self._fallback_recommendation()
             return
         self._refresh()
+
+    def probe_preview(self, prefers_first: bool) -> UpdatePreview | None:
+        if self._pending is None:
+            return None
+        return UpdatePreview(
+            self._range,
+            self.answer_halfspace(self._pending, prefers_first),
+        )
 
     def _finished(self) -> bool:
         return self._recommendation is not None

@@ -45,7 +45,7 @@ from repro.errors import (
     PersistenceError,
 )
 from repro.geometry.hyperplane import PreferenceHalfspace, preference_halfspace
-from repro.geometry.range import AmbientRange, RangeConfig
+from repro.geometry.range import AmbientRange, RangeConfig, UpdatePreview
 from repro.geometry.vectors import top_point_index
 from repro.rl.dqn import DQNAgent, DQNConfig
 from repro.utils import rng as rng_state
@@ -133,12 +133,7 @@ class AAEnvironment(InteractiveEnvironment):
         if not 0 <= choice < len(self._pairs):
             raise ValueError(f"action choice {choice} out of range")
         index_i, index_j = self._pairs[choice]
-        winner, loser = (index_i, index_j) if prefers_first else (index_j, index_i)
-        points = self.dataset.points
-        halfspace = preference_halfspace(
-            points[winner], points[loser],
-            winner_index=winner, loser_index=loser,
-        )
+        halfspace = self._answer_halfspace(index_i, index_j, prefers_first)
         # An infeasible update means the (noisy) answer contradicts earlier
         # ones; AA drops it and keeps the last consistent half-space set.
         self._range.update(halfspace)
@@ -149,6 +144,31 @@ class AAEnvironment(InteractiveEnvironment):
         else:
             reward = -self.config.step_penalty
         return observation, reward
+
+    def _answer_halfspace(
+        self, index_i: int, index_j: int, prefers_first: bool
+    ) -> PreferenceHalfspace:
+        winner, loser = (
+            (index_i, index_j) if prefers_first else (index_j, index_i)
+        )
+        points = self.dataset.points
+        return preference_halfspace(
+            points[winner], points[loser],
+            winner_index=winner, loser_index=loser,
+        )
+
+    def probe_preview(
+        self, index_i: int, index_j: int, prefers_first: bool
+    ) -> UpdatePreview | None:
+        if self._terminal:
+            return None
+        # AA re-encodes its state (inner sphere + outer rectangle) after
+        # every answer, so the 2d bound probes are worth prefetching too.
+        return UpdatePreview(
+            self._range,
+            self._answer_halfspace(index_i, index_j, prefers_first),
+            bounds=True,
+        )
 
     def recommend(self) -> int:
         return top_point_index(self.dataset.points, self._midpoint)

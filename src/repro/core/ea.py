@@ -40,9 +40,9 @@ from repro.errors import (
     PersistenceError,
     VertexEnumerationError,
 )
-from repro.geometry.hyperplane import preference_halfspace
+from repro.geometry.hyperplane import PreferenceHalfspace, preference_halfspace
 from repro.geometry.polytope import UtilityPolytope
-from repro.geometry.range import ExactRange, RangeConfig
+from repro.geometry.range import ExactRange, RangeConfig, UpdatePreview
 from repro.geometry.vectors import top_point_index
 from repro.rl.dqn import DQNAgent, DQNConfig
 from repro.utils import rng as rng_state
@@ -167,12 +167,7 @@ class EAEnvironment(InteractiveEnvironment):
         if not 0 <= choice < len(self._pairs):
             raise ValueError(f"action choice {choice} out of range")
         index_i, index_j = self._pairs[choice]
-        winner, loser = (index_i, index_j) if prefers_first else (index_j, index_i)
-        points = self.dataset.points
-        halfspace = preference_halfspace(
-            points[winner], points[loser],
-            winner_index=winner, loser_index=loser,
-        )
+        halfspace = self._answer_halfspace(index_i, index_j, prefers_first)
         if self._range.update(halfspace):
             observation = self._observe()
         else:
@@ -184,6 +179,28 @@ class EAEnvironment(InteractiveEnvironment):
         else:
             reward = -self.config.step_penalty
         return observation, reward
+
+    def _answer_halfspace(
+        self, index_i: int, index_j: int, prefers_first: bool
+    ) -> PreferenceHalfspace:
+        winner, loser = (
+            (index_i, index_j) if prefers_first else (index_j, index_i)
+        )
+        points = self.dataset.points
+        return preference_halfspace(
+            points[winner], points[loser],
+            winner_index=winner, loser_index=loser,
+        )
+
+    def probe_preview(
+        self, index_i: int, index_j: int, prefers_first: bool
+    ) -> UpdatePreview | None:
+        if self._terminal:
+            return None
+        return UpdatePreview(
+            self._range,
+            self._answer_halfspace(index_i, index_j, prefers_first),
+        )
 
     def recommend(self) -> int:
         return self._recommendation

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -28,6 +28,9 @@ from repro.core.session import CandidateBatch, InteractiveAlgorithm, Question
 from repro.data.datasets import Dataset
 from repro.errors import InteractionError, PersistenceError
 from repro.rl.dqn import DQNAgent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.geometry.range import UpdatePreview
 
 
 @dataclass
@@ -88,6 +91,19 @@ class InteractiveEnvironment(abc.ABC):
     @abc.abstractmethod
     def step(self, choice: int, prefers_first: bool) -> tuple[EnvObservation, float]:
         """Apply the answer to candidate ``choice``; observation + reward."""
+
+    def probe_preview(
+        self, index_i: int, index_j: int, prefers_first: bool
+    ) -> "UpdatePreview | None":
+        """Peek the range update :meth:`step` would run for this answer.
+
+        The environment-side half of
+        :meth:`~repro.core.session.InteractiveAlgorithm.probe_preview`:
+        EA and AA override it with a preview of their range clip /
+        feasibility probe so serving engines can batch the solver work
+        across sessions.  Default ``None`` — nothing previewable.
+        """
+        return None
 
     @abc.abstractmethod
     def recommend(self) -> int:
@@ -182,6 +198,17 @@ class RLPolicy(InteractiveAlgorithm):
             raise InteractionError("no proposed question to update with")
         self._observation, _ = self.environment.step(self._choice, prefers_first)
         self._choice = None
+
+    def probe_preview(self, prefers_first: bool) -> "UpdatePreview | None":
+        question = self._pending
+        if question is None or self._choice is None:
+            return None
+        # The pending question was built from the environment's own
+        # candidate pair, so previewing by dataset indices matches what
+        # step() will derive from the stored choice.
+        return self.environment.probe_preview(
+            question.index_i, question.index_j, prefers_first
+        )
 
     def _finished(self) -> bool:
         return self._observation.terminal

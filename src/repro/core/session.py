@@ -25,10 +25,12 @@ from repro.errors import (
     PersistenceError,
     SessionFailedError,
 )
+from repro.geometry.hyperplane import PreferenceHalfspace, preference_halfspace
 from repro.users.oracle import User
 from repro.utils.timing import Stopwatch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.geometry.range import UpdatePreview
     from repro.serve.metrics import SessionMetrics
 
 #: Hard cap on rounds; a correct algorithm terminates far earlier, so
@@ -261,6 +263,19 @@ class InteractiveAlgorithm(abc.ABC):
             "this algorithm does not expose scorable candidates"
         )
 
+    def probe_preview(self, prefers_first: bool) -> "UpdatePreview | None":
+        """Peek the range update that answering the pending question triggers.
+
+        Engines call this after computing the user's answer but before
+        :meth:`observe`; a whole wave's previews feed
+        :func:`repro.geometry.range.prefetch_updates`, which batches the
+        solver work so each session's own update replays it from cache
+        bit-identically.  Purely an optimisation hint — the default
+        ``None`` marks algorithms whose update is not a previewable range
+        clip, and engines simply skip those.
+        """
+        return None
+
     # -- state (checkpoint / resume) ------------------------------------------
 
     def get_state(self) -> dict[str, Any]:
@@ -354,6 +369,27 @@ class InteractiveAlgorithm(abc.ABC):
         """Dataset index of the point to return to the user."""
 
     # -- helpers -------------------------------------------------------------
+
+    def answer_halfspace(
+        self, question: Question, prefers_first: bool
+    ) -> PreferenceHalfspace:
+        """The half-space one answered question induces (Section III).
+
+        Every family derives it the same way — the winner's point must
+        score at least the loser's — so the derivation lives here once
+        and :meth:`probe_preview` overrides stay bit-identical to the
+        ``_update`` that later replays it.
+        """
+        winner, loser = (
+            (question.index_i, question.index_j)
+            if prefers_first
+            else (question.index_j, question.index_i)
+        )
+        points = self.dataset.points
+        return preference_halfspace(
+            points[winner], points[loser],
+            winner_index=winner, loser_index=loser,
+        )
 
     def question_for(self, index_i: int, index_j: int) -> Question:
         """Build a :class:`Question` from dataset indices."""

@@ -50,18 +50,47 @@ def skyline_indices(points: np.ndarray) -> np.ndarray:
     n = points.shape[0]
     if n == 0:
         return np.empty(0, dtype=int)
-    order = np.argsort(-points.sum(axis=1), kind="stable")
+    sums = points.sum(axis=1)
+    order = np.argsort(-sums, kind="stable")
     skyline: list[int] = []
     sky_matrix = np.empty_like(points)
     count = 0
+    # Dominance implies a strictly larger true coordinate sum, but the
+    # gap can round away in float summation, tying a dominated point
+    # *ahead* of its dominator in the scan.  Such pairs always share one
+    # float sum, so accepted entries of the candidate's own sum group
+    # (a contiguous tail of the skyline) are re-checked and purged when
+    # the candidate dominates them.
+    group_start = 0
+    group_sum = np.inf
     for index in order:
         candidate = points[index]
+        if sums[index] != group_sum:
+            group_sum = sums[index]
+            group_start = count
         if count:
             current = sky_matrix[:count]
             at_least = np.all(current >= candidate, axis=1)
             strictly = np.any(current > candidate, axis=1)
             if np.any(at_least & strictly):
                 continue
+            if count > group_start:
+                tied = sky_matrix[group_start:count]
+                dominated = np.all(candidate >= tied, axis=1) & np.any(
+                    candidate > tied, axis=1
+                )
+                if np.any(dominated):
+                    kept = ~dominated
+                    survivors = tied[kept].copy()
+                    sky_matrix[
+                        group_start : group_start + survivors.shape[0]
+                    ] = survivors
+                    skyline[group_start:] = [
+                        skyline[group_start + i]
+                        for i in range(count - group_start)
+                        if kept[i]
+                    ]
+                    count = group_start + survivors.shape[0]
         sky_matrix[count] = candidate
         count += 1
         skyline.append(int(index))

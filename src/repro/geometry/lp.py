@@ -40,6 +40,15 @@ family (``chebyshev``, ``ambient.sphere``, ...; callers pass it via the
 ``kind`` keyword, which never affects cache keys) and the final
 component records whether the cache answered.  With no tracer installed
 the only cost is one ``ContextVar`` read per solve.
+
+Batching: :func:`solve_many` solves a list of :class:`LPSystem` in one
+call.  Cache hits are peeled off individually first; the remaining
+misses are stacked into block-diagonal HiGHS calls when the active
+backend supports it (:class:`BatchLPBackend`, the default) and stored
+back individually, so later per-system :func:`solve` calls replay them
+as ordinary hits.  Stacking amortises the substantial per-``linprog``
+Python/scipy overhead that dominates these tiny systems (each one is a
+handful of rows); see ``benchmarks/bench_micro_geometry.py``.
 """
 
 from __future__ import annotations
@@ -54,6 +63,7 @@ from contextvars import ContextVar
 from dataclasses import dataclass
 
 import numpy as np
+from scipy import sparse
 from scipy.optimize import linprog
 
 from repro.errors import EmptyRegionError, LPError
@@ -90,15 +100,59 @@ def _array_bytes(array: np.ndarray | None) -> bytes:
     return repr(contiguous.shape).encode() + contiguous.tobytes()
 
 
+def _is_scalar_pair(bounds: Sequence | tuple) -> bool:
+    """Whether ``bounds`` is one shared ``(lo, hi)`` pair, not a sequence."""
+    if len(bounds) != 2:
+        return False
+    return all(
+        item is None or np.ndim(item) == 0 for item in bounds
+    )
+
+
+def expand_bounds(
+    bounds: Sequence[tuple[float | None, float | None]] | tuple | None,
+    n: int,
+) -> list[tuple[float | None, float | None]]:
+    """Normalise a ``linprog`` bounds spec to one ``(lo, hi)`` pair per var.
+
+    Mirrors ``linprog``'s own interpretation: ``None`` means the solver
+    default ``(0, None)``, a single scalar pair is shared by all ``n``
+    variables, and anything else is taken as a per-variable sequence.
+    Scalar elements are coerced with ``float`` so numpy scalars and
+    Python floats normalise identically.
+    """
+    if bounds is None:
+        pairs: list = [(0.0, None)] * n
+    elif _is_scalar_pair(bounds):
+        pairs = [tuple(bounds)] * n
+    else:
+        pairs = [tuple(pair) for pair in bounds]
+    return [
+        (
+            None if lo is None else float(lo),
+            None if hi is None else float(hi),
+        )
+        for lo, hi in pairs
+    ]
+
+
 def _bounds_bytes(
     bounds: Sequence[tuple[float | None, float | None]] | tuple | None,
+    n: int,
 ) -> bytes:
-    """Canonical byte form of a ``linprog`` bounds specification."""
-    if bounds is None:
-        return b"none"
-    if bounds == _FREE:
-        return b"free"
-    return repr(tuple(tuple(pair) for pair in bounds)).encode()
+    """Canonical byte form of a ``linprog`` bounds specification.
+
+    Bounds are expanded to an ``(n, 2)`` float64 array with ``±inf``
+    standing in for ``None``, then hashed by raw bytes — so a shared
+    scalar pair and its expanded per-variable form, ``np.float64`` and
+    Python floats, and list vs tuple containers all key identically.
+    """
+    pairs = expand_bounds(bounds, n)
+    array = np.empty((len(pairs), 2), dtype=np.float64)
+    for row, (lo, hi) in enumerate(pairs):
+        array[row, 0] = -np.inf if lo is None else lo
+        array[row, 1] = np.inf if hi is None else hi
+    return repr(array.shape).encode() + array.tobytes()
 
 
 def constraint_system_key(
@@ -116,17 +170,51 @@ def constraint_system_key(
     (same shapes, same floats) and ``tag`` matches, so a cache hit is
     guaranteed to stand in for an actual re-solve of the *identical*
     system by the *same* backend (``tag`` carries the backend name).
+    Bounds are canonicalised numerically before hashing (see
+    :func:`expand_bounds`): container type, numpy-vs-Python scalars and
+    scalar-pair-vs-expanded spellings of the same bounds all produce the
+    same key.
     """
     digest = hashlib.sha256()
+    c = np.asarray(c, dtype=float)
     digest.update(_array_bytes(c))
     for block in (a_ub, b_ub, a_eq, b_eq):
         digest.update(b"|")
         digest.update(_array_bytes(block))
     digest.update(b"|")
-    digest.update(_bounds_bytes(bounds))
+    digest.update(_bounds_bytes(bounds, int(c.shape[-1])))
     digest.update(b"|")
     digest.update(tag)
     return digest.digest()
+
+
+@dataclass(frozen=True)
+class LPSystem:
+    """One ``min c . x`` system in :func:`solve`'s conventions.
+
+    The value object :func:`solve_many` consumes.  ``bounds`` defaults
+    to *free* variables, exactly like :func:`solve` (and unlike raw
+    ``linprog``, which defaults to ``x >= 0``).
+    """
+
+    c: np.ndarray
+    a_ub: np.ndarray | None = None
+    b_ub: np.ndarray | None = None
+    a_eq: np.ndarray | None = None
+    b_eq: np.ndarray | None = None
+    bounds: Sequence[tuple[float | None, float | None]] | tuple | None = _FREE
+
+    def key(self, tag: bytes = b"") -> bytes:
+        """This system's :func:`constraint_system_key` under ``tag``."""
+        return constraint_system_key(
+            self.c, self.a_ub, self.b_ub, self.a_eq, self.b_eq,
+            self.bounds, tag=tag,
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of variables."""
+        return int(np.asarray(self.c).shape[-1])
 
 
 class LPCache:
@@ -270,11 +358,17 @@ class LPBackend(abc.ABC):
     given system, raising the package exception hierarchy on failure.
     The ``solves`` counter records raw solver invocations (cache hits
     never reach the backend), so ``cache.hits`` over a run is exactly
-    the solver work the backend was spared.
+    the solver work the backend was spared.  Increments go through
+    :meth:`count_solves`, which takes an internal lock, so the counter
+    stays exact even when one backend is shared by the worker threads of
+    :class:`~repro.serve.scheduler.ContinuousEngine` (``workers > 0``).
 
     ``name`` must be unique per backend implementation: it is mixed into
     :func:`constraint_system_key`, so results produced by one backend are
-    never replayed as another backend's answer.
+    never replayed as another backend's answer.  (The one sanctioned
+    exception is :class:`BatchLPBackend`, which shares
+    :class:`ScipyHighsBackend`'s name because it *is* the same solver —
+    see its docstring.)
     """
 
     #: Unique identifier mixed into cache keys.
@@ -282,6 +376,12 @@ class LPBackend(abc.ABC):
 
     def __init__(self) -> None:
         self.solves = 0
+        self._solves_lock = threading.Lock()
+
+    def count_solves(self, n: int = 1) -> None:
+        """Record ``n`` raw solver invocations (thread-safe)."""
+        with self._solves_lock:
+            self.solves += n
 
     @abc.abstractmethod
     def solve_raw(
@@ -321,13 +421,156 @@ class ScipyHighsBackend(LPBackend):
             raise UnboundedLP("LP objective is unbounded")
         if not result.success:
             raise LPError(f"LP solve failed: {result.message}")
+        x = np.asarray(result.x, dtype=float)
+        # The objective is recomputed as c.x rather than read from
+        # result.fun: HiGHS's reported objective can differ from c.x in
+        # the last ulp, and solve_many() can only recover per-system
+        # values from the stacked solution as c_i.x_i.  Computing both
+        # paths' values with the same expression keeps batched and
+        # sequential solves bit-identical whenever their optima agree.
         return LPResult(
-            x=np.asarray(result.x, dtype=float), value=float(result.fun)
+            x=x, value=float(np.dot(np.asarray(c, dtype=float), x))
         )
 
 
-#: Process-wide default backend; :func:`use_backend` overrides it per context.
-_default_backend = ScipyHighsBackend()
+def _stacked_block(
+    blocks: Sequence[np.ndarray | None],
+    rhs: Sequence[np.ndarray | None],
+    sizes: Sequence[int],
+) -> tuple[object, np.ndarray] | tuple[None, None]:
+    """Block-diagonal constraint matrix + concatenated right-hand side.
+
+    Systems without this constraint family contribute a zero-row block,
+    keeping the column offsets aligned with the stacked variable vector.
+    Returns ``(None, None)`` when no system has any rows.
+    """
+    mats: list[np.ndarray] = []
+    vecs: list[np.ndarray] = []
+    rows = 0
+    for a, b, n in zip(blocks, rhs, sizes):
+        if a is None:
+            mats.append(np.zeros((0, n)))
+            vecs.append(np.zeros(0))
+        else:
+            block = np.asarray(a, dtype=float)
+            mats.append(block)
+            vecs.append(np.atleast_1d(np.asarray(b, dtype=float)))
+            rows += block.shape[0]
+    if rows == 0:
+        return None, None
+    return sparse.block_diag(mats, format="csc"), np.concatenate(vecs)
+
+
+class BatchLPBackend(ScipyHighsBackend):
+    """HiGHS backend that can additionally solve many systems in one call.
+
+    :meth:`solve_many_raw` stacks up to ``max_batch`` systems into one
+    block-diagonal ``linprog`` call: the systems share no variables, so
+    the stacked optimum decomposes exactly into per-system optima.
+    Per-system solutions are sliced back out and per-system objectives
+    recovered as ``c_i . x_i`` — the same expression
+    :meth:`ScipyHighsBackend.solve_raw` uses, so a batched solve of a
+    system and a sequential solve of the same system produce the same
+    value whenever their optima agree.  The win is amortisation: each
+    of these systems is a handful of rows, and the per-call
+    Python/scipy overhead dominates the actual simplex work.
+
+    A single failing member poisons the whole stack (HiGHS reports one
+    status for the stacked problem, with no per-block attribution), so
+    a failed stack is bisected until the failing members are isolated
+    as singletons and solved through :meth:`solve_raw`, giving every
+    member its own exception from the package hierarchy.
+
+    This subclass deliberately keeps ``scipy-highs`` as its cache-key
+    ``name`` — the one sanctioned exception to the unique-name rule:
+    single-system solves are inherited unchanged, and stacked solves
+    run the identical solver over the identical systems, so its results
+    are interchangeable with :class:`ScipyHighsBackend`'s.  That is
+    what lets the engines prime a shared cache with batched results
+    that per-session :func:`solve` calls then replay as hits.
+    """
+
+    def __init__(self, max_batch: int = 256) -> None:
+        super().__init__()
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.max_batch = int(max_batch)
+
+    def solve_many_raw(
+        self, systems: Sequence[LPSystem]
+    ) -> list[LPResult | LPError]:
+        """Solve every system, stacked; outcomes in input order."""
+        systems = list(systems)
+        outcomes: list[LPResult | LPError] = []
+        for start in range(0, len(systems), self.max_batch):
+            outcomes.extend(
+                self._solve_stack(systems[start:start + self.max_batch])
+            )
+        return outcomes
+
+    def _solve_stack(
+        self, systems: list[LPSystem]
+    ) -> list[LPResult | LPError]:
+        if not systems:
+            return []
+        if len(systems) == 1:
+            system = systems[0]
+            self.count_solves()
+            try:
+                return [
+                    self.solve_raw(
+                        system.c, system.a_ub, system.b_ub,
+                        system.a_eq, system.b_eq, system.bounds,
+                    )
+                ]
+            except LPError as error:
+                return [error]
+        sizes = [system.size for system in systems]
+        c = np.concatenate(
+            [np.asarray(system.c, dtype=float) for system in systems]
+        )
+        a_ub, b_ub = _stacked_block(
+            [system.a_ub for system in systems],
+            [system.b_ub for system in systems],
+            sizes,
+        )
+        a_eq, b_eq = _stacked_block(
+            [system.a_eq for system in systems],
+            [system.b_eq for system in systems],
+            sizes,
+        )
+        bounds: list[tuple[float | None, float | None]] = []
+        for system, n in zip(systems, sizes):
+            bounds.extend(expand_bounds(system.bounds, n))
+        self.count_solves()
+        result = linprog(
+            c, A_ub=a_ub, b_ub=b_ub, A_eq=a_eq, b_eq=b_eq, bounds=bounds,
+            method="highs",
+        )
+        if result.status != 0 or not result.success:
+            # At least one member is infeasible or unbounded (or HiGHS
+            # hit a limit); bisect to isolate which.
+            mid = len(systems) // 2
+            return (
+                self._solve_stack(systems[:mid])
+                + self._solve_stack(systems[mid:])
+            )
+        x = np.asarray(result.x, dtype=float)
+        outcomes: list[LPResult | LPError] = []
+        offset = 0
+        for system, n in zip(systems, sizes):
+            xi = x[offset:offset + n].copy()
+            ci = np.asarray(system.c, dtype=float)
+            outcomes.append(LPResult(x=xi, value=float(np.dot(ci, xi))))
+            offset += n
+        return outcomes
+
+
+#: Process-wide default backend; :func:`use_backend` overrides it per
+#: context.  The default batches: single-system behaviour is inherited
+#: from :class:`ScipyHighsBackend` unchanged, and :func:`solve_many`
+#: gets block-diagonal stacking out of the box.
+_default_backend = BatchLPBackend()
 
 #: Installed backend override, context-local for the same reason the cache
 #: is: concurrent engines on other threads/tasks must not see each other's
@@ -355,6 +598,21 @@ def use_backend(backend: LPBackend) -> Iterator[LPBackend]:
         yield backend
     finally:
         _active_backend.reset(token)
+
+
+def _cache_tag(backend: LPBackend) -> bytes:
+    """Cache-key partition tag for ``backend``.
+
+    The default solver keeps the legacy untagged keys (external key
+    computations stay valid); alternative backends get their own cache
+    partition so results never cross.  :class:`BatchLPBackend` shares
+    the default name on purpose — see its docstring.
+    """
+    return (
+        b""
+        if backend.name == ScipyHighsBackend.name
+        else backend.name.encode()
+    )
 
 
 def solve(
@@ -386,20 +644,14 @@ def solve(
     cache = _active_cache.get()
     tracer = active_tracer()
     if cache is None:
-        backend.solves += 1
+        backend.count_solves()
         if tracer is None:
             return backend.solve_raw(c, a_ub, b_ub, a_eq, b_eq, bounds)
         with tracer.span(f"lp.solve/{kind}/uncached"):
             return backend.solve_raw(c, a_ub, b_ub, a_eq, b_eq, bounds)
-    # The default backend keeps the legacy untagged keys (external key
-    # computations and pre-existing caches stay valid); alternative
-    # backends get their own cache partition so results never cross.
-    tag = (
-        b""
-        if backend.name == ScipyHighsBackend.name
-        else backend.name.encode()
+    key = constraint_system_key(
+        c, a_ub, b_ub, a_eq, b_eq, bounds, tag=_cache_tag(backend)
     )
-    key = constraint_system_key(c, a_ub, b_ub, a_eq, b_eq, bounds, tag=tag)
     entry = cache.lookup(key)
     if entry is not None:
         if tracer is None:
@@ -407,7 +659,7 @@ def solve(
         tracer.counter("lp.cache.hits")
         with tracer.span(f"lp.solve/{kind}/hit"):
             return LPCache.replay(entry)
-    backend.solves += 1
+    backend.count_solves()
     span = (
         nullcontext()
         if tracer is None
@@ -439,6 +691,100 @@ def maximize(
         -np.asarray(c, dtype=float), a_ub, b_ub, a_eq, b_eq, bounds, kind=kind
     )
     return LPResult(x=result.x, value=-result.value)
+
+
+def solve_many(
+    systems: Sequence[LPSystem], kind: str = "generic"
+) -> list[LPResult | LPError]:
+    """Solve every system, returning per-system outcomes in input order.
+
+    Each outcome is the system's :class:`LPResult` or its failure as an
+    :class:`~repro.errors.LPError` *instance* (returned, not raised —
+    one batch can mix feasible, infeasible and unbounded members; the
+    caller decides what each failure means).
+
+    Cache interaction is exactly ``len(systems)`` sequential
+    :func:`solve` calls: hits are peeled off individually before any
+    solver work, and misses are stored individually after — so a later
+    :func:`solve` of the same system replays the batched result as an
+    ordinary hit.  That is the hand-off the serving engines use to
+    prime a wave's probes in one stacked call.
+
+    The remaining misses go through the active backend's
+    ``solve_many_raw`` when it provides one (:class:`BatchLPBackend`,
+    the default, stacks them block-diagonally) and fall back to
+    sequential :meth:`~LPBackend.solve_raw` calls otherwise.
+
+    When a tracer is installed the miss work records one span
+    ``lp.solve_many/<kind>`` tagged with the batch size, and hits and
+    misses feed the same ``lp.cache.*`` counters as :func:`solve`.
+    """
+    systems = list(systems)
+    backend = active_backend()
+    cache = _active_cache.get()
+    tracer = active_tracer()
+    outcomes: list[LPResult | LPError | None] = [None] * len(systems)
+    keys: list[bytes] | None = None
+    if cache is None:
+        pending = list(range(len(systems)))
+    else:
+        tag = _cache_tag(backend)
+        keys = [system.key(tag) for system in systems]
+        pending = []
+        for index, key in enumerate(keys):
+            entry = cache.lookup(key)
+            if entry is None:
+                pending.append(index)
+            elif isinstance(entry, LPResult):
+                outcomes[index] = entry
+            else:
+                error_type, message = entry
+                outcomes[index] = error_type(message)
+    if tracer is not None and cache is not None:
+        hits = len(systems) - len(pending)
+        if hits:
+            tracer.counter("lp.cache.hits", hits)
+        if pending:
+            tracer.counter("lp.cache.misses", len(pending))
+    if pending:
+        todo = [systems[index] for index in pending]
+        span = (
+            nullcontext()
+            if tracer is None
+            else tracer.span(f"lp.solve_many/{kind}", batch=len(todo))
+        )
+        with span:
+            solve_stack = getattr(backend, "solve_many_raw", None)
+            if solve_stack is not None:
+                raw = solve_stack(todo)
+            else:
+                raw = []
+                for system in todo:
+                    backend.count_solves()
+                    try:
+                        raw.append(
+                            backend.solve_raw(
+                                system.c, system.a_ub, system.b_ub,
+                                system.a_eq, system.b_eq, system.bounds,
+                            )
+                        )
+                    except LPError as error:
+                        raw.append(error)
+        for index, outcome in zip(pending, raw):
+            if cache is not None and keys is not None:
+                if isinstance(outcome, LPResult):
+                    cache.store(keys[index], outcome)
+                else:
+                    cache.store(keys[index], (type(outcome), str(outcome)))
+            outcomes[index] = outcome
+    # Fresh x copies throughout: callers may mutate, cached entries may
+    # be replayed later.
+    return [
+        LPResult(x=outcome.x.copy(), value=outcome.value)
+        if isinstance(outcome, LPResult)
+        else outcome
+        for outcome in outcomes  # type: ignore[misc]
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -527,6 +873,42 @@ def _ambient_system(
     return a_ub, b_ub, a_eq, b_eq
 
 
+def ambient_feasibility_system(
+    halfspaces: Sequence[PreferenceHalfspace], d: int
+) -> LPSystem:
+    """The zero-objective system behind :func:`ambient_is_feasible`.
+
+    Exposed so the serving engines can stack many sessions' feasibility
+    probes through :func:`solve_many`; a session's own
+    :func:`ambient_is_feasible` call then replays the cached result.
+    """
+    a_ub, b_ub, a_eq, b_eq = _ambient_system(halfspaces, d)
+    return LPSystem(c=np.zeros(d), a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq)
+
+
+def ambient_bounds_systems(
+    halfspaces: Sequence[PreferenceHalfspace], d: int
+) -> list[LPSystem]:
+    """The ``2d`` probe systems behind :func:`ambient_bounds`.
+
+    Ordered ``min_0, max_0, min_1, max_1, ...``; the ``max`` probes are
+    spelled as negated-objective minimisations (exactly what
+    :func:`maximize` submits), so their values negate back.
+    """
+    a_ub, b_ub, a_eq, b_eq = _ambient_system(halfspaces, d)
+    systems: list[LPSystem] = []
+    for i in range(d):
+        c = np.zeros(d)
+        c[i] = 1.0
+        systems.append(
+            LPSystem(c=c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq)
+        )
+        systems.append(
+            LPSystem(c=-c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq)
+        )
+    return systems
+
+
 def ambient_is_feasible(
     halfspaces: Sequence[PreferenceHalfspace], d: int
 ) -> bool:
@@ -547,32 +929,30 @@ def ambient_bounds(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Outer rectangle ``(e_min, e_max)`` of the ambient utility range.
 
-    Solves two LPs per dimension, exactly as Section IV-C prescribes.
+    Solves two LPs per dimension, exactly as Section IV-C prescribes —
+    issued through :func:`solve_many`, so the uncached probes of one
+    call stack into a single HiGHS solve.
 
     Raises
     ------
     EmptyRegionError
         If the utility range is empty (inconsistent answers).
     """
-    a_ub, b_ub, a_eq, b_eq = _ambient_system(halfspaces, d)
+    outcomes = solve_many(
+        ambient_bounds_systems(halfspaces, d), kind="ambient.bounds"
+    )
     e_min = np.empty(d)
     e_max = np.empty(d)
     for i in range(d):
-        c = np.zeros(d)
-        c[i] = 1.0
-        try:
-            e_min[i] = solve(
-                c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
-                kind="ambient.bounds",
-            ).value
-            e_max[i] = maximize(
-                c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq,
-                kind="ambient.bounds",
-            ).value
-        except InfeasibleLP as exc:
-            raise EmptyRegionError(
-                "utility range is empty; user answers are inconsistent"
-            ) from exc
+        for outcome in (outcomes[2 * i], outcomes[2 * i + 1]):
+            if isinstance(outcome, InfeasibleLP):
+                raise EmptyRegionError(
+                    "utility range is empty; user answers are inconsistent"
+                ) from outcome
+            if isinstance(outcome, LPError):
+                raise outcome
+        e_min[i] = outcomes[2 * i].value  # type: ignore[union-attr]
+        e_max[i] = -outcomes[2 * i + 1].value  # type: ignore[union-attr]
     return e_min, e_max
 
 

@@ -341,6 +341,10 @@ class ExactRange(UtilityRange):
         self._polytope = UtilityPolytope.simplex(dimension)
         self._reduced: np.ndarray | None = None
         self._ambient: np.ndarray | None = None
+        #: One-shot clip precomputation stashed by :func:`prefetch_updates`;
+        #: consumed (and discarded) by the next ``_apply`` after an exact
+        #: fingerprint check, so a stale or mismatched memo is inert.
+        self._clip_memo: dict[str, Any] | None = None
 
     @classmethod
     def from_halfspaces(
@@ -429,12 +433,24 @@ class ExactRange(UtilityRange):
         update_span = (
             NULL_SPAN if tracer is None else tracer.span("range.update")
         )
+        memo, self._clip_memo = self._clip_memo, None
         with update_span, self._measured():
             narrowed = self._polytope.with_halfspace(halfspace)
             reduced = self._reduced_vertices()
             normal, offset = halfspace.reduced()
-            values = reduced @ normal - offset
-            keep = values >= -_CLIP_TOL
+            if not (
+                memo is not None
+                and memo["reduced"] is reduced
+                and memo["offset"] == offset
+                and memo["normal"].tobytes() == normal.tobytes()
+            ):
+                memo = None
+            if memo is not None:
+                values = memo["values"]
+                keep = memo["keep"]
+            else:
+                values = reduced @ normal - offset
+                keep = values >= -_CLIP_TOL
             if bool(keep.all()):
                 # Redundant for the current body: no vertex moves.
                 self.stats.clips += 1
@@ -456,11 +472,14 @@ class ExactRange(UtilityRange):
                 NULL_SPAN if tracer is None else tracer.span("range.clip")
             )
             with clip_span:
-                face = _clip_face(
-                    reduced[keep], reduced[~keep],
-                    values[keep], values[~keep],
-                    a_rows, b_rows,
-                )
+                if memo is not None and memo["has_face"]:
+                    face = memo["face"]
+                else:
+                    face = _clip_face(
+                        reduced[keep], reduced[~keep],
+                        values[keep], values[~keep],
+                        a_rows, b_rows,
+                    )
             if face is None:
                 # Degenerate cut: fall back to the cross-checked full
                 # enumeration rather than risk a wrong vertex set.
@@ -511,6 +530,7 @@ class ExactRange(UtilityRange):
         # Rounded ambient vertices are a pure function of the reduced
         # set; recompute lazily rather than store them twice.
         self._ambient = None
+        self._clip_memo = None
 
     # -- internals -----------------------------------------------------------
 
@@ -520,6 +540,7 @@ class ExactRange(UtilityRange):
         self._polytope = polytope
         self._reduced = reduced
         self._ambient = None
+        self._clip_memo = None
 
     def _enumerate(self, polytope: UtilityPolytope) -> np.ndarray:
         self.stats.rebuilds += 1
@@ -571,11 +592,23 @@ class AmbientRange(UtilityRange):
         """The current working set of half-spaces."""
         return tuple(self._halfspaces)
 
-    def _apply(self, halfspace: PreferenceHalfspace) -> bool:
+    def trial_halfspaces(
+        self, halfspace: PreferenceHalfspace
+    ) -> list[PreferenceHalfspace]:
+        """The working set an update with ``halfspace`` would probe.
+
+        Applies the ``max_halfspaces`` cap rotation exactly as ``_apply``
+        does; :func:`prefetch_updates` uses this to build the same
+        feasibility system the update itself will submit.
+        """
         trial = self._halfspaces + [halfspace]
         cap = self.config.max_halfspaces
         if cap is not None and len(trial) > cap:
             trial = trial[-cap:]
+        return trial
+
+    def _apply(self, halfspace: PreferenceHalfspace) -> bool:
+        trial = self.trial_halfspaces(halfspace)
         tracer = active_tracer()
         probe_span = (
             NULL_SPAN if tracer is None else tracer.span("range.feasible")
@@ -636,6 +669,164 @@ class AmbientRange(UtilityRange):
         )
 
 
+@dataclass(frozen=True)
+class UpdatePreview:
+    """One session's imminent range update, peeked before ``observe()``.
+
+    Produced by :meth:`~repro.core.session.InteractiveAlgorithm.probe_preview`
+    (every algorithm family derives its half-space from the answered
+    question the same way, so the engines can peek it before the
+    session's own update runs) and consumed in batches by
+    :func:`prefetch_updates`.  ``bounds`` marks that the session will
+    refresh its outer rectangle right after a successful update (AA and
+    Adaptive always, SinglePass on its refresh schedule), making the
+    ``2d`` bound probes worth prefetching too.
+    """
+
+    urange: UtilityRange
+    halfspace: PreferenceHalfspace
+    bounds: bool = False
+
+
+def prefetch_updates(previews: Sequence[UpdatePreview]) -> None:
+    """Batch the solver work of many sessions' imminent updates.
+
+    Purely a cache/memo primer: each session's own ``update()`` replays
+    the results bit-identically, and skipping this call entirely
+    changes nothing but speed.
+
+    * :class:`AmbientRange` previews — the trial-set feasibility probes
+      of the whole wave stack into one
+      :func:`~repro.geometry.lp.solve_many` call, then the ``2d``
+      outer-rectangle probes of every feasible trial marked ``bounds``
+      stack into a second; results land in the active
+      :class:`~repro.geometry.lp.LPCache` (required — without one the
+      results would be discarded, so these previews are skipped).
+      Inner-sphere and split-margin probes are deliberately *not*
+      prefetched: their consumers read the optimiser ``x``, and a
+      stacked solve may return a different-but-equally-optimal vertex,
+      breaking bit-identity with the sequential path.  Feasibility
+      (status-only) and bounds (value-only) probes are immune: the
+      stacked optimum decomposes exactly per system.
+    * :class:`ExactRange` previews — the kept/cut classification and
+      the edge-crossing kernel of every clip run in one NumPy pass
+      (:func:`_pair_crossings`), stashed as a one-shot memo the
+      range's next ``_apply`` consumes after an exact fingerprint
+      check.
+
+    Ranges carrying a per-instance LP backend are skipped on the
+    ambient side: their solves live in a different cache partition than
+    the context backend's, so priming would miss.
+    """
+    tracer = active_tracer()
+    span = (
+        NULL_SPAN
+        if tracer is None
+        else tracer.span("range.prefetch", batch=len(previews))
+    )
+    with span:
+        ambient = [
+            preview
+            for preview in previews
+            if isinstance(preview.urange, AmbientRange)
+            and preview.urange._backend is None
+        ]
+        if ambient and lp.active_cache() is not None:
+            _prefetch_ambient(ambient)
+        exact = [
+            preview
+            for preview in previews
+            if isinstance(preview.urange, ExactRange)
+        ]
+        if exact:
+            _prefetch_exact(exact)
+
+
+def _prefetch_ambient(previews: Sequence[UpdatePreview]) -> None:
+    """Stack the wave's feasibility probes, then feasible trials' bounds."""
+    trials = []
+    systems = []
+    for preview in previews:
+        urange = preview.urange
+        assert isinstance(urange, AmbientRange)
+        trial = urange.trial_halfspaces(preview.halfspace)
+        trials.append(trial)
+        systems.append(
+            lp.ambient_feasibility_system(trial, urange.dimension)
+        )
+    outcomes = lp.solve_many(systems, kind="ambient.feasible")
+    bound_systems: list[lp.LPSystem] = []
+    for preview, trial, outcome in zip(previews, trials, outcomes):
+        # Infeasible trials are dropped by the session without a bounds
+        # refresh (its current-set probes were cached last round), and
+        # unexpected LP failures will re-raise inside the session's own
+        # update — either way, no bounds to prefetch.
+        if preview.bounds and isinstance(outcome, lp.LPResult):
+            bound_systems.extend(
+                lp.ambient_bounds_systems(trial, preview.urange.dimension)
+            )
+    if bound_systems:
+        lp.solve_many(bound_systems, kind="ambient.bounds")
+
+
+def _prefetch_exact(previews: Sequence[UpdatePreview]) -> None:
+    """One NumPy pass over the wave's clips; stash per-range memos."""
+    staged: list[tuple[ExactRange, dict[str, Any], int, np.ndarray,
+                       np.ndarray]] = []
+    expanded: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+    for preview in previews:
+        urange = preview.urange
+        assert isinstance(urange, ExactRange)
+        reduced = urange._reduced
+        if reduced is None:
+            # First access enumerates from scratch; nothing to clip yet.
+            continue
+        normal, offset = preview.halfspace.reduced()
+        values = reduced @ normal - offset
+        keep = values >= -_CLIP_TOL
+        memo: dict[str, Any] = {
+            "reduced": reduced,
+            "normal": normal,
+            "offset": offset,
+            "values": values,
+            "keep": keep,
+            "has_face": False,
+            "face": None,
+        }
+        if bool(keep.any()) and not bool(keep.all()):
+            pairs = _expand_pairs(
+                reduced[keep], reduced[~keep], values[keep], values[~keep]
+            )
+            a_rows, b_rows = urange._polytope.constraints
+            staged.append(
+                (urange, memo, pairs[0].shape[0], a_rows, b_rows)
+            )
+            expanded.append(pairs)
+        else:
+            # All-keep (redundant) or all-cut (suspected empty): the
+            # classification alone is the reusable work.
+            urange._clip_memo = memo
+    if not staged:
+        return
+    crossings = _pair_crossings(
+        np.concatenate([pairs[0] for pairs in expanded]),
+        np.concatenate([pairs[1] for pairs in expanded]),
+        np.concatenate([pairs[2] for pairs in expanded]),
+        np.concatenate([pairs[3] for pairs in expanded]),
+    )
+    start = 0
+    for urange, memo, count, a_rows, b_rows in staged:
+        face = _face_from_candidates(
+            crossings[start:start + count],
+            memo["reduced"].shape[1],
+            a_rows, b_rows,
+        )
+        start += count
+        memo["has_face"] = True
+        memo["face"] = face
+        urange._clip_memo = memo
+
+
 def halfspaces_to_arrays(
     halfspaces: Sequence[PreferenceHalfspace], dimension: int
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -686,6 +877,61 @@ def _unique_raw(points: np.ndarray) -> np.ndarray:
     return points[index]
 
 
+def _expand_pairs(
+    kept: np.ndarray,
+    cut: np.ndarray,
+    kept_values: np.ndarray,
+    cut_values: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Expand the kept x cut product to one row per (kept, cut) pair.
+
+    Row order is kept-major (``(i, j) -> i * n_cut + j``), matching the
+    row-major reshape of the broadcast form this replaced.
+    """
+    n_kept, n_cut = kept.shape[0], cut.shape[0]
+    return (
+        np.repeat(kept, n_cut, axis=0),
+        np.tile(cut, (n_kept, 1)),
+        np.repeat(kept_values, n_cut),
+        np.tile(cut_values, n_kept),
+    )
+
+
+def _pair_crossings(
+    kept_rows: np.ndarray,
+    cut_rows: np.ndarray,
+    kept_values: np.ndarray,
+    cut_values: np.ndarray,
+) -> np.ndarray:
+    """Plane crossing of each (kept, cut) vertex pair, one row per pair.
+
+    The computation is purely elementwise, which is what makes batching
+    across sessions safe: concatenating many clips' expanded pairs into
+    one call and slicing the rows back apart produces bit-identical
+    crossings to per-clip calls, because every output element is the
+    same scalar expression of the same scalar inputs regardless of how
+    the rows are grouped.  :func:`prefetch_updates` relies on this.
+    """
+    t = kept_values / (kept_values - cut_values)
+    return kept_rows * (1.0 - t[:, None]) + cut_rows * t[:, None]
+
+
+def _face_from_candidates(
+    crossings: np.ndarray,
+    dim: int,
+    a_rows: np.ndarray,
+    b_rows: np.ndarray,
+) -> np.ndarray | None:
+    """Prune crossing candidates down to the cut face's vertices."""
+    candidates = _unique_raw(crossings)
+    if dim > 1:
+        tight = np.abs(candidates @ a_rows.T - b_rows[None, :]) <= _TIGHT_TOL
+        candidates = candidates[tight.sum(axis=1) >= dim - 1]
+        if candidates.shape[0] == 0:
+            return None
+    return _extreme_points(candidates)
+
+
 def _clip_face(
     kept: np.ndarray,
     cut: np.ndarray,
@@ -704,19 +950,16 @@ def _clip_face(
     ``>= dim-1`` existing facets tight, a non-adjacent pair's crossing
     falls in the face's interior and does not) and an extreme-point
     extraction discarding whatever interior candidates remain.
+
+    The crossing computation is the shared :func:`_pair_crossings`
+    kernel — the same code path :func:`prefetch_updates` batches across
+    a whole wave — so a prefetched clip is bit-identical to an inline
+    one by construction.
     """
-    t = kept_values[:, None] / (kept_values[:, None] - cut_values[None, :])
-    segments = (
-        kept[:, None, :] * (1.0 - t[..., None]) + cut[None, :, :] * t[..., None]
+    crossings = _pair_crossings(
+        *_expand_pairs(kept, cut, kept_values, cut_values)
     )
-    dim = kept.shape[1]
-    candidates = _unique_raw(segments.reshape(-1, dim))
-    if dim > 1:
-        tight = np.abs(candidates @ a_rows.T - b_rows[None, :]) <= _TIGHT_TOL
-        candidates = candidates[tight.sum(axis=1) >= dim - 1]
-        if candidates.shape[0] == 0:
-            return None
-    return _extreme_points(candidates)
+    return _face_from_candidates(crossings, kept.shape[1], a_rows, b_rows)
 
 
 def _extreme_points(points: np.ndarray) -> np.ndarray | None:
@@ -755,6 +998,8 @@ __all__ = [
     "ExactRange",
     "AmbientRange",
     "LPBackend",
+    "UpdatePreview",
+    "prefetch_updates",
     "halfspaces_to_arrays",
     "halfspaces_from_arrays",
 ]

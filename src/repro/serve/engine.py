@@ -66,6 +66,7 @@ from repro.errors import (
     PersistenceError,
 )
 from repro.geometry.lp import LPCache, use_cache
+from repro.geometry.range import UpdatePreview, prefetch_updates
 from repro.obs.tracer import Tracer, active_tracer
 from repro.serve.metrics import EngineMetrics, SessionError, SessionMetrics
 from repro.serve.spec import SessionSource, SessionSpec, coerce_specs
@@ -133,6 +134,7 @@ class _Slot:
     shared_seconds: float = 0.0
     records: list[RoundRecord] = field(default_factory=list)
     question: Question | None = None
+    answer: bool | None = None
     batch: CandidateBatch | None = None
     spec: SessionSpec | None = None
     #: Answered rounds since admission (resumed sessions prepend their
@@ -143,6 +145,21 @@ class _Slot:
     def agent_seconds(self) -> float:
         """Own agent time plus this session's share of batched scoring."""
         return self.watch.elapsed + self.shared_seconds
+
+
+def _preview_of(
+    algorithm: InteractiveAlgorithm, answer: bool
+) -> UpdatePreview | None:
+    """One session's update preview, or ``None``.
+
+    Previews are a pure optimisation hint; a hook that raises must
+    never fail the session, so any error degrades to "no preview" and
+    the session's own update surfaces it (or not) on its normal path.
+    """
+    try:
+        return algorithm.probe_preview(answer)
+    except Exception:  # noqa: BLE001 -- previews must never fail a session
+        return None
 
 
 class SessionEngine:
@@ -432,7 +449,7 @@ class SessionEngine:
             except Exception as error:  # noqa: BLE001 -- slot fault boundary
                 self._fail(slot, error, results, metrics, started, replacements)
         self._score(batchable, metrics, results, started, replacements)
-        survivors: list[_Slot] = []
+        answered: list[_Slot] = []
         for slot in advancing:
             if slot.dead:
                 continue
@@ -443,7 +460,24 @@ class SessionEngine:
                         f"session {slot.index} entered a wave without a "
                         "selected question (scoring produced no choice)"
                     )
-                answer = slot.user.prefers(question.p_i, question.p_j)
+                # User time is off the agent stopwatch by design; asking
+                # the whole wave up front lets _prefetch batch the solver
+                # work every answer is about to trigger.
+                slot.answer = slot.user.prefers(question.p_i, question.p_j)
+                answered.append(slot)
+            except Exception as error:  # noqa: BLE001 -- slot fault boundary
+                self._fail(slot, error, results, metrics, started, replacements)
+        self._prefetch(answered)
+        survivors: list[_Slot] = []
+        for slot in answered:
+            try:
+                question, answer = slot.question, slot.answer
+                if question is None or answer is None:
+                    raise InteractionError(
+                        f"session {slot.index} lost its answered question "
+                        "mid-wave"
+                    )
+                slot.answer = None
                 with self._slot_op(slot, "observe"):
                     slot.watch.start()
                     slot.algorithm.observe(answer)
@@ -482,6 +516,38 @@ class SessionEngine:
                 self._fail(slot, error, results, metrics, started, replacements)
         survivors.extend(replacements)
         return survivors
+
+    def _prefetch(self, slots: list[_Slot]) -> None:
+        """Batch-prime the wave's imminent range updates (best-effort).
+
+        Collects every answered slot's
+        :meth:`~repro.core.session.InteractiveAlgorithm.probe_preview`
+        and hands the wave to
+        :func:`repro.geometry.range.prefetch_updates`: the LP probes
+        stack into block-diagonal ``solve_many`` calls and the exact
+        clips into one NumPy pass, so each session's own ``observe``
+        replays the results from cache/memo bit-identically.  Like
+        batched scoring, the shared wall time is split evenly across the
+        participating sessions.  Skipping this entirely changes nothing
+        but speed, so any failure is swallowed.
+        """
+        primed = [
+            (slot, preview)
+            for slot in slots
+            if slot.answer is not None
+            and (preview := _preview_of(slot.algorithm, slot.answer))
+            is not None
+        ]
+        if not primed:
+            return
+        prefetch_started = time.perf_counter()
+        try:
+            prefetch_updates([preview for _, preview in primed])
+        except Exception:  # noqa: BLE001 -- a failed primer changes nothing
+            return
+        share = (time.perf_counter() - prefetch_started) / len(primed)
+        for slot, _ in primed:
+            slot.shared_seconds += share
 
     def _score(
         self,

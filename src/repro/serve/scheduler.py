@@ -77,7 +77,8 @@ from repro.core.session import (
 from repro.errors import ConfigurationError, InteractionError, PersistenceError
 from repro.geometry.lp import LPCache, use_cache
 from repro.obs.tracer import Tracer, active_tracer
-from repro.serve.engine import RecoveryPolicy
+from repro.geometry.range import prefetch_updates
+from repro.serve.engine import RecoveryPolicy, _preview_of
 from repro.serve.metrics import EngineMetrics, SessionError, SessionMetrics
 from repro.serve.spec import SessionSource, SessionSpec, coerce_spec
 from repro.utils.timing import Stopwatch
@@ -103,6 +104,7 @@ class _Task:
     shared_seconds: float = 0.0
     records: list[RoundRecord] = field(default_factory=list)
     question: Question | None = None
+    answer: bool | None = None
     batch: CandidateBatch | None = None
     submitted_at: float = 0.0
     #: Answered rounds since admission (resumed sessions prepend their
@@ -354,18 +356,27 @@ class ContinuousEngine:
     def _drive(self) -> None:
         """Driver loop: tick while async waiters have live sessions."""
         while not self._closed:
+            # Clear *before* checking for work, never after waiting: a
+            # set() that lands after this clear is either observed by
+            # the locked check below or still pending when wait() runs,
+            # so it can never be swallowed.  (The previous
+            # wait-then-clear ordering could erase a set() racing in
+            # between wait() returning and the clear, costing a wake-up
+            # and up to a full 50 ms timeout of asubmit latency.)
+            self._wake.clear()
             ticked = False
+            closing = False
             with self._lock:
+                closing = self._closed
                 if (
-                    not self._closed
+                    not closing
                     and self._waiters
                     and (self._pending or self._in_flight)
                 ):
                     self._tick()
                     ticked = True
-            if not ticked:
+            if not ticked and not closing:
                 self._wake.wait(timeout=0.05)
-                self._wake.clear()
 
     def as_completed(self) -> Iterator[SessionResult]:
         """Yield results as sessions finish (completion order).
@@ -620,9 +631,18 @@ class ContinuousEngine:
             advancing.append(task)
         self._score(batchable, replacements)
         interacting = [task for task in advancing if not task.dead]
+        answered: list[_Task] = []
+        for task, error in zip(
+            interacting, self._map(self._answer, interacting), strict=True
+        ):
+            if error is not None:
+                self._fail(task, error, replacements)
+                continue
+            answered.append(task)
+        self._prefetch(answered)
         survivors: list[_Task] = []
         for task, error in zip(
-            interacting, self._map(self._interact, interacting), strict=True
+            answered, self._map(self._interact, answered), strict=True
         ):
             if error is not None:
                 self._fail(task, error, replacements)
@@ -730,15 +750,61 @@ class ContinuousEngine:
                 task.watch.stop()
                 task.batch = batch
 
-    def _interact(self, task: _Task) -> None:
-        """Ask the selected question and feed the answer back."""
+    def _answer(self, task: _Task) -> None:
+        """Pose the selected question to the task's user.
+
+        Split from :meth:`_interact` so the driver can batch-prime the
+        whole tick's imminent updates (:meth:`_prefetch`) between the
+        answers and the observes.  User time is off the agent stopwatch
+        either way.
+        """
         question = task.question
         if question is None:
             raise InteractionError(
                 f"ticket {task.ticket} entered a tick without a "
                 "selected question (scoring produced no choice)"
             )
-        answer = task.spec.user.prefers(question.p_i, question.p_j)
+        task.answer = task.spec.user.prefers(question.p_i, question.p_j)
+
+    def _prefetch(self, tasks: list[_Task]) -> None:
+        """Batch-prime the tick's imminent range updates (best-effort).
+
+        Same contract as ``SessionEngine._prefetch``: the answered
+        tasks' previews feed
+        :func:`repro.geometry.range.prefetch_updates` in one call —
+        stacked ``solve_many`` LPs plus one NumPy clip pass — and each
+        session's own ``observe`` replays the results bit-identically.
+        Runs on the driver thread (it is shared solver work, the thing
+        batching amortises); the wall time is split evenly across the
+        participating sessions like batched scoring.
+        """
+        primed = [
+            (task, preview)
+            for task in tasks
+            if task.answer is not None
+            and (preview := _preview_of(task.algorithm, task.answer))
+            is not None
+        ]
+        if not primed:
+            return
+        started = time.perf_counter()
+        try:
+            prefetch_updates([preview for _, preview in primed])
+        except Exception:  # noqa: BLE001 -- a failed primer changes nothing
+            return
+        share = (time.perf_counter() - started) / len(primed)
+        for task, _ in primed:
+            task.shared_seconds += share
+
+    def _interact(self, task: _Task) -> None:
+        """Feed the stored answer back into the session."""
+        question, answer = task.question, task.answer
+        if question is None or answer is None:
+            raise InteractionError(
+                f"ticket {task.ticket} entered a tick without an "
+                "answered question"
+            )
+        task.answer = None
         with self._task_op(task, "observe"):
             task.watch.start()
             task.algorithm.observe(answer)

@@ -62,6 +62,19 @@ class TestSkylineIndices:
         points = np.array([[0.5, 0.5], [0.5, 0.5]])
         assert skyline_indices(points).size == 2
 
+    def test_dominated_point_with_rounded_sum_tie(self):
+        # Regression (found by hypothesis): the strict coordinate gap
+        # between a dominator and a dominated point can round away in
+        # float summation, so the sort-filter-scan visits the dominated
+        # point first and used to keep it.
+        lo = np.nextafter(1.0, 0.0)
+        points = np.array([[lo, 1.0, 1.0, 1.0], [1.0, 1.0, 1.0, 1.0]])
+        assert points[0].sum() == points[1].sum()  # the tie that hid it
+        np.testing.assert_array_equal(skyline_indices(points), [1])
+        np.testing.assert_array_equal(skyline_indices_naive(points), [1])
+        # Same pair, dominator scanned first: still caught.
+        np.testing.assert_array_equal(skyline_indices(points[::-1]), [0])
+
     @given(point_sets(3))
     @settings(max_examples=40, deadline=None)
     def test_skyline_points_not_dominated(self, points):

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.errors import EmptyRegionError
 from repro.geometry import lp, simplex
@@ -360,3 +362,252 @@ class TestCacheContextIsolation:
             assert cache.misses == 1
             assert cache.hits == 1
         assert lp.active_cache() is None
+
+
+class TestCacheKeyCanonicalisation:
+    """The key must depend on the numbers, not on how they are spelled."""
+
+    C = np.array([1.0, 2.0])
+    A = np.array([[1.0, 1.0], [-1.0, 0.5]])
+    B = np.array([1.0, 0.0])
+
+    def _key(self, bounds):
+        return lp.constraint_system_key(self.C, self.A, self.B, bounds=bounds)
+
+    def test_scalar_pair_does_not_crash(self):
+        # Regression: repr-keyed bounds crashed on a shared scalar pair.
+        assert isinstance(self._key((0.0, None)), bytes)
+
+    def test_scalar_pair_equals_expanded(self):
+        assert self._key((0.0, None)) == self._key([(0.0, None), (0.0, None)])
+
+    def test_default_bounds_equal_explicit_nonnegative(self):
+        # linprog semantics: bounds=None means x >= 0 for every variable.
+        assert self._key(None) == self._key((0.0, None))
+        assert self._key(None) == self._key([(0.0, None)] * 2)
+
+    def test_numpy_scalars_equal_python_floats(self):
+        # Regression: numpy 2.x reprs np.float64(0.0) differently from 0.0,
+        # which silently split the cache by answer dtype.
+        plain = self._key([(0.0, 1.0), (0.5, None)])
+        numpied = self._key(
+            [(np.float64(0.0), np.float64(1.0)), (np.float64(0.5), None)]
+        )
+        assert plain == numpied
+
+    def test_list_vs_tuple_bounds_equal(self):
+        assert self._key([(0.0, 1.0), (0.0, 1.0)]) == self._key(
+            ((0.0, 1.0), (0.0, 1.0))
+        )
+        assert self._key([[0.0, 1.0], [0.0, 1.0]]) == self._key(
+            [(0.0, 1.0), (0.0, 1.0)]
+        )
+
+    def test_contiguity_is_irrelevant(self):
+        f_order = np.asfortranarray(self.A)
+        assert not f_order.flags["C_CONTIGUOUS"]
+        assert lp.constraint_system_key(
+            self.C, self.A, self.B
+        ) == lp.constraint_system_key(self.C, f_order, self.B)
+
+    def test_different_bounds_differ(self):
+        assert self._key((0.0, None)) != self._key((0.0, 1.0))
+        assert self._key(None) != self._key((None, None))
+
+    @given(
+        lo=st.floats(0.0, 1.0, allow_nan=False),
+        hi=st.floats(2.0, 4.0, allow_nan=False),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_spelling_invariance(self, lo, hi):
+        variants = [
+            (lo, hi),
+            [lo, hi],
+            (np.float64(lo), np.float64(hi)),
+            [(lo, hi), (lo, hi)],
+            [(np.float64(lo), hi), [lo, np.float64(hi)]],
+            np.array([[lo, hi], [lo, hi]]),
+        ]
+        keys = {self._key(v) for v in variants}
+        assert len(keys) == 1
+
+    def test_expand_bounds_shapes(self):
+        assert lp.expand_bounds(None, 3) == [(0.0, None)] * 3
+        assert lp.expand_bounds((1.0, 2.0), 3) == [(1.0, 2.0)] * 3
+        assert lp.expand_bounds([(None, 1.0), (0.5, None)], 2) == [
+            (None, 1.0),
+            (0.5, None),
+        ]
+        expanded = lp.expand_bounds([(np.float64(0.5), None)], 1)
+        assert type(expanded[0][0]) is float
+
+
+def _bounded_system(seed: int, d: int = 3) -> lp.LPSystem:
+    rng = np.random.default_rng(seed)
+    a = np.vstack([rng.uniform(-1.0, 1.0, size=(4, d)), np.eye(d)])
+    b = np.concatenate([rng.uniform(0.5, 2.0, size=4), np.ones(d)])
+    return lp.LPSystem(
+        c=rng.uniform(-1.0, 1.0, size=d),
+        a_ub=a,
+        b_ub=b,
+        a_eq=None,
+        b_eq=None,
+        bounds=(0.0, None),
+    )
+
+
+def _infeasible_system(d: int = 2) -> lp.LPSystem:
+    a = np.vstack([np.eye(d), -np.eye(d)])
+    b = np.concatenate([-np.ones(d), -np.ones(d)])  # x <= -1 and x >= 1
+    return lp.LPSystem(
+        c=np.ones(d), a_ub=a, b_ub=b, a_eq=None, b_eq=None, bounds=(None, None)
+    )
+
+
+def _unbounded_system(d: int = 2) -> lp.LPSystem:
+    return lp.LPSystem(
+        c=-np.ones(d),
+        a_ub=None,
+        b_ub=None,
+        a_eq=None,
+        b_eq=None,
+        bounds=(0.0, None),
+    )
+
+
+class TestSolveMany:
+    def test_matches_sequential_bitwise(self):
+        systems = [_bounded_system(seed) for seed in range(32)]
+        batched = lp.solve_many(systems)
+        solo = lp.ScipyHighsBackend()
+        for system, outcome in zip(systems, batched):
+            assert isinstance(outcome, lp.LPResult)
+            expected = solo.solve_raw(
+                system.c, system.a_ub, system.b_ub,
+                system.a_eq, system.b_eq, system.bounds,
+            )
+            # Values must be bit-equal (they are what value-consuming
+            # probes read); the optimiser point too on these
+            # non-degenerate systems.
+            assert outcome.value == expected.value
+            assert np.array_equal(outcome.x, expected.x)
+
+    def test_mixed_batch_isolates_failures(self):
+        systems = [
+            _bounded_system(1),
+            _infeasible_system(),
+            _unbounded_system(),
+            _bounded_system(2),
+        ]
+        outcomes = lp.solve_many(systems)
+        assert isinstance(outcomes[0], lp.LPResult)
+        assert isinstance(outcomes[1], lp.InfeasibleLP)
+        assert isinstance(outcomes[2], (lp.UnboundedLP, lp.InfeasibleLP))
+        assert isinstance(outcomes[3], lp.LPResult)
+        # The healthy members must be unaffected by the poisoned stack.
+        clean = lp.solve_many([systems[0], systems[3]])
+        assert outcomes[0].value == clean[0].value
+        assert np.array_equal(outcomes[0].x, clean[0].x)
+        assert outcomes[3].value == clean[1].value
+        assert np.array_equal(outcomes[3].x, clean[1].x)
+
+    def test_all_infeasible_batch(self):
+        outcomes = lp.solve_many([_infeasible_system(), _infeasible_system(3)])
+        assert all(isinstance(o, lp.InfeasibleLP) for o in outcomes)
+
+    def test_empty_batch(self):
+        assert lp.solve_many([]) == []
+
+    def test_singleton_batch(self):
+        system = _bounded_system(7)
+        (outcome,) = lp.solve_many([system])
+        assert isinstance(outcome, lp.LPResult)
+
+    def test_misses_are_stored_for_later_solve(self):
+        cache = lp.LPCache()
+        system = _bounded_system(11)
+        with lp.use_cache(cache):
+            (first,) = lp.solve_many([system])
+            assert cache.misses == 1
+            replay = lp.solve(
+                system.c, a_ub=system.a_ub, b_ub=system.b_ub,
+                bounds=system.bounds,
+            )
+            assert cache.hits == 1
+        assert replay.value == first.value
+        assert np.array_equal(replay.x, first.x)
+
+    def test_hits_are_peeled_before_stacking(self):
+        cache = lp.LPCache()
+        primed = _bounded_system(21)
+        fresh = _bounded_system(22)
+        with lp.use_cache(cache):
+            lp.solve_many([primed])
+            solves_before = lp.active_backend().solves
+            outcomes = lp.solve_many([primed, fresh])
+            assert cache.hits == 1
+            # Only the fresh system reached the solver.
+            assert lp.active_backend().solves == solves_before + 1
+        assert isinstance(outcomes[0], lp.LPResult)
+        assert isinstance(outcomes[1], lp.LPResult)
+
+    def test_cached_failures_replay_as_instances(self):
+        cache = lp.LPCache()
+        bad = _infeasible_system()
+        with lp.use_cache(cache):
+            (first,) = lp.solve_many([bad])
+            (second,) = lp.solve_many([bad])
+            assert cache.hits == 1
+        assert isinstance(first, lp.InfeasibleLP)
+        assert isinstance(second, lp.InfeasibleLP)
+        assert str(second) == str(first)
+
+    def test_cached_results_are_copies(self):
+        cache = lp.LPCache()
+        system = _bounded_system(31)
+        with lp.use_cache(cache):
+            (first,) = lp.solve_many([system])
+            (second,) = lp.solve_many([system])
+        assert first.x is not second.x
+        first.x[0] = 123.0
+        assert second.x[0] != 123.0
+
+    @given(seeds=st.lists(st.integers(0, 10_000), min_size=1, max_size=12))
+    @settings(max_examples=20, deadline=None)
+    def test_property_batch_equals_sequential(self, seeds):
+        systems = [_bounded_system(seed) for seed in seeds]
+        batched = lp.solve_many(systems)
+        solo = lp.ScipyHighsBackend()
+        for system, outcome in zip(systems, batched):
+            expected = solo.solve_raw(
+                system.c, system.a_ub, system.b_ub,
+                system.a_eq, system.b_eq, system.bounds,
+            )
+            assert outcome.value == expected.value
+
+    def test_sequential_fallback_backend(self):
+        # A backend without solve_many_raw still serves solve_many.
+        systems = [_bounded_system(41), _infeasible_system()]
+        with lp.use_backend(lp.ScipyHighsBackend()):
+            outcomes = lp.solve_many(systems)
+        assert isinstance(outcomes[0], lp.LPResult)
+        assert isinstance(outcomes[1], lp.InfeasibleLP)
+
+
+class TestSolveCounter:
+    def test_count_solves_is_thread_safe(self):
+        import threading
+
+        backend = lp.ScipyHighsBackend()
+        per_thread, threads = 2_000, 8
+
+        def bump():
+            for _ in range(per_thread):
+                backend.count_solves()
+
+        workers = [threading.Thread(target=bump) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert backend.solves == per_thread * threads

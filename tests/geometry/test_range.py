@@ -20,7 +20,13 @@ from repro.geometry import lp
 from repro.geometry.hyperplane import preference_halfspace
 from repro.geometry.lp import ScipyHighsBackend
 from repro.geometry.polytope import UtilityPolytope
-from repro.geometry.range import AmbientRange, ExactRange, RangeConfig
+from repro.geometry.range import (
+    AmbientRange,
+    ExactRange,
+    RangeConfig,
+    UpdatePreview,
+    prefetch_updates,
+)
 
 
 def random_halfspaces(d: int, count: int, seed: int) -> list:
@@ -357,3 +363,139 @@ class TestBackendSeam:
         assert urange.stats.empties_avoided > 0
         # Clip-resolved updates issue no feasibility LPs of their own.
         assert urange.stats.backend_solves == solved_before
+
+
+class TestPrefetchUpdates:
+    """Batch priming must be invisible except for speed."""
+
+    def _twin_ambient(self, d=5, answers=6, seed=31):
+        spaces = random_halfspaces(d, answers * 4, seed=seed)
+        plain = AmbientRange(d, config=RangeConfig(on_infeasible="drop"))
+        primed = AmbientRange(d, config=RangeConfig(on_infeasible="drop"))
+        for halfspace in spaces[: answers - 1]:
+            plain.update(halfspace)
+            primed.update(halfspace)
+        # Pick a final half-space whose trial stays feasible, so the
+        # update really applies (and its bound probes are prefetchable).
+        kept = list(primed.halfspaces)
+        for candidate in spaces[answers - 1 :]:
+            if lp.ambient_is_feasible(kept + [candidate], d):
+                return plain, primed, candidate
+        raise AssertionError("no feasible final half-space found")
+
+    def test_ambient_prefetch_is_bit_identical(self):
+        plain, primed, new = self._twin_ambient()
+        with lp.use_cache(lp.LPCache()):
+            prefetch_updates([UpdatePreview(primed, new, bounds=True)])
+            assert primed.update(new) == plain.update(new)
+            primed_bounds = primed.bounds()
+        plain_bounds = plain.bounds()
+        assert np.array_equal(primed_bounds[0], plain_bounds[0])
+        assert np.array_equal(primed_bounds[1], plain_bounds[1])
+        assert primed.halfspaces == plain.halfspaces
+
+    def test_ambient_prefetch_primes_cache(self):
+        _, primed, new = self._twin_ambient()
+        cache = lp.LPCache()
+        with lp.use_cache(cache):
+            prefetch_updates([UpdatePreview(primed, new, bounds=True)])
+            hits_before = cache.hits
+            primed.update(new)
+            primed.bounds()
+            # Feasibility probe plus all 2d bound probes replay as hits.
+            assert cache.hits == hits_before + 1 + 2 * primed.dimension
+
+    def test_ambient_prefetch_without_cache_is_noop(self):
+        _, primed, new = self._twin_ambient()
+        solves_before = lp.active_backend().solves
+        prefetch_updates([UpdatePreview(primed, new, bounds=True)])
+        assert lp.active_backend().solves == solves_before
+        assert primed.update(new)
+
+    def test_ambient_per_instance_backend_is_skipped(self):
+        backend = ScipyHighsBackend()
+        urange = AmbientRange(4, backend=backend)
+        new = random_halfspaces(4, 1, seed=8)[0]
+        with lp.use_cache(lp.LPCache()):
+            prefetch_updates([UpdatePreview(urange, new)])
+        # Its solves live in another cache partition; nothing ran.
+        assert backend.solves == 0
+
+    def test_infeasible_trial_prefetch_matches(self):
+        rng = np.random.default_rng(5)
+        b = rng.uniform(0.05, 0.8, size=4)
+        a = b + 0.1
+        forward = preference_halfspace(a, b)
+        backward = preference_halfspace(b, a)
+        plain = AmbientRange(4, config=RangeConfig(on_infeasible="drop"))
+        primed = AmbientRange(4, config=RangeConfig(on_infeasible="drop"))
+        plain.update(forward)
+        primed.update(forward)
+        with lp.use_cache(lp.LPCache()):
+            prefetch_updates([UpdatePreview(primed, backward, bounds=True)])
+            assert primed.update(backward) == plain.update(backward) == False  # noqa: E712
+        assert primed.halfspaces == plain.halfspaces
+
+    def test_exact_prefetch_is_bit_identical(self):
+        spaces = random_halfspaces(4, 7, seed=12)
+        plain = ExactRange(4, config=RangeConfig(on_infeasible="drop"))
+        primed = ExactRange(4, config=RangeConfig(on_infeasible="drop"))
+        for halfspace in spaces[:-1]:
+            plain.update(halfspace)
+            primed.update(halfspace)
+        plain.vertices(), primed.vertices()
+        prefetch_updates([UpdatePreview(primed, spaces[-1])])
+        assert primed._clip_memo is not None
+        assert primed.update(spaces[-1]) == plain.update(spaces[-1])
+        assert np.array_equal(primed.vertices(), plain.vertices())
+        # The memo is one-shot: consumed by the update.
+        assert primed._clip_memo is None
+
+    def test_exact_memo_survives_wrong_halfspace(self):
+        # A memo stashed for one half-space must not corrupt an update
+        # with a different one (exact fingerprint check).
+        spaces = random_halfspaces(5, 8, seed=13)
+        plain = ExactRange(5, config=RangeConfig(on_infeasible="drop"))
+        primed = ExactRange(5, config=RangeConfig(on_infeasible="drop"))
+        for halfspace in spaces[:-2]:
+            plain.update(halfspace)
+            primed.update(halfspace)
+        plain.vertices(), primed.vertices()
+        prefetch_updates([UpdatePreview(primed, spaces[-1])])
+        assert primed.update(spaces[-2]) == plain.update(spaces[-2])
+        assert np.array_equal(primed.vertices(), plain.vertices())
+
+    def test_mixed_wave_prefetch(self):
+        # One prefetch call over both range kinds, several sessions each.
+        waves = []
+        for seed in (40, 41, 42):
+            spaces = random_halfspaces(4, 6, seed=seed)
+            exact = ExactRange(4, config=RangeConfig(on_infeasible="drop"))
+            ambient = AmbientRange(4, config=RangeConfig(on_infeasible="drop"))
+            ref_exact = ExactRange(4, config=RangeConfig(on_infeasible="drop"))
+            ref_ambient = AmbientRange(
+                4, config=RangeConfig(on_infeasible="drop")
+            )
+            for halfspace in spaces[:-1]:
+                for urange in (exact, ambient, ref_exact, ref_ambient):
+                    urange.update(halfspace)
+            exact.vertices(), ref_exact.vertices()
+            waves.append((exact, ambient, ref_exact, ref_ambient, spaces[-1]))
+        with lp.use_cache(lp.LPCache()):
+            prefetch_updates(
+                [
+                    preview
+                    for exact, ambient, _, _, new in waves
+                    for preview in (
+                        UpdatePreview(exact, new),
+                        UpdatePreview(ambient, new, bounds=True),
+                    )
+                ]
+            )
+            for exact, ambient, ref_exact, ref_ambient, new in waves:
+                assert exact.update(new) == ref_exact.update(new)
+                assert np.array_equal(exact.vertices(), ref_exact.vertices())
+                assert ambient.update(new) == ref_ambient.update(new)
+                got, want = ambient.bounds(), ref_ambient.bounds()
+                assert np.array_equal(got[0], want[0])
+                assert np.array_equal(got[1], want[1])

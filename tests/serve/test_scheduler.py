@@ -15,6 +15,9 @@ The continuous scheduler's contract has three parts:
 
 from __future__ import annotations
 
+import asyncio
+import threading
+
 import numpy as np
 import pytest
 
@@ -478,3 +481,59 @@ class TestRecoveryRaisesOnMissing:
         policy = RecoveryPolicy()
         assert policy.should_retry(EmptyRegionError("x"), 0)
         assert not policy.should_retry(ValueError("x"), 0)
+
+
+class _RecordingEvent(threading.Event):
+    """A wake event that logs the driver thread's clear()/wait() order."""
+
+    def __init__(self):
+        super().__init__()
+        self.driver_calls: list[str] = []
+
+    def _record(self, name: str) -> None:
+        if threading.current_thread().name == "repro-serve-driver":
+            self.driver_calls.append(name)
+
+    def clear(self) -> None:
+        self._record("clear")
+        super().clear()
+
+    def wait(self, timeout=None) -> bool:
+        self._record("wait")
+        return super().wait(timeout)
+
+
+class TestDriverWakeup:
+    """Regression: the driver loop must clear its wake event *before*
+    checking for work.  The old wait-then-clear ordering could erase a
+    ``set()`` racing in between ``wait()`` returning and the clear,
+    swallowing a wake-up and costing an ``asubmit`` a full poll timeout.
+    """
+
+    def test_driver_clears_before_checking(self, toy):
+        async def main(engine):
+            return await engine.asubmit(
+                _spec(lambda: ScriptedSession(toy, total=3),
+                      _always_true_user())
+            )
+
+        with ContinuousEngine(max_in_flight=8) as engine:
+            wake = _RecordingEvent()
+            engine._wake = wake
+            result = asyncio.run(main(engine))
+
+        assert result.status == "completed"
+        assert result.rounds == 3
+        calls = wake.driver_calls
+        assert calls, "driver never touched the wake event"
+        # clear-before-check: every loop iteration's first Event
+        # operation is clear().  Under the buggy wait-then-clear
+        # ordering the recorded sequence started with wait().
+        assert calls[0] == "clear"
+        # No iteration may open with a bare wait(): a wait is always
+        # preceded by the same iteration's clear.
+        assert all(
+            calls[i - 1] == "clear"
+            for i in range(1, len(calls))
+            if calls[i] == "wait"
+        )
