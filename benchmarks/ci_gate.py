@@ -17,7 +17,11 @@ Two subcommands, wired into ``.github/workflows/ci.yml``:
       continuous`` at 1024 concurrent sessions — recording its batch
       occupancy *and* replaying the identical specs through the wave
       engine to count per-session result mismatches (the scheduler's
-      equivalence guarantee).
+      equivalence guarantee);
+    * the dispatch workload — 256 sessions served through
+      ``ShardedDispatcher(procs=2)`` and replayed single-process —
+      counting per-session mismatches and failures (both must be 0:
+      forking and sharding must never perturb a transcript).
 
 ``check``
     Compare a freshly produced snapshot against the committed baseline
@@ -83,6 +87,23 @@ CONTINUOUS_CONFIG = {
 #: 1024-session workload (an absolute gate, not baseline-relative).
 OCCUPANCY_FLOOR = 0.9
 
+#: The multi-process dispatcher workload: the same fixed-seed spec set
+#: served through ``ShardedDispatcher(procs=2)`` and through one
+#: ``ContinuousEngine``, compared session by session.  Mismatches and
+#: failures are absolute zero-gates; the dispatch wall clock is only
+#: ratio-gated (a single-core runner cannot show a speedup).
+DISPATCH_CONFIG = {
+    "algorithm": "ea",
+    "dataset": "anti:200:3",
+    "episodes": 4,
+    "epsilon": 0.2,
+    "max_in_flight": 32,
+    "max_rounds": 30,
+    "procs": 2,
+    "seed": 0,
+    "sessions": 256,
+}
+
 #: The batched-LP workload: the stacked ambient-bounds probes of 256
 #: concurrent sessions (``2d`` probes each), solved once per probe and
 #: once block-diagonally via ``BatchLPBackend.solve_many_raw``.  The
@@ -112,6 +133,9 @@ EXACT_COUNTERS = (
     "continuous_ticks",
     "equiv_mismatches",
     "batch_mismatches",
+    "dispatch_mismatches",
+    "dispatch_failed",
+    "dispatch_rounds_total",
 )
 
 #: Best-of timing ratios gated against ``baseline / max_slowdown``
@@ -127,6 +151,7 @@ RATIO_TIMINGS = (
     "wave_latency_seconds",
     "wall_seconds",
     "continuous_wall_seconds",
+    "dispatch_wall_seconds",
 )
 
 
@@ -312,6 +337,53 @@ def _continuous_gate() -> tuple[dict, dict]:
     return counters, timings
 
 
+def _dispatch_gate() -> tuple[dict, dict]:
+    """Counters/timings for the multi-process dispatcher workload.
+
+    Serves :data:`DISPATCH_CONFIG` through ``ShardedDispatcher`` and
+    through a single ``ContinuousEngine``, comparing ``(recommendation
+    index, rounds, truncated, status)`` and the recommended point per
+    session.  Mismatch and failure counts are seed-deterministic and
+    must be zero; the dispatch wall clock is ratio-gated only.
+    """
+    import numpy as np
+
+    from repro.cli import _resolve_dataset
+    from repro.serve import run_serve_bench
+
+    cfg = DISPATCH_CONFIG
+    dataset = _resolve_dataset(cfg["dataset"])
+    common = dict(
+        sessions=cfg["sessions"],
+        algorithm=cfg["algorithm"],
+        epsilon=cfg["epsilon"],
+        episodes=cfg["episodes"],
+        seed=cfg["seed"],
+        max_rounds=cfg["max_rounds"],
+        max_in_flight=cfg["max_in_flight"],
+    )
+    single = run_serve_bench(dataset, engine="continuous", **common)
+    dispatched = run_serve_bench(dataset, procs=cfg["procs"], **common)
+    mismatches = sum(
+        1
+        for ours, ref in zip(dispatched.results, single.results)
+        if (ours.recommendation_index, ours.rounds, ours.truncated, ours.status)
+        != (ref.recommendation_index, ref.rounds, ref.truncated, ref.status)
+        or not np.array_equal(ours.recommendation, ref.recommendation)
+    )
+    m = dispatched.metrics
+    counters = {
+        "dispatch_failed": m.failed,
+        "dispatch_mismatches": mismatches,
+        "dispatch_rounds_total": m.rounds_total,
+        "dispatch_workers_reporting": len(dispatched.worker_obs),
+    }
+    timings = {
+        "dispatch_wall_seconds": m.wall_seconds,
+    }
+    return counters, timings
+
+
 def run_gate(out: Path) -> Path:
     """Run the gate workload and write the snapshot to ``out``."""
     from repro.cli import _resolve_dataset
@@ -341,13 +413,16 @@ def run_gate(out: Path) -> Path:
         BATCH_CONFIG["repeats"]
     )
     continuous_counters, continuous_timings = _continuous_gate()
+    dispatch_counters, dispatch_timings = _dispatch_gate()
     timings = dict(sections["timings"])
     timings.update(micro)
     timings.update(batch_timings)
     timings.update(continuous_timings)
+    timings.update(dispatch_timings)
     counters = dict(sections["counters"])
     counters.update(batch_counters)
     counters.update(continuous_counters)
+    counters.update(dispatch_counters)
     return write_snapshot(
         out,
         "ci",
@@ -355,6 +430,7 @@ def run_gate(out: Path) -> Path:
             **GATE_CONFIG,
             "batch": BATCH_CONFIG,
             "continuous": CONTINUOUS_CONFIG,
+            "dispatch": DISPATCH_CONFIG,
         },
         timings=timings,
         counters=counters,
@@ -414,6 +490,17 @@ def check_gate(
             f"batched LP solve diverged from the per-probe path on "
             f"{batch_mismatches} of {got_counters.get('batch_probes')} "
             "stacked bound probes"
+        )
+    dispatch_mismatches = got_counters.get("dispatch_mismatches")
+    if dispatch_mismatches != 0:
+        failures.append(
+            f"sharded dispatcher diverged from the single-process run on "
+            f"{dispatch_mismatches} of {DISPATCH_CONFIG['sessions']} sessions"
+        )
+    dispatch_failed = got_counters.get("dispatch_failed")
+    if dispatch_failed != 0:
+        failures.append(
+            f"{dispatch_failed} sessions failed under the sharded dispatcher"
         )
     got_timings = candidate.get("timings", {})
     want_timings = baseline.get("timings", {})

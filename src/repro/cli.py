@@ -205,11 +205,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         engine=args.engine,
         max_in_flight=args.max_in_flight,
         workers=args.workers,
+        procs=args.procs,
+        lp_procs=args.lp_procs,
     )
     for line in report.lines():
         print(line)
     if args.snapshot:
-        written = report.write_snapshot(args.snapshot)
+        name = "dispatch" if report.procs else "serve_bench"
+        written = report.write_snapshot(args.snapshot, name=name)
         print(f"snapshot written to {written}")
     return 0
 
@@ -278,6 +281,21 @@ def _cmd_server(args: argparse.Namespace) -> int:
     store = FileSessionStore(args.store) if args.store else None
     if store is not None:
         print(f"checkpointing sessions under {args.store}")
+    runtime = None
+    if args.procs > 0:
+        from repro.serve import ShardedDispatcher
+
+        runtime = ShardedDispatcher(
+            procs=args.procs,
+            max_rounds=args.max_rounds,
+            max_in_flight=args.max_in_flight,
+            workers=args.workers,
+            store=store,
+            checkpoint_every=1 if store is not None else 0,
+            agents=agents,
+            dataset=dataset,
+        )
+        print(f"oracle sessions sharded across {args.procs} worker processes")
     service = SessionService(
         dataset,
         agents=agents,
@@ -287,6 +305,7 @@ def _cmd_server(args: argparse.Namespace) -> int:
         max_rounds=args.max_rounds,
         max_in_flight=args.max_in_flight,
         workers=args.workers,
+        runtime=runtime,
     )
     print(
         f"session service over {dataset.name} "
@@ -397,10 +416,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--engine",
-        choices=("wave", "continuous"),
+        choices=("wave", "continuous", "dispatch"),
         default="wave",
-        help="scheduler: lock-step waves (deterministic reference) or "
-        "continuous batching (bounded in-flight set, higher occupancy)",
+        help="scheduler: lock-step waves (deterministic reference), "
+        "continuous batching (bounded in-flight set, higher occupancy) "
+        "or the multi-process dispatcher (implied by --procs)",
+    )
+    serve.add_argument(
+        "--procs",
+        type=int,
+        default=0,
+        help="serve through a ShardedDispatcher with this many worker "
+        "processes (default 0: single process)",
+    )
+    serve.add_argument(
+        "--lp-procs",
+        type=int,
+        default=0,
+        help="per-worker LP solver process-pool size (with --procs; "
+        "default 0: in-process batched solving)",
     )
     serve.add_argument(
         "--max-in-flight",
@@ -490,6 +524,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="oracle-mode scheduler: thread-pool size (default 0: inline)",
+    )
+    server.add_argument(
+        "--procs",
+        type=int,
+        default=0,
+        help="oracle-mode scheduler: shard sessions across this many "
+        "worker processes (default 0: in-process ContinuousEngine)",
     )
     server.set_defaults(handler=_cmd_server)
 

@@ -33,6 +33,7 @@ or from the command line: ``python -m repro profile --out trace.json``.
 from repro.obs.export import (
     aggregate_report,
     chrome_trace,
+    merge_aggregate_reports,
     summary_lines,
     write_aggregate,
     write_chrome_trace,
@@ -69,6 +70,7 @@ __all__ = [
     "counter",
     "load_snapshot",
     "machine_info",
+    "merge_aggregate_reports",
     "phase_of",
     "snapshot_path",
     "snapshot_payload",

@@ -19,6 +19,7 @@ is stable and diffs are reviewable.
 from __future__ import annotations
 
 import json
+from collections.abc import Sequence
 from pathlib import Path
 from typing import Any
 
@@ -40,6 +41,51 @@ def aggregate_report(tracer: Tracer) -> dict[str, Any]:
         },
         "spans_recorded": tracer.spans_recorded,
         "dropped_spans": tracer.dropped_spans,
+    }
+
+
+def merge_aggregate_reports(
+    reports: Sequence[dict[str, Any]],
+) -> dict[str, Any]:
+    """Combine per-worker :func:`aggregate_report` dicts into one.
+
+    The cross-process aggregation behind ``BENCH_dispatch.json``: each
+    :class:`~repro.serve.dispatch.ShardedDispatcher` worker ships its
+    own tracer's aggregate report over the result pipe, and this folds
+    them into a single report of the same shape — span calls and
+    seconds summed per name, counters summed, phase self-time summed
+    per phase.  Keys stay sorted so snapshots remain diffable.  An
+    empty input merges to an empty report.
+    """
+    reports = list(reports)
+    spans: dict[str, dict[str, Any]] = {}
+    counters: dict[str, int] = {}
+    phases: dict[str, float] = {}
+    spans_recorded = 0
+    dropped = 0
+    for report in reports:
+        for name, agg in report.get("spans", {}).items():
+            merged = spans.setdefault(
+                name, {"calls": 0, "total_seconds": 0.0, "self_seconds": 0.0}
+            )
+            merged["calls"] += agg.get("calls", 0)
+            merged["total_seconds"] += agg.get("total_seconds", 0.0)
+            merged["self_seconds"] += agg.get("self_seconds", 0.0)
+        for name, value in report.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for phase, seconds in report.get("phase_seconds", {}).items():
+            phases[phase] = phases.get(phase, 0.0) + seconds
+        spans_recorded += report.get("spans_recorded", 0)
+        dropped += report.get("dropped_spans", 0)
+    return {
+        "spans": {name: spans[name] for name in sorted(spans)},
+        "counters": {name: counters[name] for name in sorted(counters)},
+        "phase_seconds": {
+            phase: phases[phase] for phase in sorted(phases)
+        },
+        "spans_recorded": spans_recorded,
+        "dropped_spans": dropped,
+        "workers": len(reports),
     }
 
 

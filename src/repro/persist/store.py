@@ -19,6 +19,7 @@ never escape the store's root directory.
 
 from __future__ import annotations
 
+import itertools
 import os
 import re
 import threading
@@ -33,6 +34,12 @@ from repro.persist.snapshot import (
 )
 
 _ID_PATTERN = re.compile(r"^[A-Za-z0-9._-]{1,128}$")
+
+#: Staging-name sequence shared by every FileSessionStore in this
+#: process: two handles pointed at one directory must not both stage
+#: as "<id>.npz.<pid>.0.tmp".  ``next()`` on a C-implemented count is
+#: atomic under the GIL.
+_TEMP_SEQ = itertools.count()
 
 
 def _check_id(session_id: str) -> str:
@@ -101,7 +108,18 @@ class MemorySessionStore(SessionStore):
 
 
 class FileSessionStore(SessionStore):
-    """One ``<id>.npz`` per session under ``root`` (created on demand)."""
+    """One ``<id>.npz`` per session under ``root`` (created on demand).
+
+    Safe for concurrent writers across *processes*, not just threads:
+    every :meth:`put` stages its bytes in a temp file whose name embeds
+    the writer's pid plus a per-process sequence number, opened with
+    ``O_EXCL`` so two writers can never interleave bytes in one staging
+    file, then atomically :func:`os.replace`\\ d over the target.  Two
+    dispatcher workers checkpointing the same id simultaneously each
+    publish a complete snapshot; the later replace wins whole, never a
+    torn mix.  (A shared ``<id>.npz.tmp`` name would let writer B's
+    bytes land in the file writer A is about to rename.)
+    """
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
@@ -114,10 +132,22 @@ class FileSessionStore(SessionStore):
     def put(self, snapshot: SessionSnapshot) -> None:
         path = self._path(snapshot.session_id)
         blob = snapshot_to_bytes(snapshot)
-        temp = path.with_name(path.name + ".tmp")
-        with self._lock:
-            temp.write_bytes(blob)
+        # Unique per (process, counter); a forked worker inherits the
+        # counter value but not the pid, so names still never collide.
+        temp = path.with_name(
+            f"{path.name}.{os.getpid()}.{next(_TEMP_SEQ)}.tmp"
+        )
+        fd = os.open(temp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(blob)
             os.replace(temp, path)
+        except BaseException:
+            try:
+                os.unlink(temp)
+            except FileNotFoundError:
+                pass
+            raise
 
     def get(self, session_id: str) -> SessionSnapshot:
         path = self._path(session_id)

@@ -17,6 +17,12 @@ layer:
   (iteration-level) batching with admission control, backpressure and a
   ``submit()``/``as_completed()``/``drain()`` streaming lifecycle,
   producing per-session results identical to the wave engine;
+* :class:`Runtime` — the structural protocol both schedulers satisfy;
+  service layers and benchmarks depend on it, not on a concrete engine;
+* :class:`ShardedDispatcher` — multi-process serving: shards specs
+  across worker processes (one ``ContinuousEngine``, LP cache and
+  tracer per worker), with checkpoint-based crash-resume when a worker
+  dies;
 * :class:`RecoveryPolicy` — optional retry of failed sessions under
   :class:`~repro.core.robust.MajorityVoteSession`;
 * :class:`EngineMetrics` / :class:`SessionMetrics` /
@@ -30,8 +36,10 @@ helpers) is private API.
 """
 
 from repro.serve.bench import ServeBenchReport, run_serve_bench
+from repro.serve.dispatch import ShardedDispatcher
 from repro.serve.engine import RecoveryPolicy, SessionEngine
 from repro.serve.metrics import EngineMetrics, SessionError, SessionMetrics
+from repro.serve.runtime import Runtime
 from repro.serve.scheduler import ContinuousEngine
 from repro.serve.spec import SessionSpec, reset_tuple_deprecation_warnings
 
@@ -39,11 +47,13 @@ __all__ = [
     "ContinuousEngine",
     "EngineMetrics",
     "RecoveryPolicy",
+    "Runtime",
     "ServeBenchReport",
     "SessionEngine",
     "SessionError",
     "SessionMetrics",
     "SessionSpec",
+    "ShardedDispatcher",
     "reset_tuple_deprecation_warnings",
     "run_serve_bench",
 ]

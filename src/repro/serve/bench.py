@@ -19,17 +19,18 @@ thin wrapper around :func:`run_serve_bench`.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.core.session import DEFAULT_MAX_ROUNDS, SessionResult, validate_epsilon
 from repro.data.datasets import Dataset
 from repro.data.utility import sample_training_utilities
 from repro.errors import ConfigurationError
-from repro.obs.export import aggregate_report
+from repro.obs.export import aggregate_report, merge_aggregate_reports
 from repro.obs.snapshot import write_snapshot
 from repro.obs.tracer import active_tracer
 from repro.registry import make_config, make_session, make_trainer
+from repro.serve.dispatch import ShardedDispatcher
 from repro.serve.engine import RecoveryPolicy, SessionEngine
 from repro.serve.metrics import EngineMetrics
 from repro.serve.scheduler import ContinuousEngine
@@ -52,12 +53,18 @@ class ServeBenchReport:
     noise: float = 0.0
     max_rounds: int = DEFAULT_MAX_ROUNDS
     engine: str = "wave"
+    procs: int = 0
+    #: Per-worker tracer aggregate reports (dispatch engine only).
+    worker_obs: list[dict] = field(default_factory=list)
 
     def lines(self) -> list[str]:
         """Report lines printed by the CLI command."""
         noise_note = f", noise={self.noise}" if self.noise else ""
+        engine_note = (
+            f"{self.engine} x{self.procs}" if self.procs else self.engine
+        )
         header = (
-            f"serve-bench[{self.engine}]: "
+            f"serve-bench[{engine_note}]: "
             f"{self.sessions} x {self.algorithm} sessions "
             f"on {self.dataset} (eps={self.epsilon}{noise_note}, "
             f"train {self.train_seconds:.1f}s)"
@@ -90,6 +97,7 @@ class ServeBenchReport:
             "epsilon": self.epsilon,
             "max_rounds": self.max_rounds,
             "noise": self.noise,
+            "procs": self.procs,
             "sessions": self.sessions,
         }
         steps = m.ticks if m.ticks else m.waves
@@ -122,8 +130,13 @@ class ServeBenchReport:
             "truncated": m.truncated,
             "waves": m.waves,
         }
-        tracer = active_tracer()
-        obs = aggregate_report(tracer) if tracer is not None else {}
+        if self.worker_obs:
+            # Dispatch runs trace inside the workers; the merged
+            # cross-process view is the run's observability record.
+            obs = merge_aggregate_reports(self.worker_obs)
+        else:
+            tracer = active_tracer()
+            obs = aggregate_report(tracer) if tracer is not None else {}
         return {
             "config": config,
             "counters": counters,
@@ -160,6 +173,8 @@ def run_serve_bench(
     engine: str = "wave",
     max_in_flight: int = 64,
     workers: int = 0,
+    procs: int = 0,
+    lp_procs: int = 0,
 ) -> ServeBenchReport:
     """Train one agent, serve ``sessions`` concurrent users, measure.
 
@@ -203,13 +218,35 @@ def run_serve_bench(
     workers:
         Thread-pool size for the continuous engine's per-session agent
         work (ignored by ``wave``; 0 = inline).
+    procs:
+        ``> 0`` serves through a
+        :class:`~repro.serve.dispatch.ShardedDispatcher` with this many
+        worker processes (each running its own continuous engine at
+        ``max_in_flight``); the ``engine`` argument is superseded and
+        the report's engine reads ``"dispatch"``.  Per-worker tracer
+        reports are collected and merged into the snapshot's ``obs``
+        section.
+    lp_procs:
+        Per-worker :class:`~repro.geometry.lp.ProcessPoolLPBackend`
+        pool size (dispatch only; 0 = in-process batched solving).
     """
     if sessions < 1:
         raise ConfigurationError(f"sessions must be >= 1, got {sessions}")
-    if engine not in ("wave", "continuous"):
+    if procs < 0:
+        raise ConfigurationError(f"procs must be >= 0, got {procs}")
+    if procs == 0 and lp_procs > 0:
         raise ConfigurationError(
-            f"engine must be 'wave' or 'continuous', got {engine!r}"
+            "lp_procs needs the dispatch engine; pass procs >= 1"
         )
+    if engine not in ("wave", "continuous", "dispatch"):
+        raise ConfigurationError(
+            "engine must be 'wave', 'continuous' or 'dispatch', "
+            f"got {engine!r}"
+        )
+    if engine == "dispatch" and procs == 0:
+        procs = 2
+    if procs > 0:
+        engine = "dispatch"
     if not 0.0 <= noise < 1.0:
         raise ConfigurationError(f"noise must be in [0, 1), got {noise}")
     epsilon = validate_epsilon(epsilon)
@@ -255,7 +292,25 @@ def run_serve_bench(
         )
         for i in range(sessions)
     ]
-    if engine == "continuous":
+    worker_obs: list[dict] = []
+    if engine == "dispatch":
+        with ShardedDispatcher(
+            procs=procs,
+            max_rounds=max_rounds,
+            max_in_flight=max_in_flight,
+            workers=workers,
+            recovery=policy,
+            agents={algorithm: agent},
+            dataset=dataset,
+            lp_procs=lp_procs,
+            collect_obs=True,
+        ) as dispatcher:
+            for spec in specs:
+                dispatcher.submit(spec)
+            results = dispatcher.drain()
+            metrics = dispatcher.last_metrics
+            worker_obs = list(dispatcher.worker_reports)
+    elif engine == "continuous":
         with ContinuousEngine(
             max_rounds=max_rounds,
             recovery=policy,
@@ -281,4 +336,6 @@ def run_serve_bench(
         noise=noise,
         max_rounds=max_rounds,
         engine=engine,
+        procs=procs,
+        worker_obs=worker_obs,
     )

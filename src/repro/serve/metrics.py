@@ -191,6 +191,49 @@ class EngineMetrics:
     phase_seconds: dict[str, float] = field(default_factory=dict)
     per_session: list[SessionMetrics] = field(default_factory=list)
 
+    def merge(self, other: "EngineMetrics") -> "EngineMetrics":
+        """Fold another engine's metrics into this one, in place.
+
+        The aggregation the multi-process
+        :class:`~repro.serve.dispatch.ShardedDispatcher` uses to combine
+        per-worker :class:`EngineMetrics` into one report.  Counters
+        sum, ``peak_batch`` takes the max, ``errors``/``per_session``
+        concatenate, and ``phase_seconds`` adds per phase.  Workers run
+        *concurrently*, so ``wall_seconds`` takes the max of the two
+        (the dispatcher overwrites it with its own end-to-end
+        measurement anyway) and ``in_flight_cap`` takes the max: with
+        every worker provisioned at the same cap, summed ``ticks``
+        times the shared cap is exactly the aggregate capacity
+        :attr:`occupancy` divides by.  Returns ``self`` for chaining.
+        """
+        self.sessions += other.sessions
+        self.completed += other.completed
+        self.truncated += other.truncated
+        self.failed += other.failed
+        self.retries += other.retries
+        self.recovered += other.recovered
+        self.errors.extend(other.errors)
+        self.waves += other.waves
+        self.ticks += other.ticks
+        self.in_flight_cap = max(self.in_flight_cap, other.in_flight_cap)
+        self.rounds_total += other.rounds_total
+        self.batches += other.batches
+        self.batched_rows += other.batched_rows
+        self.peak_batch = max(self.peak_batch, other.peak_batch)
+        self.lp_solves += other.lp_solves
+        self.lp_cache_hits += other.lp_cache_hits
+        self.range_updates += other.range_updates
+        self.range_clips += other.range_clips
+        self.range_rebuilds += other.range_rebuilds
+        self.range_solves_avoided += other.range_solves_avoided
+        self.wall_seconds = max(self.wall_seconds, other.wall_seconds)
+        for phase, seconds in other.phase_seconds.items():
+            self.phase_seconds[phase] = (
+                self.phase_seconds.get(phase, 0.0) + seconds
+            )
+        self.per_session.extend(other.per_session)
+        return self
+
     @property
     def mean_batch_size(self) -> float:
         """Average candidate sets per shared scoring batch."""

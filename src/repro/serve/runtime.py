@@ -1,0 +1,103 @@
+"""The serving runtime seam: :class:`Runtime`.
+
+A *runtime* is anything that accepts :class:`~repro.serve.spec.SessionSpec`
+submissions and produces :class:`~repro.core.session.SessionResult`\\ s:
+the in-process :class:`~repro.serve.scheduler.ContinuousEngine`, or the
+multi-process :class:`~repro.serve.dispatch.ShardedDispatcher` that fans
+work out to one engine per worker process.  The HTTP service
+(:class:`~repro.server.app.SessionService`) and ``serve-bench``
+(:func:`~repro.serve.bench.run_serve_bench`) depend only on this
+protocol, so swapping single-process for sharded serving is a
+constructor argument, not a rewrite.
+
+The protocol is structural (:func:`typing.runtime_checkable`): any class
+with the right methods conforms — ``ContinuousEngine`` predates this
+module and satisfies it unchanged.  Optional capabilities stay out of
+the protocol and are feature-detected instead:
+
+* ``asubmit(spec)`` — an asyncio front door.  ``ContinuousEngine`` has
+  one; the dispatcher does not, and callers that need per-result
+  futures without it (the HTTP service) run a collector thread over
+  :meth:`Runtime.as_completed` keyed on
+  ``result.metrics.session_id`` (the submission ticket).
+* ``step()`` — manual single-tick advancement, engine-specific.
+
+Contract highlights every implementation honours:
+
+* :meth:`Runtime.submit` returns a monotonically increasing ticket, and
+  every produced result carries that ticket as
+  ``result.metrics.session_id``.
+* :meth:`Runtime.drain` returns the current epoch's undrained results
+  in submission order; :meth:`Runtime.as_completed` yields the same
+  results in completion order without consuming them from the epoch.
+* :meth:`Runtime.close` is idempotent; submitting to a closed runtime
+  raises :class:`~repro.errors.InteractionError`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from typing import TYPE_CHECKING, Any, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.session import SessionResult
+    from repro.persist import SessionSnapshot
+    from repro.serve.metrics import EngineMetrics
+    from repro.serve.spec import SessionSource
+    from repro.users.oracle import User
+
+
+@runtime_checkable
+class Runtime(Protocol):
+    """Structural protocol for session-serving runtimes.
+
+    Implemented by :class:`~repro.serve.scheduler.ContinuousEngine`
+    (single process) and
+    :class:`~repro.serve.dispatch.ShardedDispatcher` (one engine per
+    worker process).  See the module docstring for the cross-
+    implementation contract.
+    """
+
+    #: Aggregate metrics accumulated over the runtime's lifetime.
+    metrics: "EngineMetrics"
+    #: Metrics snapshot taken at the most recent drain (or close).
+    last_metrics: "EngineMetrics | None"
+
+    def submit(self, session: "SessionSource", trace: bool = False) -> int:
+        """Queue one session for service; return its ticket."""
+        ...
+
+    def as_completed(self) -> Iterator["SessionResult"]:
+        """Yield results as sessions finish (completion order)."""
+        ...
+
+    def drain(self) -> list["SessionResult"]:
+        """Run until idle; return undrained results in submit order."""
+        ...
+
+    def checkpoint(
+        self,
+        ticket: int,
+        *,
+        session_id: str | None = None,
+        agent_ref: str | None = None,
+    ) -> "SessionSnapshot":
+        """Snapshot a live session by ticket (persisting when stored)."""
+        ...
+
+    def resume(
+        self,
+        snapshot_or_id: "SessionSnapshot | str",
+        user: "User",
+        *,
+        agent: Any | None = None,
+        dataset: Any | None = None,
+        trace: bool = False,
+    ) -> int:
+        """Admit a checkpointed session mid-flight; return its ticket."""
+        ...
+
+    def close(self) -> None:
+        """Release resources; idempotent.  Further submits must raise
+        :class:`~repro.errors.InteractionError`."""
+        ...

@@ -420,6 +420,39 @@ class ContinuousEngine:
             self._check_open()
             self._tick()
 
+    def poll_completed(self) -> list[SessionResult]:
+        """Return-and-*consume* results finished since the last poll.
+
+        Non-blocking and non-ticking: pair it with :meth:`step` to
+        drive the engine manually, the loop the
+        :class:`~repro.serve.dispatch.ShardedDispatcher` worker runs so
+        it can stream results over its pipe between checkpoints.
+        Unlike :meth:`as_completed`, polled results are consumed — a
+        later :meth:`drain` will not report them again.
+        """
+        with self._lock:
+            completed, self._completed = self._completed, []
+            for result in completed:
+                ticket = result.metrics.session_id
+                self._results.pop(ticket, None)
+                try:
+                    self._epoch.remove(ticket)
+                except ValueError:  # pragma: no cover - async ticket
+                    pass
+        return completed
+
+    @property
+    def has_work(self) -> bool:
+        """Whether any submitted session has not yet produced a result."""
+        with self._lock:
+            return bool(self._pending or self._in_flight)
+
+    @property
+    def in_flight_tickets(self) -> tuple[int, ...]:
+        """Tickets of currently admitted (checkpointable) sessions."""
+        with self._lock:
+            return tuple(task.ticket for task in self._in_flight)
+
     # -- checkpoint / resume -------------------------------------------------
 
     def _find_task(self, ticket: int) -> _Task:
@@ -522,8 +555,12 @@ class ContinuousEngine:
     # -- scheduler core ------------------------------------------------------
 
     def _check_open(self) -> None:
+        # InteractionError, not ConfigurationError: submitting to a
+        # closed engine is a lifecycle misuse at interaction time (the
+        # dispatcher's worker-shutdown path depends on telling it apart
+        # from construction-time misconfiguration).
         if self._closed:
-            raise ConfigurationError(
+            raise InteractionError(
                 "engine is closed; create a new ContinuousEngine"
             )
 

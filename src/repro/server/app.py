@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import threading
 import uuid
 from dataclasses import dataclass, field
 from typing import Any
@@ -59,6 +60,7 @@ from repro.registry import (
     make_session,
     session_needs_agent,
 )
+from repro.serve.runtime import Runtime
 from repro.serve.scheduler import ContinuousEngine
 from repro.serve.spec import SessionSpec
 from repro.server.http import (
@@ -69,6 +71,12 @@ from repro.server.http import (
     render_response,
 )
 from repro.users.oracle import OracleUser
+
+
+def _resolve_collected(future: "asyncio.Future[Any]", result: Any) -> None:
+    """Resolve a collector-tracked future on its own loop (cancel-safe)."""
+    if not future.done():
+        future.set_result(result)
 
 
 class _HTTPError(Exception):
@@ -123,8 +131,19 @@ class SessionService:
     epsilon:
         Default regret threshold for sessions that do not specify one.
     max_rounds / max_in_flight / workers:
-        Passed to the backing
-        :class:`~repro.serve.scheduler.ContinuousEngine` (oracle mode).
+        Passed to the backing runtime's default
+        :class:`~repro.serve.scheduler.ContinuousEngine` (oracle mode);
+        ignored when an explicit ``runtime`` is supplied.
+    runtime:
+        Any :class:`~repro.serve.runtime.Runtime` to serve oracle
+        sessions through — e.g. a
+        :class:`~repro.serve.dispatch.ShardedDispatcher` for
+        multi-process serving (``python -m repro server --procs N``).
+        The service owns it exclusively and closes it with
+        :meth:`close`.  Runtimes without an ``asubmit`` front door are
+        driven by a background collector thread that resolves each
+        submission's future from ``as_completed()`` results (matched on
+        ``result.metrics.session_id``).
     """
 
     def __init__(
@@ -138,6 +157,7 @@ class SessionService:
         max_rounds: int = DEFAULT_MAX_ROUNDS,
         max_in_flight: int = 64,
         workers: int = 0,
+        runtime: Runtime | None = None,
     ) -> None:
         self.dataset = dataset
         self.agents = {
@@ -151,21 +171,104 @@ class SessionService:
         self.store = store
         self.epsilon = float(epsilon)
         self.max_rounds = int(max_rounds)
-        self.engine = ContinuousEngine(
-            max_rounds=max_rounds,
-            max_in_flight=max_in_flight,
-            workers=workers,
-            store=store,
+        self.engine: Runtime = (
+            runtime
+            if runtime is not None
+            else ContinuousEngine(
+                max_rounds=max_rounds,
+                max_in_flight=max_in_flight,
+                workers=workers,
+                store=store,
+            )
         )
         self._interactive: dict[str, _LiveSession] = {}
         self._oracle: dict[str, _OracleSession] = {}
         self._counter = itertools.count(1)
+        # -- asubmit fallback (runtimes without an asyncio front door) --
+        self._closed = False
+        self._collector: threading.Thread | None = None
+        self._collector_lock = threading.Lock()
+        self._collector_wake = threading.Event()
+        self._waiting: dict[
+            int, tuple[asyncio.AbstractEventLoop, "asyncio.Future[Any]"]
+        ] = {}
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the backing engine down (idempotent)."""
+        """Shut the backing runtime down (idempotent)."""
+        self._closed = True
+        self._collector_wake.set()
+        collector = self._collector
+        if collector is not None and collector.is_alive():
+            collector.join(timeout=5.0)
+        self._collector = None
+        with self._collector_lock:
+            waiting = list(self._waiting.values())
+            self._waiting.clear()
+        for loop, future in waiting:
+            try:
+                loop.call_soon_threadsafe(future.cancel)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
         self.engine.close()
+
+    def _submit_oracle(
+        self, spec: SessionSpec
+    ) -> "asyncio.Future[Any]":
+        """Submit an oracle-mode spec; return a future for its result.
+
+        Uses the runtime's ``asubmit`` when it has one
+        (``ContinuousEngine``); otherwise submits synchronously and
+        lets the collector thread resolve the future when the ticket's
+        result comes out of ``as_completed()``.
+        """
+        asubmit = getattr(self.engine, "asubmit", None)
+        if asubmit is not None:
+            return asubmit(spec)
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Any]" = loop.create_future()
+        ticket = self.engine.submit(spec)
+        future.ticket = ticket  # type: ignore[attr-defined]
+        with self._collector_lock:
+            self._waiting[ticket] = (loop, future)
+            if self._collector is None or not self._collector.is_alive():
+                self._collector = threading.Thread(
+                    target=self._collect,
+                    name="repro-server-collector",
+                    daemon=True,
+                )
+                self._collector.start()
+        self._collector_wake.set()
+        return future
+
+    def _collect(self) -> None:
+        """Drive a non-async runtime; resolve futures by ticket."""
+        while not self._closed:
+            self._collector_wake.clear()
+            with self._collector_lock:
+                waiting = bool(self._waiting)
+            if not waiting:
+                self._collector_wake.wait(timeout=0.1)
+                continue
+            try:
+                results = self.engine.drain()
+            except ReproError:  # runtime closed under us
+                return
+            for result in results:
+                metrics = getattr(result, "metrics", None)
+                ticket = metrics.session_id if metrics is not None else None
+                with self._collector_lock:
+                    entry = self._waiting.pop(ticket, None)  # type: ignore[arg-type]
+                if entry is None:
+                    continue
+                loop, future = entry
+                try:
+                    loop.call_soon_threadsafe(
+                        _resolve_collected, future, result
+                    )
+                except RuntimeError:  # pragma: no cover - loop closed
+                    pass
 
     async def serve(
         self, host: str = "127.0.0.1", port: int = 8000
@@ -344,7 +447,7 @@ class SessionService:
                 seed=seed,
                 tags={"session_id": session_id},
             )
-            future = self.engine.asubmit(spec)
+            future = self._submit_oracle(spec)
         self._oracle[session_id] = _OracleSession(
             session_id=session_id, family=family, future=future
         )

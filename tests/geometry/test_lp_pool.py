@@ -1,0 +1,138 @@
+"""ProcessPoolLPBackend: pooled solving is the same solver, verbatim.
+
+The pool's contract is bit-identity with in-process batching (it runs a
+plain ``BatchLPBackend`` in each solver process), plus graceful
+degradation: small batches, 1-process pools and broken pools all fall
+back to the inherited in-process path rather than failing the batch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.lp import (
+    BatchLPBackend,
+    InfeasibleLP,
+    LPSystem,
+    ProcessPoolLPBackend,
+)
+
+
+def _systems(n: int, dimension: int = 3, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    systems = []
+    for _ in range(n):
+        a_ub = rng.normal(size=(5, dimension))
+        b_ub = rng.normal(size=5) + 3.0
+        c = rng.normal(size=dimension)
+        systems.append(
+            LPSystem(
+                c=c, a_ub=a_ub, b_ub=b_ub,
+                bounds=[(0.0, 1.0)] * dimension,
+            )
+        )
+    return systems
+
+
+def _infeasible(dimension: int = 3):
+    # x_0 >= 1 and x_0 <= 0 simultaneously.
+    return LPSystem(
+        c=np.ones(dimension),
+        a_ub=np.vstack(
+            [-np.eye(dimension)[0], np.eye(dimension)[0]]
+        ),
+        b_ub=np.array([-1.0, 0.0]),
+        bounds=[(None, None)] * dimension,
+    )
+
+
+class _BrokenPool:
+    """A pool whose submit always raises, as a dead executor would."""
+
+    def submit(self, *args, **kwargs):
+        raise RuntimeError("pool is dead")
+
+    def shutdown(self, wait=True):
+        pass
+
+
+class TestBitIdentity:
+    def test_matches_in_process_batching(self):
+        systems = _systems(40)
+        reference = BatchLPBackend().solve_many_raw(systems)
+        with ProcessPoolLPBackend(procs=2, min_batch=4) as pool:
+            pooled = pool.solve_many_raw(systems)
+        assert len(reference) == len(pooled)
+        for ref, got in zip(reference, pooled):
+            assert ref.value == got.value
+            np.testing.assert_array_equal(ref.x, got.x)
+
+    def test_failures_isolated_per_system(self):
+        systems = _systems(10)
+        systems.insert(4, _infeasible())
+        reference = BatchLPBackend().solve_many_raw(systems)
+        with ProcessPoolLPBackend(procs=2, min_batch=4) as pool:
+            pooled = pool.solve_many_raw(systems)
+        assert isinstance(reference[4], InfeasibleLP)
+        assert isinstance(pooled[4], InfeasibleLP)
+        for index, (ref, got) in enumerate(zip(reference, pooled)):
+            if index == 4:
+                continue
+            assert ref.value == got.value
+
+    def test_shares_the_scipy_highs_cache_partition(self):
+        # Sanctioned name sharing: pooled results are interchangeable
+        # with the sequential backend's, so they replay from one cache.
+        assert ProcessPoolLPBackend().name == "scipy-highs"
+
+
+class TestSolveCounting:
+    def test_counts_one_stacked_solve_per_chunk(self):
+        with ProcessPoolLPBackend(procs=2, min_batch=4) as pool:
+            pool.solve_many_raw(_systems(40))
+            assert pool.solves == 2
+
+    def test_small_batches_stay_in_process(self):
+        with ProcessPoolLPBackend(procs=2, min_batch=16) as pool:
+            pool.solve_many_raw(_systems(4))
+            # In-process fallback: one stacked call, no pool started.
+            assert pool.solves == 1
+            assert pool._pool is None
+
+    def test_one_process_pool_stays_in_process(self):
+        with ProcessPoolLPBackend(procs=1, min_batch=2) as pool:
+            pool.solve_many_raw(_systems(20))
+            assert pool._pool is None
+
+
+class TestDegradation:
+    def test_broken_pool_falls_back_in_process(self):
+        systems = _systems(20)
+        reference = BatchLPBackend().solve_many_raw(systems)
+        pool = ProcessPoolLPBackend(procs=2, min_batch=4)
+        pool._pool = _BrokenPool()
+        try:
+            results = pool.solve_many_raw(systems)
+        finally:
+            pool.close()
+        for ref, got in zip(reference, results):
+            assert ref.value == got.value
+        # The dead pool was discarded; the next batch rebuilds lazily.
+        assert pool._pool is None
+
+    def test_close_is_idempotent(self):
+        pool = ProcessPoolLPBackend(procs=2, min_batch=4)
+        pool.solve_many_raw(_systems(8))
+        pool.close()
+        pool.close()
+        # The pool restarts lazily after close.
+        results = pool.solve_many_raw(_systems(8))
+        assert len(results) == 8
+        pool.close()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessPoolLPBackend(procs=0)
+        with pytest.raises(ValueError):
+            ProcessPoolLPBackend(min_batch=1)

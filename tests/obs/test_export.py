@@ -10,6 +10,7 @@ import pytest
 from repro.obs.export import (
     aggregate_report,
     chrome_trace,
+    merge_aggregate_reports,
     summary_lines,
     write_aggregate,
     write_chrome_trace,
@@ -56,6 +57,58 @@ class TestAggregateReport:
     def test_span_keys_sorted(self):
         report = aggregate_report(_worked_tracer())
         assert list(report["spans"]) == sorted(report["spans"])
+
+
+class TestMergeAggregateReports:
+    """Cross-process folding of per-worker reports (dispatch obs)."""
+
+    def test_sums_spans_counters_and_phases(self):
+        left = aggregate_report(_worked_tracer())
+        right = aggregate_report(_worked_tracer())
+        merged = merge_aggregate_reports([left, right])
+        assert merged["workers"] == 2
+        assert merged["spans_recorded"] == 8
+        assert merged["dropped_spans"] == 0
+        assert merged["counters"] == {"lp.cache.hits": 2}
+        hit = merged["spans"]["lp.solve/chebyshev/hit"]
+        assert hit["calls"] == 2
+        assert hit["total_seconds"] == pytest.approx(
+            left["spans"]["lp.solve/chebyshev/hit"]["total_seconds"]
+            + right["spans"]["lp.solve/chebyshev/hit"]["total_seconds"]
+        )
+        for phase in merged["phase_seconds"]:
+            assert merged["phase_seconds"][phase] == pytest.approx(
+                left["phase_seconds"].get(phase, 0.0)
+                + right["phase_seconds"].get(phase, 0.0)
+            )
+
+    def test_disjoint_span_names_union(self):
+        solo = Tracer()
+        with solo.span("engine.run"):
+            pass
+        merged = merge_aggregate_reports(
+            [aggregate_report(_worked_tracer()), aggregate_report(solo)]
+        )
+        assert "engine.run" in merged["spans"]
+        assert "lp.solve/chebyshev/hit" in merged["spans"]
+        assert list(merged["spans"]) == sorted(merged["spans"])
+
+    def test_empty_input_merges_to_empty_report(self):
+        merged = merge_aggregate_reports([])
+        assert merged == {
+            "spans": {},
+            "counters": {},
+            "phase_seconds": {},
+            "spans_recorded": 0,
+            "dropped_spans": 0,
+            "workers": 0,
+        }
+
+    def test_accepts_generators(self):
+        reports = (
+            aggregate_report(_worked_tracer()) for _ in range(3)
+        )
+        assert merge_aggregate_reports(reports)["workers"] == 3
 
 
 class TestChromeTrace:

@@ -102,3 +102,80 @@ class TestFileStore:
         store = FileSessionStore(tmp_path / "sessions")
         with pytest.raises(PersistenceError):
             store.get("../../etc/passwd")
+
+
+class TestConcurrentWriters:
+    """Multi-writer safety: per-writer O_EXCL temp names, atomic publish."""
+
+    def test_concurrent_puts_of_one_id_never_tear(self, tmp_path, dataset):
+        import threading
+
+        root = tmp_path / "sessions"
+        snapshots = [
+            _snapshot(dataset, "contended", rounds=rounds)
+            for rounds in (1, 2, 3, 4)
+        ]
+        errors: list[BaseException] = []
+
+        def hammer(snapshot):
+            # Each thread gets its own store handle, as two processes
+            # pointed at one directory would.
+            store = FileSessionStore(root)
+            try:
+                for _ in range(10):
+                    store.put(snapshot)
+            except BaseException as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(s,)) for s in snapshots
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # The survivor is one writer's *complete* snapshot, never a mix.
+        loaded = FileSessionStore(root).get("contended")
+        assert loaded.rounds in {1, 2, 3, 4}
+        reference = snapshots[loaded.rounds - 1]
+        assert loaded.transcript == reference.transcript
+
+    def test_staging_names_cannot_collide_across_writers(
+        self, tmp_path, dataset, monkeypatch
+    ):
+        import os as os_module
+
+        import repro.persist.store as store_module
+
+        # Two writers racing on one id must stage under distinct names:
+        # a shared "<id>.npz.tmp" would let writer B's bytes land in the
+        # file writer A is about to publish.
+        staged: list[str] = []
+        real_open = os_module.open
+
+        def recording_open(path, flags, *args, **kwargs):
+            if str(path).endswith(".tmp"):
+                staged.append(str(path))
+                assert flags & os_module.O_EXCL
+            return real_open(path, flags, *args, **kwargs)
+
+        monkeypatch.setattr(store_module.os, "open", recording_open)
+        store = FileSessionStore(tmp_path / "sessions")
+        store.put(_snapshot(dataset, "alpha"))
+        store.put(_snapshot(dataset, "alpha"))
+        assert len(staged) == 2
+        assert staged[0] != staged[1]
+        assert all(str(os_module.getpid()) in name for name in staged)
+
+    def test_no_temp_litter_and_ids_ignore_staging_files(
+        self, tmp_path, dataset
+    ):
+        root = tmp_path / "sessions"
+        store = FileSessionStore(root)
+        store.put(_snapshot(dataset, "clean"))
+        leftovers = [p.name for p in root.glob("*.tmp")]
+        assert leftovers == []
+        # A stray .tmp from a crashed writer is invisible to ids().
+        (root / "clean.npz.999.0.tmp").write_bytes(b"partial")
+        assert store.ids() == ("clean",)

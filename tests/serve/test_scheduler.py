@@ -24,7 +24,11 @@ import pytest
 from repro.baselines import UHRandomSession
 from repro.core.session import run_session
 from repro.data.utility import sample_training_utilities
-from repro.errors import ConfigurationError, EmptyRegionError
+from repro.errors import (
+    ConfigurationError,
+    EmptyRegionError,
+    InteractionError,
+)
 from repro.serve import (
     ContinuousEngine,
     RecoveryPolicy,
@@ -252,12 +256,49 @@ class TestStreamingLifecycle:
     def test_closed_engine_refuses_work(self, toy):
         engine = ContinuousEngine()
         engine.close()
-        with pytest.raises(ConfigurationError):
+        # Lifecycle misuse, not misconfiguration: submitting to a
+        # closed engine is an InteractionError.
+        with pytest.raises(InteractionError, match="closed"):
             engine.submit(
                 _spec(lambda: ScriptedSession(toy, total=1),
                       _always_true_user())
             )
         engine.close()  # idempotent
+
+    def test_poll_completed_consumes_results(self, toy):
+        with ContinuousEngine(max_in_flight=2) as engine:
+            for total in (2, 1):
+                engine.submit(
+                    _spec(
+                        lambda total=total: ScriptedSession(toy, total=total),
+                        _always_true_user(),
+                    )
+                )
+            polled = []
+            while engine.has_work:
+                engine.step()
+                polled.extend(engine.poll_completed())
+            polled.extend(engine.poll_completed())
+            assert sorted(r.rounds for r in polled) == [1, 2]
+            # Consumed: the next poll and the next drain see nothing.
+            assert engine.poll_completed() == []
+            assert engine.drain() == []
+
+    def test_has_work_and_in_flight_tickets(self, toy):
+        with ContinuousEngine(max_in_flight=2) as engine:
+            assert not engine.has_work
+            assert engine.in_flight_tickets == ()
+            engine.submit(
+                _spec(lambda: ScriptedSession(toy, total=3),
+                      _always_true_user())
+            )
+            assert engine.has_work
+            engine.step()
+            assert engine.in_flight_tickets == (0,)
+            while engine.has_work:
+                engine.step()
+            engine.poll_completed()
+            assert engine.in_flight_tickets == ()
 
     def test_max_in_flight_bounds_batches(self, toy):
         scorer_sessions = 8

@@ -210,6 +210,58 @@ class TestOracleMode:
         assert asyncio.run(main()) == 409
 
 
+class TestRuntimeSeam:
+    """The service depends on the Runtime protocol, not on a concrete
+    engine: a ShardedDispatcher behind ``runtime=`` serves oracle
+    sessions through the collector-thread fallback (no ``asubmit``)
+    with sequential-identical results."""
+
+    @pytest.mark.skipif(
+        "fork" not in __import__("multiprocessing").get_all_start_methods(),
+        reason="ShardedDispatcher needs the fork start method",
+    )
+    def test_oracle_through_dispatcher_matches_sequential(
+        self, small_anti_3d
+    ):
+        from repro.serve import ShardedDispatcher
+
+        utility = _utility(7)
+        runtime = ShardedDispatcher(procs=1, max_rounds=128)
+
+        async def main():
+            async with serving(small_anti_3d, runtime=runtime) as (
+                service,
+                host,
+                port,
+            ):
+                assert service.engine is runtime
+                status, body = await request(
+                    host,
+                    port,
+                    "POST",
+                    "/sessions",
+                    {
+                        "algorithm": "uh-random",
+                        "seed": 44,
+                        "mode": "oracle",
+                        "utility": [float(x) for x in utility],
+                    },
+                )
+                assert status == 201, body
+                sid = body["session_id"]
+                status, rec = await request(
+                    host, port, "GET", f"/sessions/{sid}/recommendation"
+                )
+                assert status == 200, rec
+                return rec
+
+        rec = asyncio.run(main())
+        reference = _reference(small_anti_3d, 44, utility)
+        assert rec["status"] == "completed"
+        assert rec["rounds"] == reference.rounds
+        assert rec["index"] == reference.recommendation_index
+
+
 class TestFaultMapping:
     def test_unknown_session_is_404(self, small_anti_3d):
         async def main():
