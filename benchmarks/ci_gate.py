@@ -1,6 +1,7 @@
 """CI performance-regression gate over BENCH snapshots.
 
-Two subcommands, wired into ``.github/workflows/ci.yml``:
+Two subcommands, wired into ``.github/workflows/ci.yml``, each taking
+``--suite {ci,robustness}``:
 
 ``run``
     Execute the gate workloads and write the result as a versioned
@@ -37,12 +38,23 @@ Two subcommands, wired into ``.github/workflows/ci.yml``:
     clip path losing more than half of its speedup over from-scratch
     re-enumeration.
 
-Refreshing the baseline after an intentional perf/behaviour change::
+The ``robustness`` suite (:data:`ROBUSTNESS_CONFIG`) runs the small
+family x user-model matrix of :mod:`repro.eval.robustness` — 2
+training-free families x 4 user models x 4 seeds — and gates **every**
+integer counter (rounds, completed, truncated, failed, recovered,
+retries, abstentions, mistakes, per cell and in total) exactly against
+``benchmarks/baselines/robustness.json``.  The matrix is fully
+seed-deterministic, so any counter drift is a behaviour change in the
+session loop, the robust policies or the user zoo.
+
+Refreshing a baseline after an intentional perf/behaviour change::
 
     PYTHONPATH=src python benchmarks/ci_gate.py run \
         --out benchmarks/baselines/ci.json
+    PYTHONPATH=src python benchmarks/ci_gate.py run --suite robustness \
+        --out benchmarks/baselines/robustness.json
 
-The small workload finishes in seconds; the 1024-session continuous
+The small workloads finish in seconds; the 1024-session continuous
 workload dominates at about a minute of serving on CI hardware.
 """
 
@@ -117,6 +129,22 @@ BATCH_CONFIG = {
     "repeats": 2,
     "seed": 6,
     "sessions": 256,
+}
+
+#: The robustness-matrix workload (``--suite robustness``): the two
+#: training-free baseline families against four user models from the
+#: zoo, four sessions per cell.  Every counter in the snapshot is an
+#: integer derived from seed-deterministic session transcripts, so the
+#: check gates the *whole* counters section exactly.
+ROBUSTNESS_CONFIG = {
+    "dataset": "anti:300:3",
+    "families": ["uh-random", "uh-simplex"],
+    "user_models": ["oracle", "noisy", "drifting", "abstaining"],
+    "seeds": 4,
+    "epsilon": 0.1,
+    "noise": 0.1,
+    "max_rounds": 100,
+    "seed": 0,
 }
 
 #: Counters compared exactly against the baseline (seed-deterministic).
@@ -439,6 +467,61 @@ def run_gate(out: Path) -> Path:
     )
 
 
+def run_robustness_gate(out: Path) -> Path:
+    """Run the robustness-matrix workload; write the snapshot to ``out``."""
+    from repro.cli import _resolve_dataset
+    from repro.eval.robustness import run_robustness_matrix
+
+    cfg = ROBUSTNESS_CONFIG
+    dataset = _resolve_dataset(cfg["dataset"])
+    report = run_robustness_matrix(
+        dataset,
+        families=tuple(cfg["families"]),
+        user_models=tuple(cfg["user_models"]),
+        seeds=cfg["seeds"],
+        epsilon=cfg["epsilon"],
+        noise=cfg["noise"],
+        max_rounds=cfg["max_rounds"],
+        seed=cfg["seed"],
+    )
+    for line in report.lines():
+        print(line)
+    return report.write_snapshot(out)
+
+
+def check_robustness_gate(candidate_path: Path, baseline_path: Path) -> int:
+    """Gate the robustness snapshot; every counter must match exactly."""
+    from repro.obs.snapshot import load_snapshot
+
+    candidate = load_snapshot(candidate_path)
+    baseline = load_snapshot(baseline_path)
+    failures: list[str] = []
+    if candidate.get("config") != baseline.get("config"):
+        failures.append(
+            "robustness config drifted from the baseline's — refresh "
+            f"{baseline_path} with `benchmarks/ci_gate.py run "
+            "--suite robustness`"
+        )
+    got_counters = candidate.get("counters", {})
+    want_counters = baseline.get("counters", {})
+    for key in sorted(set(got_counters) | set(want_counters)):
+        got, want = got_counters.get(key), want_counters.get(key)
+        status = "ok" if got == want else "FAIL"
+        print(f"  [{status}] counter {key}: {got} (baseline {want})")
+        if got != want:
+            failures.append(
+                f"counter {key} = {got} != baseline {want} "
+                "(deterministic; a real behaviour change)"
+            )
+    if failures:
+        print("\nrobustness gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nrobustness gate passed")
+    return 0
+
+
 def check_gate(
     candidate_path: Path, baseline_path: Path, max_slowdown: float
 ) -> int:
@@ -558,27 +641,52 @@ def main(argv: list[str] | None = None) -> int:
     commands = parser.add_subparsers(dest="command", required=True)
     run = commands.add_parser("run", help="run the gate workload")
     run.add_argument(
+        "--suite",
+        choices=("ci", "robustness"),
+        default="ci",
+        help="which gate workload to run (default ci)",
+    )
+    run.add_argument(
         "--out",
-        default="benchmarks/BENCH_ci.json",
-        help="snapshot output (directory or .json path)",
+        default=None,
+        help="snapshot output (directory or .json path; default "
+        "benchmarks/BENCH_<suite>.json)",
     )
     check = commands.add_parser("check", help="compare against the baseline")
-    check.add_argument("--candidate", default="benchmarks/BENCH_ci.json")
-    check.add_argument("--baseline", default="benchmarks/baselines/ci.json")
+    check.add_argument(
+        "--suite",
+        choices=("ci", "robustness"),
+        default="ci",
+        help="which gate baseline to check against (default ci)",
+    )
+    check.add_argument("--candidate", default=None)
+    check.add_argument("--baseline", default=None)
     check.add_argument(
         "--max-slowdown",
         type=float,
         default=2.0,
-        help="ratio limit for wall-clock timings (default 2.0)",
+        help="ci suite: ratio limit for wall-clock timings (default 2.0)",
     )
     args = parser.parse_args(argv)
+    suite = args.suite
+    snapshot_name = "ci" if suite == "ci" else "robustness"
     if args.command == "run":
-        written = run_gate(Path(args.out))
+        out = Path(args.out or f"benchmarks/BENCH_{snapshot_name}.json")
+        if suite == "robustness":
+            written = run_robustness_gate(out)
+        else:
+            written = run_gate(out)
         print(f"gate snapshot written to {written}")
         return 0
-    return check_gate(
-        Path(args.candidate), Path(args.baseline), args.max_slowdown
+    candidate = Path(
+        args.candidate or f"benchmarks/BENCH_{snapshot_name}.json"
     )
+    baseline = Path(
+        args.baseline or f"benchmarks/baselines/{snapshot_name}.json"
+    )
+    if suite == "robustness":
+        return check_robustness_gate(candidate, baseline)
+    return check_gate(candidate, baseline, args.max_slowdown)
 
 
 if __name__ == "__main__":

@@ -21,6 +21,13 @@ Commands
               real HTTP sessions through :mod:`repro.server` and
               reports request-latency percentiles
               (``BENCH_serve_http.json``).
+``robustness``  Run the robustness matrix: every requested algorithm
+              family against every user model in the zoo
+              (:mod:`repro.users.models`) over shared hidden utilities,
+              reporting rounds, regret, failure rate, retries and
+              abstentions per cell, and optionally writing a versioned
+              ``BENCH_robustness.json`` (``--out``).  All counters are
+              seed-deterministic; CI gates them exactly.
 ``server``    Run the HTTP session service: ``POST /sessions``,
               ``GET /sessions/{id}/question``, ``POST .../answer``,
               ``GET .../recommendation``.  ``--store DIR`` checkpoints
@@ -46,6 +53,8 @@ Examples
         --engine continuous --max-in-flight 64
     python -m repro serve-bench --dataset anti:2000:3 --http \
         --sessions 64 --mode oracle
+    python -m repro robustness --dataset anti:500:3 --seeds 4 \
+        --out benchmarks/
     python -m repro server --dataset anti:1000:4 --port 8080 --store runs/
     python -m repro profile --dataset anti:500:3 --out trace.json
 """
@@ -81,7 +90,7 @@ from repro.obs.tracer import Tracer, use_tracer
 from repro.registry import make_config, make_trainer
 from repro.rl.serialization import load_agent, save_agent
 from repro.serve import run_serve_bench
-from repro.users import OracleUser
+from repro.users import OracleUser, user_model_names
 
 
 def _resolve_dataset(spec: str):
@@ -201,6 +210,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         episodes=args.episodes,
         seed=args.seed,
         noise=args.noise,
+        user_model=args.user_model,
         recover=args.recover,
         engine=args.engine,
         max_in_flight=args.max_in_flight,
@@ -258,6 +268,34 @@ def _serve_bench_http(args: argparse.Namespace, dataset) -> int:
         )
         print(f"snapshot written to {written}")
     return 0 if report.failed == 0 else 1
+
+
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.eval.robustness import run_robustness_matrix
+
+    dataset = _resolve_dataset(args.dataset)
+    print(
+        f"robustness: {len(args.families)} families x "
+        f"{len(args.user_models)} user models x {args.seeds} seeds "
+        f"on {dataset.name} ..."
+    )
+    report = run_robustness_matrix(
+        dataset,
+        families=tuple(args.families),
+        user_models=tuple(args.user_models),
+        seeds=args.seeds,
+        epsilon=args.epsilon,
+        noise=args.noise,
+        max_rounds=args.max_rounds,
+        seed=args.seed,
+        recover=not args.no_recover,
+    )
+    for line in report.lines():
+        print(line)
+    if args.out:
+        written = report.write_snapshot(args.out)
+        print(f"snapshot written to {written}")
+    return 0
 
 
 def _cmd_server(args: argparse.Namespace) -> int:
@@ -410,6 +448,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve NoisyUser fleets with this error rate (default 0: truthful)",
     )
     serve.add_argument(
+        "--user-model",
+        choices=user_model_names(),
+        default="oracle",
+        help="user model answering the questions (default oracle; "
+        "--noise > 0 upgrades oracle to noisy)",
+    )
+    serve.add_argument(
         "--recover",
         action="store_true",
         help="retry EmptyRegionError sessions once under majority voting",
@@ -491,6 +536,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="--http: target server port (with --host)",
     )
     serve.set_defaults(handler=_cmd_serve_bench)
+
+    robustness = commands.add_parser(
+        "robustness",
+        help="run the family x user-model robustness matrix",
+    )
+    robustness.add_argument("--dataset", required=True)
+    robustness.add_argument(
+        "--families",
+        nargs="*",
+        default=["uh-random", "uh-simplex"],
+        help="algorithm families (registry names; RL families train a "
+        "small agent first). Default: uh-random uh-simplex",
+    )
+    robustness.add_argument(
+        "--user-models",
+        nargs="*",
+        default=list(user_model_names()),
+        help=f"user-model columns (default: all of "
+        f"{', '.join(user_model_names())})",
+    )
+    robustness.add_argument(
+        "--seeds",
+        type=int,
+        default=4,
+        help="sessions per cell (default 4); hidden utilities and "
+        "session seeds are shared across columns",
+    )
+    robustness.add_argument("--epsilon", type=float, default=0.1)
+    robustness.add_argument(
+        "--noise",
+        type=float,
+        default=0.1,
+        help="headline error knob fed to every model that has one "
+        "(default 0.1)",
+    )
+    robustness.add_argument("--max-rounds", type=int, default=1000)
+    robustness.add_argument("--seed", type=int, default=0)
+    robustness.add_argument(
+        "--no-recover",
+        action="store_true",
+        help="disable EmptyRegionError recovery retries",
+    )
+    robustness.add_argument(
+        "--out",
+        default=None,
+        help="write BENCH_robustness.json (directory or .json path)",
+    )
+    robustness.set_defaults(handler=_cmd_robustness)
 
     server = commands.add_parser(
         "server", help="run the HTTP session service"

@@ -18,12 +18,21 @@ Layout:
 
 from repro.core.aa import AAAgent, AAConfig, AASession, AATrainer, train_aa
 from repro.core.ea import EAAgent, EAConfig, EASession, EATrainer, train_ea
-from repro.core.robust import MajorityVoteSession
+from repro.core.robust import (
+    ConfidenceWeightedPolicy,
+    ConfidenceWeightedSession,
+    EpsilonInflationPolicy,
+    MajorityVotePolicy,
+    MajorityVoteSession,
+    RobustPolicy,
+    inflate_epsilon,
+)
 from repro.core.session import (
     InteractiveAlgorithm,
     Question,
     SessionResult,
     TranscriptEntry,
+    ask_user,
     run_session,
 )
 
@@ -40,8 +49,15 @@ __all__ = [
     "train_ea",
     "InteractiveAlgorithm",
     "MajorityVoteSession",
+    "MajorityVotePolicy",
+    "ConfidenceWeightedSession",
+    "ConfidenceWeightedPolicy",
+    "EpsilonInflationPolicy",
+    "RobustPolicy",
+    "inflate_epsilon",
     "Question",
     "SessionResult",
     "TranscriptEntry",
+    "ask_user",
     "run_session",
 ]

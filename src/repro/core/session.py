@@ -37,6 +37,37 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 #: hitting the cap indicates a logic error or inconsistent (noisy) answers.
 DEFAULT_MAX_ROUNDS = 2_000
 
+#: How many times :func:`ask_user` re-asks after an abstention before
+#: forcing a choice through ``prefers``.
+DEFAULT_MAX_REASKS = 1
+
+
+def ask_user(
+    user: User, question: Question, max_reasks: int = DEFAULT_MAX_REASKS
+) -> tuple[bool, int]:
+    """Ask one question, consuming abstentions; returns ``(answer, abstained)``.
+
+    The single seam every driver (:func:`run_session`, both serving
+    engines) funnels user interaction through.  If the user exposes the
+    optional three-valued ``compare`` (see the
+    :class:`~repro.users.oracle.User` protocol), it is called up to
+    ``1 + max_reasks`` times; each ``None`` counts one abstention and
+    triggers a re-ask.  A user still abstaining after the re-ask budget
+    is forced through the mandatory two-valued ``prefers``, so sessions
+    always terminate.  Users without ``compare`` get exactly one
+    ``prefers`` call — bit-identical to the pre-abstention protocol.
+    """
+    compare = getattr(user, "compare", None)
+    if compare is None:
+        return bool(user.prefers(question.p_i, question.p_j)), 0
+    abstained = 0
+    for _ in range(1 + max(0, int(max_reasks))):
+        verdict = compare(question.p_i, question.p_j)
+        if verdict is not None:
+            return bool(verdict), abstained
+        abstained += 1
+    return bool(user.prefers(question.p_i, question.p_j)), abstained
+
 
 def validate_epsilon(epsilon: float) -> float:
     """Validate a regret-ratio threshold, returning it as ``float``.
@@ -184,6 +215,7 @@ class InteractiveAlgorithm(abc.ABC):
     def __init__(self, dataset: Dataset) -> None:
         self.dataset = dataset
         self.rounds = 0
+        self.abstentions = 0
         self._pending: Question | None = None
         self._done = False
 
@@ -214,11 +246,26 @@ class InteractiveAlgorithm(abc.ABC):
         self._pending = self._propose()
         return self._pending
 
-    def observe(self, prefers_first: bool) -> None:
-        """Feed the user's answer to the pending question."""
+    def observe(self, prefers_first: bool | None) -> None:
+        """Feed the user's answer to the pending question.
+
+        ``None`` records an *abstention* (the optional three-valued
+        ``compare`` declined to choose): the round does not count, the
+        question stays pending so the driver re-asks it via
+        :attr:`pending_question`, and the :meth:`_update_abstention`
+        hook lets algorithms react (the default keeps the question).
+        Engine drivers normally resolve abstentions *before* this point
+        through :func:`ask_user`, which forces a choice after the
+        re-ask budget — so ``observe(None)`` is the front door for
+        external callers (e.g. the HTTP service) whose human declined.
+        """
         if self._pending is None:
             raise InteractionError("no question is pending")
         question = self._pending
+        if prefers_first is None:
+            self.abstentions += 1
+            self._update_abstention(question)
+            return
         self._pending = None
         self.rounds += 1
         self._update(question, prefers_first)
@@ -298,6 +345,7 @@ class InteractiveAlgorithm(abc.ABC):
         return {
             "class": type(self).__name__,
             "rounds": int(self.rounds),
+            "abstentions": int(self.abstentions),
             "done": bool(self._done),
             "pending": None
             if pending is None
@@ -324,6 +372,8 @@ class InteractiveAlgorithm(abc.ABC):
                 f"match {type(self).__name__}"
             )
         self.rounds = int(state["rounds"])
+        # Older snapshots predate the abstention counter.
+        self.abstentions = int(state.get("abstentions", 0))
         self._done = bool(state["done"])
         pending = state["pending"]
         self._pending = (
@@ -359,6 +409,14 @@ class InteractiveAlgorithm(abc.ABC):
     @abc.abstractmethod
     def _update(self, question: Question, prefers_first: bool) -> None:
         """Incorporate one answer into the maintained information."""
+
+    def _update_abstention(self, question: Question) -> None:
+        """React to an abstained answer (the question is still pending).
+
+        The default is a plain re-ask: keep the question pending and
+        learn nothing.  Subclasses may override to, e.g., drop the
+        question and propose a different pair.
+        """
 
     @abc.abstractmethod
     def _finished(self) -> bool:
@@ -451,7 +509,9 @@ def run_session(
     algorithm:
         A fresh (unused) interactive algorithm instance.
     user:
-        Anything with a ``prefers(p_i, p_j) -> bool`` method.
+        Anything with a ``prefers(p_i, p_j) -> bool`` method; users that
+        additionally expose the optional three-valued ``compare`` may
+        abstain and are re-asked through :func:`ask_user`.
     max_rounds:
         Safety cap; the session is marked ``truncated`` when reached.
     trace, on_round:
@@ -503,8 +563,9 @@ def run_session(
                 break
             question = algorithm.next_question()
             watch.stop()
-            answer = user.prefers(question.p_i, question.p_j)
+            answer, abstained = ask_user(user, question)
             watch.start()
+            algorithm.abstentions += abstained
             algorithm.observe(answer)
             watch.stop()
             if callbacks:

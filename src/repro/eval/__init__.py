@@ -20,10 +20,18 @@ from repro.eval.experiments import (
     compare_methods,
     current_scale,
 )
+from repro.eval.robustness import (
+    RobustnessCell,
+    RobustnessReport,
+    run_robustness_matrix,
+)
 
 __all__ = [
     "max_regret_ratio",
     "session_regret",
+    "RobustnessCell",
+    "RobustnessReport",
+    "run_robustness_matrix",
     "format_table",
     "EvaluationSummary",
     "evaluate_algorithm",

@@ -107,6 +107,29 @@ def simplex_centroid(d: int) -> np.ndarray:
     return np.full(d, 1.0 / d)
 
 
+def project_onto_simplex(v: np.ndarray) -> np.ndarray:
+    """Euclidean projection of an arbitrary vector onto the utility simplex.
+
+    The standard sort-based algorithm (Held, Wolfe & Crowder): find the
+    largest ``rho`` with ``u_rho - theta > 0`` for the running threshold
+    ``theta``, then clamp.  Used by drifting user models whose hidden
+    utility random-walks off the simplex between rounds.
+
+    >>> project_onto_simplex(np.array([0.3, 0.3, 0.4]))
+    array([0.3, 0.3, 0.4])
+    """
+    v = require_vector(v, "v")
+    n = v.shape[0]
+    if n < 1:
+        raise ValueError("cannot project an empty vector")
+    u = np.sort(v)[::-1]
+    cumulative = np.cumsum(u) - 1.0
+    indices = np.arange(1, n + 1)
+    rho = int(np.nonzero(u * indices > cumulative)[0][-1])
+    theta = cumulative[rho] / (rho + 1.0)
+    return np.maximum(v - theta, 0.0)
+
+
 def on_simplex(u: np.ndarray, tol: float = 1e-9) -> bool:
     """Whether ``u`` is a valid utility vector up to tolerance ``tol``."""
     u = np.asarray(u, dtype=float)

@@ -99,6 +99,15 @@ class SessionSnapshot:
     dataset_meta:
         Always-present header ``{"name", "n", "dimension"}`` used to
         validate the dataset/agent supplied at restore time.
+    user_state:
+        Optional :meth:`get_state` tree of the simulated user the
+        session was served against (drift RNG, fatigue counters, ...),
+        captured when the user supports checkpointing (see
+        :mod:`repro.users.models`).  Applied by :func:`resumed_spec`
+        so a resumed run replays against the *same* human.  ``None``
+        for stateless callers and for snapshots written before the
+        user-model zoo (the format version is unchanged: the key is
+        simply absent from older archives).
     """
 
     session_id: str
@@ -110,6 +119,7 @@ class SessionSnapshot:
     agent_ref: str | None = None
     dataset: Dataset | None = None
     dataset_meta: dict[str, Any] = field(default_factory=dict)
+    user_state: dict[str, Any] | None = None
 
 
 # -- capture / restore --------------------------------------------------------
@@ -136,6 +146,7 @@ def capture_session(
     family: str | None = None,
     transcript: tuple[TranscriptEntry, ...] | list[TranscriptEntry] = (),
     agent_ref: str | None = None,
+    user: "User | None" = None,
 ) -> SessionSnapshot:
     """Snapshot a live session.
 
@@ -143,7 +154,9 @@ def capture_session(
     families; custom registered families must name theirs.  The RL
     families store only the dataset header (the agent carries the
     dataset); pass ``agent_ref`` so the restore side knows which agent
-    to load.
+    to load.  Pass ``user`` to also capture the simulated user's state
+    (best-effort: users without ``get_state`` are silently skipped), so
+    :func:`resumed_spec` can replay against the same human.
     """
     from repro.registry import canonical_session_name, session_needs_agent
 
@@ -157,6 +170,11 @@ def capture_session(
     family = canonical_session_name(family)
     dataset = algorithm.dataset
     stored_dataset = None if session_needs_agent(family) else dataset
+    user_state = None
+    if user is not None:
+        from repro.users.models import capture_user_state
+
+        user_state = capture_user_state(user)
     return SessionSnapshot(
         session_id=str(session_id),
         family=family,
@@ -171,6 +189,7 @@ def capture_session(
             "n": dataset.n,
             "dimension": dataset.dimension,
         },
+        user_state=user_state,
     )
 
 
@@ -245,9 +264,16 @@ def resumed_spec(
     the same snapshot, i.e. rolls back to the checkpoint.  The
     snapshot's transcript travels in ``tags["prior_transcript"]`` so a
     later engine checkpoint carries the full history across the gap.
+
+    When the snapshot carries :attr:`SessionSnapshot.user_state`, it is
+    applied to ``user`` here (once, eagerly), so the resumed session
+    replays against the same simulated human — same RNG stream, same
+    fatigue counter, same drifted utility.
     """
     from repro.serve.spec import SessionSpec
+    from repro.users.models import restore_user_state
 
+    restore_user_state(user, snapshot.user_state)
     spec_tags: dict[str, object] = {
         "session_id": snapshot.session_id,
         "prior_transcript": snapshot.transcript,
@@ -315,6 +341,15 @@ def save_snapshot(
     """
     arrays: dict[str, np.ndarray] = {}
     state_tree = _flatten(snapshot.state, arrays)
+    # Flattened into the same arrays dict, after the state tree, so
+    # array keys stay unique.  Absent for stateless users; old readers
+    # that predate the key never look for it, so the format version is
+    # unchanged.
+    user_tree = (
+        None
+        if snapshot.user_state is None
+        else _flatten(snapshot.user_state, arrays)
+    )
     meta = {
         "format_version": _FORMAT_VERSION,
         "kind": _KIND,
@@ -324,6 +359,7 @@ def save_snapshot(
         "rounds": snapshot.rounds,
         "agent_ref": snapshot.agent_ref,
         "state": state_tree,
+        "user_state": user_tree,
         "dataset": {
             **snapshot.dataset_meta,
             "stored": snapshot.dataset is not None,
@@ -389,6 +425,12 @@ def load_snapshot(source: str | Path | BinaryIO) -> SessionSnapshot:
                 f"(expected {_FORMAT_VERSION})"
             )
         state = _unflatten(meta["state"], archive)
+        # Written by zoo-aware captures only; meta.get keeps older
+        # version-1 archives loading unchanged.
+        user_tree = meta.get("user_state")
+        user_state = (
+            None if user_tree is None else _unflatten(user_tree, archive)
+        )
         transcript = tuple(
             TranscriptEntry(
                 round_number=int(round_number),
@@ -423,6 +465,7 @@ def load_snapshot(source: str | Path | BinaryIO) -> SessionSnapshot:
         agent_ref=meta["agent_ref"],
         dataset=dataset,
         dataset_meta=dataset_meta,
+        user_state=user_state,
     )
 
 

@@ -35,7 +35,8 @@ from repro.serve.engine import RecoveryPolicy, SessionEngine
 from repro.serve.metrics import EngineMetrics
 from repro.serve.scheduler import ContinuousEngine
 from repro.serve.spec import SessionSpec
-from repro.users import NoisyUser, OracleUser
+from repro.users import canonical_user_model
+from repro.users import make_user as build_user
 from repro.utils.rng import RngLike, spawn_rngs
 
 
@@ -54,12 +55,15 @@ class ServeBenchReport:
     max_rounds: int = DEFAULT_MAX_ROUNDS
     engine: str = "wave"
     procs: int = 0
+    user_model: str = "oracle"
     #: Per-worker tracer aggregate reports (dispatch engine only).
     worker_obs: list[dict] = field(default_factory=list)
 
     def lines(self) -> list[str]:
         """Report lines printed by the CLI command."""
         noise_note = f", noise={self.noise}" if self.noise else ""
+        if self.user_model not in ("oracle", "noisy"):
+            noise_note += f", users={self.user_model}"
         engine_note = (
             f"{self.engine} x{self.procs}" if self.procs else self.engine
         )
@@ -99,6 +103,7 @@ class ServeBenchReport:
             "noise": self.noise,
             "procs": self.procs,
             "sessions": self.sessions,
+            "user_model": self.user_model,
         }
         steps = m.ticks if m.ticks else m.waves
         timings = {
@@ -111,6 +116,7 @@ class ServeBenchReport:
             ),
         }
         counters = {
+            "abstentions": m.abstentions,
             "batched_rows": m.batched_rows,
             "batches": m.batches,
             "completed": m.completed,
@@ -175,6 +181,7 @@ def run_serve_bench(
     workers: int = 0,
     procs: int = 0,
     lp_procs: int = 0,
+    user_model: str = "oracle",
 ) -> ServeBenchReport:
     """Train one agent, serve ``sessions`` concurrent users, measure.
 
@@ -229,6 +236,12 @@ def run_serve_bench(
     lp_procs:
         Per-worker :class:`~repro.geometry.lp.ProcessPoolLPBackend`
         pool size (dispatch only; 0 = in-process batched solving).
+    user_model:
+        Which :func:`repro.users.make_user` model answers the
+        questions (``oracle``, ``noisy``, ``persona``, ``fatigue``,
+        ``drifting``, ``abstaining``).  ``oracle`` with ``noise > 0``
+        upgrades to ``noisy``, preserving the historical behaviour;
+        ``noise`` feeds each model's headline error knob.
     """
     if sessions < 1:
         raise ConfigurationError(f"sessions must be >= 1, got {sessions}")
@@ -249,6 +262,10 @@ def run_serve_bench(
         engine = "dispatch"
     if not 0.0 <= noise < 1.0:
         raise ConfigurationError(f"noise must be in [0, 1), got {noise}")
+    user_model = canonical_user_model(user_model)
+    if user_model == "oracle" and noise > 0.0:
+        # Historical behaviour: --noise alone serves NoisyUser fleets.
+        user_model = "noisy"
     epsilon = validate_epsilon(epsilon)
     policy = recovery if recovery is not None else (
         RecoveryPolicy() if recover else None
@@ -276,19 +293,21 @@ def run_serve_bench(
         )
 
     def make_user(index: int):
-        if noise > 0.0:
-            return NoisyUser(
-                hidden[index],
-                error_rate=noise,
-                rng=int(user_rng.integers(2**62)),
-            )
-        return OracleUser(hidden[index])
+        # Oracles draw no per-user seed, keeping the user_rng stream —
+        # and therefore every oracle row — bit-identical to pre-zoo runs.
+        rng = (
+            None
+            if user_model == "oracle"
+            else int(user_rng.integers(2**62))
+        )
+        return build_user(user_model, hidden[index], rng=rng, noise=noise)
 
     specs = [
         SessionSpec(
             factory=session_factory(seeds[i]),
             user=make_user(i),
             seed=seeds[i],
+            tags={"user_model": user_model, "session_id": f"bench-{i}"},
         )
         for i in range(sessions)
     ]
@@ -337,5 +356,6 @@ def run_serve_bench(
         max_rounds=max_rounds,
         engine=engine,
         procs=procs,
+        user_model=user_model,
         worker_obs=worker_obs,
     )

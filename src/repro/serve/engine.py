@@ -48,7 +48,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro.core.robust import MajorityVoteSession
+from repro.core.robust import MajorityVoteSession, RobustPolicy
 from repro.core.session import (
     DEFAULT_MAX_ROUNDS,
     CandidateBatch,
@@ -58,6 +58,7 @@ from repro.core.session import (
     SessionResult,
     TranscriptEntry,
     _failed_session_result,
+    ask_user,
 )
 from repro.errors import (
     ConfigurationError,
@@ -98,6 +99,10 @@ class RecoveryPolicy:
     retry_on: tuple[type[BaseException], ...] = (EmptyRegionError,)
     max_retries: int = 1
     majority_repeats: int = 3
+    #: Optional :class:`~repro.core.robust.RobustPolicy` deciding *how*
+    #: the retry session is built.  ``None`` keeps the historical
+    #: behaviour: a majority vote with ``majority_repeats`` votes.
+    policy: "RobustPolicy | None" = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 1:
@@ -117,6 +122,19 @@ class RecoveryPolicy:
         return attempt < self.max_retries and isinstance(
             error, tuple(self.retry_on)
         )
+
+    def build_retry(
+        self, source: Callable[[], InteractiveAlgorithm], attempt: int
+    ) -> InteractiveAlgorithm:
+        """Build the session for retry number ``attempt`` (1-based).
+
+        Delegates to :attr:`policy` when one is configured; the default
+        reproduces the historical behaviour exactly — a fresh session
+        from ``source`` under a ``majority_repeats``-vote majority.
+        """
+        if self.policy is not None:
+            return self.policy.build(source, attempt)
+        return MajorityVoteSession(source(), repeats=self.majority_repeats)
 
 
 @dataclass
@@ -371,6 +389,7 @@ class SessionEngine:
                     slot.algorithm,
                     session_id=session_id,
                     transcript=tuple(prior) + tuple(slot.transcript),  # type: ignore[arg-type]
+                    user=slot.user,
                 )
             except PersistenceError:
                 # Not every algorithm snapshots (majority-vote retries);
@@ -463,7 +482,11 @@ class SessionEngine:
                 # User time is off the agent stopwatch by design; asking
                 # the whole wave up front lets _prefetch batch the solver
                 # work every answer is about to trigger.
-                slot.answer = slot.user.prefers(question.p_i, question.p_j)
+                slot.answer, abstained = ask_user(slot.user, question)
+                if abstained:
+                    slot.metrics.abstentions += abstained
+                    slot.algorithm.abstentions += abstained
+                    metrics.abstentions += abstained
                 answered.append(slot)
             except Exception as error:  # noqa: BLE001 -- slot fault boundary
                 self._fail(slot, error, results, metrics, started, replacements)
@@ -702,12 +725,16 @@ class SessionEngine:
         metrics.range_solves_avoided += stats.solves_avoided
 
     def _retry_slot(self, slot: _Slot) -> _Slot:
-        """A fresh slot re-running ``slot``'s session under majority voting."""
+        """A fresh slot re-running ``slot``'s session robustly.
+
+        The retry session is built by
+        :meth:`RecoveryPolicy.build_retry` — a majority vote by
+        default, or whatever :class:`~repro.core.robust.RobustPolicy`
+        the recovery policy carries.
+        """
         assert self.recovery is not None and slot.source is not None
         attempt = slot.attempt + 1
-        algorithm = MajorityVoteSession(
-            slot.source(), repeats=self.recovery.majority_repeats
-        )
+        algorithm = self.recovery.build_retry(slot.source, attempt)
         return _Slot(
             index=slot.index,
             algorithm=algorithm,

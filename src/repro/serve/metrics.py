@@ -44,6 +44,9 @@ class SessionMetrics:
     retries:
         Recovery attempts consumed before this session's final outcome
         (0 for sessions that never failed).
+    abstentions:
+        Answers the user withheld (three-valued ``compare`` returned
+        ``None``) before a forced or re-asked choice resolved the round.
     range_updates:
         Half-space updates the session's utility range received (0 for
         algorithms that do not expose a range).
@@ -69,6 +72,7 @@ class SessionMetrics:
     agent_seconds: float = 0.0
     batched_rounds: int = 0
     retries: int = 0
+    abstentions: int = 0
     range_updates: int = 0
     range_clips: int = 0
     range_rebuilds: int = 0
@@ -141,6 +145,9 @@ class EngineMetrics:
         for the wave engine.
     rounds_total:
         Questions answered across all sessions.
+    abstentions:
+        Withheld answers consumed across all sessions (see
+        :attr:`SessionMetrics.abstentions`).
     batches:
         Shared scoring batches issued (one per scorer per wave).
     batched_rows:
@@ -178,6 +185,7 @@ class EngineMetrics:
     ticks: int = 0
     in_flight_cap: int = 0
     rounds_total: int = 0
+    abstentions: int = 0
     batches: int = 0
     batched_rows: int = 0
     peak_batch: int = 0
@@ -217,6 +225,7 @@ class EngineMetrics:
         self.ticks += other.ticks
         self.in_flight_cap = max(self.in_flight_cap, other.in_flight_cap)
         self.rounds_total += other.rounds_total
+        self.abstentions += other.abstentions
         self.batches += other.batches
         self.batched_rows += other.batched_rows
         self.peak_batch = max(self.peak_batch, other.peak_batch)
@@ -339,4 +348,6 @@ class EngineMetrics:
                 f"{self.retries} retries, {self.recovered} recovered, "
                 f"{self.failed} failed"
             )
+        if self.abstentions:
+            lines.append(f"abstentions consumed: {self.abstentions}")
         return lines

@@ -63,7 +63,6 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
-from repro.core.robust import MajorityVoteSession
 from repro.core.session import (
     DEFAULT_MAX_ROUNDS,
     CandidateBatch,
@@ -73,6 +72,7 @@ from repro.core.session import (
     SessionResult,
     TranscriptEntry,
     _failed_session_result,
+    ask_user,
 )
 from repro.errors import ConfigurationError, InteractionError, PersistenceError
 from repro.geometry.lp import LPCache, use_cache
@@ -497,6 +497,7 @@ class ContinuousEngine:
                 session_id=session_id,
                 transcript=transcript,
                 agent_ref=agent_ref,
+                user=task.spec.user,
             )
             if self.store is not None:
                 self.store.put(snapshot)
@@ -801,7 +802,12 @@ class ContinuousEngine:
                 f"ticket {task.ticket} entered a tick without a "
                 "selected question (scoring produced no choice)"
             )
-        task.answer = task.spec.user.prefers(question.p_i, question.p_j)
+        task.answer, abstained = ask_user(task.spec.user, question)
+        if abstained:
+            # Per-task only here — this may run on a pool worker; the
+            # driver folds it into the engine totals in _advance.
+            task.metrics.abstentions += abstained
+            task.algorithm.abstentions += abstained
 
     def _prefetch(self, tasks: list[_Task]) -> None:
         """Batch-prime the tick's imminent range updates (best-effort).
@@ -1019,6 +1025,10 @@ class ContinuousEngine:
         )
         if retryable:
             self.metrics.retries += 1
+            # The replacement starts fresh metrics; bank the failed
+            # attempt's abstentions now (driver thread) so the engine
+            # total matches the wave engine's live count.
+            self.metrics.abstentions += task.metrics.abstentions
             replacements.append(self._retry_task(task))
             return
         self.metrics.failed += 1
@@ -1047,11 +1057,16 @@ class ContinuousEngine:
         self._deliver(task, result)
 
     def _retry_task(self, task: _Task) -> _Task:
-        """A fresh task re-running ``task``'s session under majority vote."""
+        """A fresh task re-running ``task``'s session robustly.
+
+        Built by :meth:`RecoveryPolicy.build_retry` — a majority vote
+        by default, or the recovery policy's configured
+        :class:`~repro.core.robust.RobustPolicy`.
+        """
         assert self.recovery is not None
         attempt = task.attempt + 1
-        algorithm: InteractiveAlgorithm = MajorityVoteSession(
-            task.spec.build(), repeats=self.recovery.majority_repeats
+        algorithm: InteractiveAlgorithm = self.recovery.build_retry(
+            task.spec.build, attempt
         )
         return _Task(
             ticket=task.ticket,
@@ -1119,6 +1134,7 @@ class ContinuousEngine:
         future instead, resolved on the waiter's event loop.
         """
         self.metrics.per_session.append(task.metrics)
+        self.metrics.abstentions += task.metrics.abstentions
         waiter = self._waiters.pop(task.ticket, None)
         if waiter is not None:
             loop, future = waiter

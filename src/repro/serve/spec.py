@@ -84,7 +84,12 @@ class SessionSpec:
         the engine inside its LP-cache context; re-invoked on recovery
         retries.
     user:
-        Anything with a ``prefers(p_i, p_j) -> bool`` method.
+        Anything with a ``prefers(p_i, p_j) -> bool`` method — an
+        oracle, or any model from :mod:`repro.users.models` (tag the
+        spec with ``tags["user_model"]`` for provenance).  Users with
+        the optional three-valued ``compare`` may abstain; engines
+        consume abstentions through
+        :func:`repro.core.session.ask_user`.
     seed:
         Optional seed recorded for provenance (e.g. the per-session RNG
         stream the factory closes over).  The engines never interpret

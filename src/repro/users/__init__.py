@@ -1,5 +1,31 @@
 """Simulated users answering pairwise preference questions."""
 
+from repro.users.models import (
+    AbstainingUser,
+    DriftingUser,
+    FatigueUser,
+    PersonaUser,
+    canonical_user_model,
+    capture_user_state,
+    make_user,
+    register_user_model,
+    restore_user_state,
+    user_model_names,
+)
 from repro.users.oracle import NoisyUser, OracleUser, User
 
-__all__ = ["User", "OracleUser", "NoisyUser"]
+__all__ = [
+    "User",
+    "OracleUser",
+    "NoisyUser",
+    "PersonaUser",
+    "FatigueUser",
+    "DriftingUser",
+    "AbstainingUser",
+    "make_user",
+    "register_user_model",
+    "user_model_names",
+    "canonical_user_model",
+    "capture_user_state",
+    "restore_user_state",
+]

@@ -14,17 +14,38 @@ model: mistakes are more likely when the two utilities are close.
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Any, Protocol
 
 import numpy as np
 
+from repro.errors import PersistenceError
 from repro.geometry import simplex
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import (
+    RngLike,
+    ensure_rng,
+    get_state as get_rng_state,
+    set_state as set_rng_state,
+)
 from repro.utils.validation import require_probability, require_vector
 
 
 class User(Protocol):
-    """What an interactive algorithm may do with a user: ask questions."""
+    """What an interactive algorithm may do with a user: ask questions.
+
+    ``prefers`` is the mandatory forced-choice interface.  A user *may*
+    additionally expose two optional extensions, both discovered with
+    ``getattr`` so plain two-valued users keep working unchanged:
+
+    * ``compare(p_i, p_j) -> bool | None`` — a three-valued answer where
+      ``None`` means "I abstain / can't tell".  Drivers that understand
+      abstention (:func:`repro.core.session.ask_user`) call ``compare``
+      first and only fall back to the forced choice after re-asking;
+      drivers that don't simply call ``prefers`` as before.
+    * ``get_state() / set_state(state)`` — checkpointable user state
+      (RNG stream, fatigue counters, drifted utility) so a resumed
+      session replays against the *same* simulated human.  See
+      :mod:`repro.users.models`.
+    """
 
     def prefers(self, p_i: np.ndarray, p_j: np.ndarray) -> bool:
         """``True`` iff the user prefers ``p_i`` to ``p_j``."""
@@ -76,6 +97,24 @@ class OracleUser:
         self.questions_asked += 1
         return float(self._utility @ p_i) >= float(self._utility @ p_j)
 
+    # -- state (checkpoint / resume) ------------------------------------------
+
+    def get_state(self) -> dict[str, Any]:
+        """Checkpointable user state (counters; subclasses add RNG etc.)."""
+        return {
+            "model": type(self).__name__,
+            "questions_asked": int(self.questions_asked),
+        }
+
+    def set_state(self, state: dict[str, Any]) -> None:
+        """Overwrite mutable state with a :meth:`get_state` dict."""
+        if state.get("model") != type(self).__name__:
+            raise PersistenceError(
+                f"user state model {state.get('model')!r} does not match "
+                f"{type(self).__name__}"
+            )
+        self.questions_asked = int(state["questions_asked"])
+
 
 class NoisyUser(OracleUser):
     """An oracle that errs with a utility-gap-dependent probability.
@@ -95,6 +134,13 @@ class NoisyUser(OracleUser):
     ) -> None:
         super().__init__(utility)
         require_probability(error_rate, "error_rate")
+        if error_rate >= 1.0:
+            # An always-wrong user is an oracle for the complement
+            # preference, not noise; serve-bench already rejects
+            # noise >= 1 and the two validations must agree.
+            raise ValueError(
+                f"error_rate must be in [0, 1), got {error_rate}"
+            )
         if temperature <= 0:
             raise ValueError(f"temperature must be > 0, got {temperature}")
         self._error_rate = error_rate
@@ -112,3 +158,14 @@ class NoisyUser(OracleUser):
             self.mistakes_made += 1
             return not truthful
         return truthful
+
+    def get_state(self) -> dict[str, Any]:
+        state = super().get_state()
+        state["mistakes_made"] = int(self.mistakes_made)
+        state["rng"] = get_rng_state(self._rng)
+        return state
+
+    def set_state(self, state: dict[str, Any]) -> None:
+        super().set_state(state)
+        self.mistakes_made = int(state["mistakes_made"])
+        set_rng_state(self._rng, state["rng"])

@@ -1,0 +1,183 @@
+"""Tests for the family x user-model robustness matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import run_session
+from repro.core.session import SessionResult
+from repro.data.utility import sample_training_utilities
+from repro.errors import ConfigurationError
+from repro.eval.robustness import (
+    DEFAULT_USER_MODELS,
+    RobustnessReport,
+    _cell_seed,
+    run_robustness_matrix,
+)
+from repro.obs.snapshot import load_snapshot
+from repro.registry import make_session
+from repro.users import OracleUser
+
+FAMILIES = ("uh-random", "uh-simplex")
+MODELS = ("oracle", "noisy", "abstaining")
+SEEDS = 3
+MAX_ROUNDS = 60
+
+
+@pytest.fixture(scope="module")
+def report(small_anti_3d) -> RobustnessReport:
+    return run_robustness_matrix(
+        small_anti_3d,
+        families=FAMILIES,
+        user_models=MODELS,
+        seeds=SEEDS,
+        max_rounds=MAX_ROUNDS,
+        seed=0,
+    )
+
+
+class TestMatrixShape:
+    def test_one_cell_per_family_model_pair(self, report):
+        assert len(report.cells) == len(FAMILIES) * len(MODELS)
+        coords = {(c.family, c.user_model) for c in report.cells}
+        assert coords == {(f, m) for f in FAMILIES for m in MODELS}
+
+    def test_lines_render_every_cell(self, report):
+        lines = report.lines()
+        assert len(lines) == 3 + len(report.cells)  # title + header + rule
+
+    def test_counters_cover_cells_and_totals(self, report):
+        counters = report.snapshot_sections()["counters"]
+        assert counters["total.rounds"] == sum(
+            c.rounds_total for c in report.cells
+        )
+        for cell in report.cells:
+            key = f"{cell.family}.{cell.user_model}.rounds_total"
+            assert counters[key] == cell.rounds_total
+
+    def test_abstaining_column_consumes_abstentions(self, report):
+        abstaining = [
+            c for c in report.cells if c.user_model == "abstaining"
+        ]
+        assert sum(c.abstentions for c in abstaining) > 0
+        oracle = [c for c in report.cells if c.user_model == "oracle"]
+        assert all(c.abstentions == 0 for c in oracle)
+
+
+class TestDeterminism:
+    def test_counters_reproduce_across_runs(self, small_anti_3d, report):
+        again = run_robustness_matrix(
+            small_anti_3d,
+            families=FAMILIES,
+            user_models=MODELS,
+            seeds=SEEDS,
+            max_rounds=MAX_ROUNDS,
+            seed=0,
+        )
+        first = report.snapshot_sections()["counters"]
+        second = again.snapshot_sections()["counters"]
+        assert first == second
+
+    def test_oracle_rows_are_bit_identical_to_sequential_sessions(
+        self, small_anti_3d, report
+    ):
+        """The oracle column must reproduce plain run_session golden
+        rows exactly: same derived seeds, same transcripts, same
+        recommendations — the matrix adds no behaviour of its own."""
+        hidden = sample_training_utilities(3, SEEDS, rng=_cell_seed(0, 7))
+        for family_index, family in enumerate(FAMILIES):
+            rounds_total = 0
+            for i in range(SEEDS):
+                session_seed = _cell_seed(0, 13, family_index, i)
+                result: SessionResult = run_session(
+                    make_session(
+                        family, small_anti_3d, 0.1, rng=session_seed
+                    ),
+                    OracleUser(hidden[i]),
+                    max_rounds=MAX_ROUNDS,
+                )
+                rounds_total += result.rounds
+            [cell] = [
+                c
+                for c in report.cells
+                if c.family == family and c.user_model == "oracle"
+            ]
+            assert cell.rounds_total == rounds_total
+
+    def test_session_seeds_are_shared_across_user_models(self, report):
+        """Oracle and noisy columns of one family differ only in user
+        behaviour; with the same seeds, a zero-mistake noisy run must
+        match the oracle run exactly."""
+        for family in FAMILIES:
+            by_model = {
+                c.user_model: c for c in report.cells if c.family == family
+            }
+            if by_model["noisy"].mistakes == 0:
+                assert (
+                    by_model["noisy"].rounds_total
+                    == by_model["oracle"].rounds_total
+                )
+
+
+class TestSnapshot:
+    def test_snapshot_round_trips_through_schema(self, report, tmp_path):
+        path = report.write_snapshot(tmp_path)
+        assert path.name == "BENCH_robustness.json"
+        data = load_snapshot(path)
+        assert data["name"] == "robustness"
+        assert data["config"]["families"] == list(FAMILIES)
+        assert data["config"]["user_models"] == list(MODELS)
+        assert (
+            data["counters"]
+            == report.snapshot_sections()["counters"]
+        )
+        headers = data["tables"]["matrix"]["headers"]
+        assert headers == list(RobustnessReport.HEADERS)
+
+    def test_counters_are_integers(self, report):
+        for key, value in report.snapshot_sections()["counters"].items():
+            assert isinstance(value, int), key
+
+
+class TestValidation:
+    def test_rejects_zero_seeds(self, small_anti_3d):
+        with pytest.raises(ConfigurationError):
+            run_robustness_matrix(small_anti_3d, seeds=0)
+
+    def test_rejects_noise_of_one(self, small_anti_3d):
+        with pytest.raises(ConfigurationError):
+            run_robustness_matrix(small_anti_3d, noise=1.0)
+
+    def test_rejects_unknown_family(self, small_anti_3d):
+        with pytest.raises(ConfigurationError):
+            run_robustness_matrix(small_anti_3d, families=("telepathy",))
+
+    def test_rejects_unknown_user_model(self, small_anti_3d):
+        with pytest.raises(ConfigurationError):
+            run_robustness_matrix(small_anti_3d, user_models=("psychic",))
+
+    def test_default_models_cover_the_zoo(self):
+        assert set(DEFAULT_USER_MODELS) == {
+            "oracle",
+            "noisy",
+            "persona",
+            "fatigue",
+            "drifting",
+            "abstaining",
+        }
+
+
+class TestRegret:
+    def test_regret_is_finite_for_successful_cells(self, report):
+        for cell in report.cells:
+            if cell.failed < cell.sessions:
+                assert np.isfinite(cell.regret_mean)
+                assert cell.regret_max >= cell.regret_mean - 1e-12
+
+    def test_failure_rate_and_rounds_mean(self, report):
+        for cell in report.cells:
+            assert 0.0 <= cell.failure_rate <= 1.0
+            assert cell.rounds_mean == pytest.approx(
+                cell.rounds_total / cell.sessions
+            )

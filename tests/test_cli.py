@@ -170,6 +170,48 @@ class TestServeBenchSnapshot:
         assert snapshot["obs"] == {}
 
 
+class TestRobustnessCommand:
+    def test_matrix_prints_and_writes_snapshot(self, tmp_path, capsys):
+        import json
+
+        code = main(
+            [
+                "robustness",
+                "--dataset", "anti:250:3",
+                "--families", "uh-random",
+                "--user-models", "oracle", "abstaining",
+                "--seeds", "2",
+                "--max-rounds", "40",
+                "--out", str(tmp_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "robustness matrix" in out
+        assert "snapshot written to" in out
+        snapshot = json.loads(
+            (tmp_path / "BENCH_robustness.json").read_text()
+        )
+        assert snapshot["name"] == "robustness"
+        assert snapshot["counters"]["total.rounds"] > 0
+        assert snapshot["counters"]["uh-random.abstaining.abstentions"] >= 0
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["robustness", "--dataset", "car"]
+        )
+        assert args.handler.__name__ == "_cmd_robustness"
+        assert args.seeds == 4
+        assert "oracle" in args.user_models
+        assert args.families == ["uh-random", "uh-simplex"]
+
+    def test_serve_bench_accepts_user_model(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--dataset", "car", "--user-model", "drifting"]
+        )
+        assert args.user_model == "drifting"
+
+
 class TestServeBenchHttp:
     def test_http_flag_runs_loadgen_and_writes_snapshot(
         self, tmp_path, capsys

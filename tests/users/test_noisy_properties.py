@@ -1,0 +1,92 @@
+"""Property-based tests for the NoisyUser Bradley-Terry error model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.users import NoisyUser
+
+
+def flip_rate(user: NoisyUser, p: np.ndarray, q: np.ndarray, n: int) -> float:
+    wrong = 0
+    truthful = float(user.utility @ p) >= float(user.utility @ q)
+    for _ in range(n):
+        if user.prefers(p, q) != truthful:
+            wrong += 1
+    return wrong / n
+
+
+class TestNoisyUserProperties:
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=20, deadline=None)
+    def test_seeded_streams_are_reproducible(self, seed):
+        utility = np.array([0.6, 0.4])
+        a = NoisyUser(utility, error_rate=0.4, rng=seed)
+        b = NoisyUser(utility, error_rate=0.4, rng=seed)
+        p, q = np.array([0.55, 0.45]), np.array([0.45, 0.55])
+        answers_a = [a.prefers(p, q) for _ in range(30)]
+        answers_b = [b.prefers(p, q) for _ in range(30)]
+        assert answers_a == answers_b
+        assert a.mistakes_made == b.mistakes_made
+
+    @given(
+        st.floats(min_value=0.0, max_value=0.9),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_flip_probability_never_exceeds_error_rate(self, rate, seed):
+        """``error_rate * exp(-gap/T) <= error_rate`` for every gap."""
+        user = NoisyUser(np.array([0.9, 0.1]), error_rate=rate, rng=seed)
+        observed = flip_rate(
+            user, np.array([1.0, 0.0]), np.array([0.0, 1.0]), 200
+        )
+        # 3-sigma slack over 200 Bernoulli trials.
+        assert observed <= rate + 3 * np.sqrt(max(rate, 0.01) / 200) + 0.05
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=15, deadline=None)
+    def test_errors_monotone_in_utility_gap(self, seed):
+        """Near-ties are answered less reliably than clear-cut questions."""
+        utility = np.array([0.5, 0.5])
+        user_near = NoisyUser(
+            utility, error_rate=0.9, temperature=0.05, rng=seed
+        )
+        user_far = NoisyUser(
+            utility, error_rate=0.9, temperature=0.05, rng=seed
+        )
+        near = flip_rate(
+            user_near, np.array([0.51, 0.49]), np.array([0.49, 0.51]), 300
+        )
+        far = flip_rate(
+            user_far, np.array([1.0, 0.0]), np.array([0.0, 0.0]), 300
+        )
+        assert near >= far
+
+    def test_zero_gap_flips_at_the_full_error_rate(self):
+        user = NoisyUser(np.array([0.5, 0.5]), error_rate=0.5, rng=0)
+        rate = flip_rate(
+            user, np.array([0.4, 0.6]), np.array([0.6, 0.4]), 2000
+        )
+        assert rate == pytest.approx(0.5, abs=0.05)
+
+
+class TestNoisyUserValidation:
+    def test_error_rate_one_is_rejected(self):
+        """Regression: 1.0 used to pass the inclusive probability check,
+        while serve-bench rejects noise >= 1 — the validations now agree."""
+        with pytest.raises(ValueError, match=r"\[0, 1\)"):
+            NoisyUser(np.array([0.5, 0.5]), error_rate=1.0)
+
+    def test_error_rate_above_one_is_rejected(self):
+        with pytest.raises(ValueError):
+            NoisyUser(np.array([0.5, 0.5]), error_rate=1.5)
+
+    def test_boundary_just_below_one_is_accepted(self):
+        NoisyUser(np.array([0.5, 0.5]), error_rate=0.999)
+
+    def test_non_positive_temperature_is_rejected(self):
+        with pytest.raises(ValueError):
+            NoisyUser(np.array([0.5, 0.5]), temperature=0.0)
